@@ -1,0 +1,45 @@
+// A2 — Decomposition-scheme study: half-shell vs neutral-territory import
+// volume on the 23,558-atom system across machine sizes.  The NT method is
+// the Anton line's signature communication optimisation; its advantage
+// appears exactly where the paper operates — home boxes smaller than the
+// cutoff.
+#include "bench_util.h"
+#include "core/decomposition_study.h"
+
+using namespace anton;
+using namespace anton::bench;
+using core::DecompositionScheme;
+
+int main() {
+  print_header("A2",
+               "Import volume: half-shell vs neutral territory "
+               "(23,558-atom system)");
+  const System& sys = dhfr_system();
+
+  TextTable t({"nodes", "atoms/node", "half-shell imports/node",
+               "NT imports/node", "NT saving", "import KB/node (HS)"});
+  for (int nodes : {8, 64, 216, 512}) {
+    const auto cfg = machine_preset("anton2", nodes);
+    const auto hs = core::analyze_decomposition(
+        sys, cfg, DecompositionScheme::kHalfShell);
+    const auto nt = core::analyze_decomposition(
+        sys, cfg, DecompositionScheme::kNeutralTerritory);
+    // Identical pair totals: both schemes cover every interaction.
+    if (hs.total_pairs != nt.total_pairs) return 1;
+    t.add_row({TextTable::fmt_int(nodes),
+               TextTable::fmt(23558.0 / nodes, 0),
+               TextTable::fmt(hs.mean_import_per_node(), 0),
+               TextTable::fmt(nt.mean_import_per_node(), 0),
+               TextTable::fmt(hs.mean_import_per_node() /
+                                  std::max(1.0, nt.mean_import_per_node()),
+                              2) + "x",
+               TextTable::fmt(hs.total_import_bytes / nodes / 1e3, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nAt 512 nodes the home box (7.7 A) is smaller than the "
+               "cutoff (9 A): the half-shell\nimport region covers dozens "
+               "of neighbour boxes, while NT's tower+plate grows only\n"
+               "as the cutoff's cross-section — the geometry behind the "
+               "Anton papers' import math.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// F1 — Strong scaling on the standard 23,558-atom benchmark (DHFR class):
+// μs/day vs node count for Anton 2 and Anton 1.  The abstract's anchors:
+// 85 μs/day on 512 Anton 2 nodes; up to 10× Anton 1 at equal node count.
+#include "bench_util.h"
+
+using namespace anton;
+using namespace anton::bench;
+
+int main() {
+  print_header("F1",
+               "Strong scaling, 23,558-atom system: us/day vs node count");
+  const System& sys = dhfr_system();
+
+  TextTable t({"nodes", "anton2 us/day", "anton1 us/day", "anton2/anton1",
+               "anton2 step (ns)", "anton2 compute frac"});
+  double last_a2 = 0;
+  for (int nodes : {8, 16, 32, 64, 128, 256, 512}) {
+    const core::AntonMachine m2(machine_preset("anton2", nodes));
+    const core::AntonMachine m1(machine_preset("anton1", nodes));
+    const auto r2 = m2.estimate(sys, 2.5, 2);
+    const auto r1 = m1.estimate(sys, 2.5, 2);
+    last_a2 = r2.us_per_day();
+    t.add_row({TextTable::fmt_int(nodes), TextTable::fmt(r2.us_per_day()),
+               TextTable::fmt(r1.us_per_day()),
+               TextTable::fmt(r2.us_per_day() / r1.us_per_day(), 1),
+               TextTable::fmt(r2.avg_step_ns(), 0),
+               TextTable::fmt(r2.full_step.exec.compute_fraction(), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper anchor: " << kPaperDhfr512UsPerDay
+            << " us/day at 512 nodes (measured: " << TextTable::fmt(last_a2)
+            << "); speedup vs Anton 1 'up to " << kPaperAnton2OverAnton1
+            << "x'.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// F2 — Capacity sweep: simulation rate vs system size on the 512-node
+// Anton 2.  The abstract: "the first platform to achieve simulation rates of
+// multiple microseconds of physical time per day for systems with millions
+// of atoms."
+#include "bench_util.h"
+
+using namespace anton;
+using namespace anton::bench;
+
+int main() {
+  print_header("F2", "us/day vs system size at 512 nodes (Anton 2)");
+
+  TextTable t({"atoms", "us/day", "step (ns)", "pairs/step (M)",
+               "atoms/node", "compute frac"});
+  const core::AntonMachine m2(machine_preset("anton2", 512));
+
+  double mm_atom_rate = 0;
+  for (int atoms : {23558, 92224, 262144, 524288, 1066628, 2217000,
+                    4194304}) {
+    BuilderOptions o;
+    o.total_atoms = atoms;
+    o.solute_fraction = 0.11;
+    o.temperature_k = -1;  // timing only; skip velocity assignment
+    o.seed = 2014;
+    const System sys = build_solvated_system(o);
+    const auto r = m2.estimate(sys, 2.5, 2);
+    const core::Workload w = core::Workload::build(sys, m2.config());
+    if (atoms >= 1000000 && mm_atom_rate == 0) mm_atom_rate = r.us_per_day();
+    t.add_row({TextTable::fmt_int(atoms), TextTable::fmt(r.us_per_day()),
+               TextTable::fmt(r.avg_step_ns(), 0),
+               TextTable::fmt(static_cast<double>(w.total_pairs()) / 1e6, 1),
+               TextTable::fmt(w.mean_atoms_per_node(), 0),
+               TextTable::fmt(r.full_step.exec.compute_fraction(), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper anchor: multiple us/day at millions of atoms "
+               "(measured at ~1.07M atoms: "
+            << TextTable::fmt(mm_atom_rate) << " us/day).\n";
+  return 0;
+}

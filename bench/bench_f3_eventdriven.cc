@@ -1,0 +1,37 @@
+// F3 — Event-driven ablation: identical Anton 2 hardware under fine-grained
+// event-driven scheduling vs bulk-synchronous phase barriers.  This isolates
+// the paper's central architectural claim: event-driven operation "improves
+// performance by increasing the overlap of computation with communication".
+#include "bench_util.h"
+
+using namespace anton;
+using namespace anton::bench;
+
+int main() {
+  print_header("F3",
+               "Event-driven vs bulk-synchronous on Anton 2 hardware "
+               "(23,558-atom system)");
+  const System& sys = dhfr_system();
+
+  TextTable t({"nodes", "event us/day", "bsp us/day", "speedup",
+               "event step (ns)", "bsp step (ns)", "event compute frac",
+               "bsp compute frac"});
+  for (int nodes : {8, 32, 64, 128, 256, 512}) {
+    const core::AntonMachine ev(machine_preset("anton2", nodes));
+    const core::AntonMachine bs(machine_preset("anton2-bsp", nodes));
+    const auto re = ev.estimate(sys, 2.5, 2);
+    const auto rb = bs.estimate(sys, 2.5, 2);
+    t.add_row({TextTable::fmt_int(nodes), TextTable::fmt(re.us_per_day()),
+               TextTable::fmt(rb.us_per_day()),
+               TextTable::fmt(re.us_per_day() / rb.us_per_day(), 2),
+               TextTable::fmt(re.avg_step_ns(), 0),
+               TextTable::fmt(rb.avg_step_ns(), 0),
+               TextTable::fmt(re.full_step.exec.compute_fraction(), 3),
+               TextTable::fmt(rb.full_step.exec.compute_fraction(), 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe event-driven advantage grows with node count: per-node "
+               "work shrinks while the\nbarrier + exposed-communication cost "
+               "of the BSP schedule does not.\n";
+  return 0;
+}

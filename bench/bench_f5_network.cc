@@ -1,0 +1,54 @@
+// F5 — Network-sensitivity study: how much fine-grained event-driven
+// operation hides the interconnect.  Sweeps router hop latency and link
+// bandwidth on the 512-node machine; event-driven vs bulk-synchronous.
+#include "bench_util.h"
+
+using namespace anton;
+using namespace anton::bench;
+
+int main() {
+  print_header("F5",
+               "Network sensitivity at 512 nodes (23,558-atom system)");
+  const System& sys = dhfr_system();
+
+  {
+    std::cout << "\n-- hop-latency sweep (link bandwidth fixed) --\n";
+    TextTable t({"hop latency (ns)", "event us/day", "bsp us/day",
+                 "event/bsp"});
+    for (double hop : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+      auto ce = machine_preset("anton2", 512);
+      auto cb = machine_preset("anton2-bsp", 512);
+      ce.noc.hop_latency_ns = hop;
+      cb.noc.hop_latency_ns = hop;
+      const auto re = core::AntonMachine(ce).estimate(sys, 2.5, 2);
+      const auto rb = core::AntonMachine(cb).estimate(sys, 2.5, 2);
+      t.add_row({TextTable::fmt(hop, 0), TextTable::fmt(re.us_per_day()),
+                 TextTable::fmt(rb.us_per_day()),
+                 TextTable::fmt(re.us_per_day() / rb.us_per_day(), 2)});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::cout << "\n-- link-bandwidth sweep (hop latency fixed) --\n";
+    TextTable t({"link BW (GB/s)", "event us/day", "bsp us/day",
+                 "event/bsp"});
+    for (double bw : {4.0, 8.0, 16.0, 24.0, 48.0, 96.0}) {
+      auto ce = machine_preset("anton2", 512);
+      auto cb = machine_preset("anton2-bsp", 512);
+      ce.noc.link_bandwidth_gbs = bw;
+      cb.noc.link_bandwidth_gbs = bw;
+      const auto re = core::AntonMachine(ce).estimate(sys, 2.5, 2);
+      const auto rb = core::AntonMachine(cb).estimate(sys, 2.5, 2);
+      t.add_row({TextTable::fmt(bw, 0), TextTable::fmt(re.us_per_day()),
+                 TextTable::fmt(rb.us_per_day()),
+                 TextTable::fmt(re.us_per_day() / rb.us_per_day(), 2)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nEvent-driven scheduling is consistently less sensitive to "
+               "the network: overlap hides\nlatency that a barrier schedule "
+               "must expose on every phase boundary.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// F6 — Commodity-baseline kernel throughput on this host (google-benchmark).
+// Grounds the F4 comparison: these are the kernels a commodity platform runs
+// in software that Anton executes in silicon.
+#include <benchmark/benchmark.h>
+
+#include "chem/builder.h"
+#include "fft/fft.h"
+#include "md/constraints.h"
+#include "md/engine.h"
+#include "md/gse.h"
+#include "md/neighborlist.h"
+#include "md/nonbonded.h"
+
+namespace anton::md {
+namespace {
+
+const System& water4k() {
+  static const System sys = build_water_box(1331, 7);  // 3,993 atoms
+  return sys;
+}
+
+void BM_NeighborListBuild(benchmark::State& state) {
+  const System& sys = water4k();
+  NeighborList nlist(9.0, 1.0);
+  for (auto _ : state) {
+    nlist.build(sys.box(), sys.positions(), sys.topology());
+    benchmark::DoNotOptimize(nlist.num_pairs());
+  }
+  state.counters["pairs"] = static_cast<double>(nlist.num_pairs());
+}
+BENCHMARK(BM_NeighborListBuild)->Unit(benchmark::kMillisecond);
+
+void BM_NonbondedPairs(benchmark::State& state) {
+  const System& sys = water4k();
+  NeighborList nlist(9.0, 1.0);
+  nlist.build(sys.box(), sys.positions(), sys.topology());
+  std::vector<Vec3> f(static_cast<size_t>(sys.num_atoms()));
+  for (auto _ : state) {
+    EnergyReport e;
+    std::fill(f.begin(), f.end(), Vec3{});
+    compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(),
+                      0.35, f, e);
+    benchmark::DoNotOptimize(e.lj);
+  }
+  state.counters["pairs/s"] = benchmark::Counter(
+      static_cast<double>(nlist.num_pairs()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NonbondedPairs)->Unit(benchmark::kMillisecond);
+
+void BM_GseMesh(benchmark::State& state) {
+  const System& sys = water4k();
+  GseMesh gse(sys.box(), 0.35, 1.1, 1.2);
+  std::vector<Vec3> f(static_cast<size_t>(sys.num_atoms()));
+  for (auto _ : state) {
+    EnergyReport e;
+    std::fill(f.begin(), f.end(), Vec3{});
+    gse.compute(sys.topology(), sys.positions(), f, e);
+    benchmark::DoNotOptimize(e.coulomb_kspace);
+  }
+  state.counters["mesh"] = static_cast<double>(gse.mesh_points());
+}
+BENCHMARK(BM_GseMesh)->Unit(benchmark::kMillisecond);
+
+void BM_Fft3D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fft3D fft(n, n, n);
+  std::vector<Complex> data(fft.num_points(), Complex{1.0, 0.5});
+  for (auto _ : state) {
+    fft.forward(data);
+    fft.inverse(data);
+    benchmark::DoNotOptimize(data[0]);
+  }
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ShakeWater(benchmark::State& state) {
+  const System& sys = water4k();
+  std::vector<Vec3> ref(sys.positions().begin(), sys.positions().end());
+  Rng rng(3, 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Vec3> pos = ref;
+    for (auto& p : pos) p += 0.02 * rng.gaussian_vec3();
+    std::vector<Vec3> vel(pos.size());
+    state.ResumeTiming();
+    const auto stats = shake(sys.box(), sys.topology(), ref, pos, vel, 0.01,
+                             1e-8, 200);
+    benchmark::DoNotOptimize(stats.iterations);
+  }
+  state.counters["constraints"] =
+      static_cast<double>(sys.topology().constraints().size());
+}
+BENCHMARK(BM_ShakeWater)->Unit(benchmark::kMillisecond);
+
+void BM_FullStep(benchmark::State& state) {
+  MdParams p;
+  p.cutoff = 9.0;
+  p.skin = 1.0;
+  p.dt_fs = 2.5;
+  p.respa_k = 2;
+  p.long_range = LongRangeMethod::kMesh;
+  System sys = water4k();
+  Simulation sim(std::move(sys), p);
+  sim.step(2);
+  for (auto _ : state) {
+    sim.step(1);
+    benchmark::DoNotOptimize(sim.step_count());
+  }
+  state.counters["atoms"] = static_cast<double>(sim.system().num_atoms());
+}
+BENCHMARK(BM_FullStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace anton::md
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// T3 — Per-phase breakdown of a full timestep: where the cycles go on each
+// machine, for the 23,558-atom and the ~1M-atom systems.
+#include "bench_util.h"
+
+using namespace anton;
+using namespace anton::bench;
+
+namespace {
+
+void breakdown(const System& sys, const std::string& label) {
+  std::cout << "\n-- " << label << " (" << sys.num_atoms()
+            << " atoms, 512 nodes, full step) --\n";
+  TextTable t({"phase", "anton2 busy/node (ns)", "anton2 phase end (ns)",
+               "anton1 busy/node (ns)", "anton1 phase end (ns)"});
+  const auto c2 = machine_preset("anton2", 512);
+  const auto c1 = machine_preset("anton1", 512);
+  const core::Workload w2 = core::Workload::build(sys, c2);
+  const core::Workload w1 = core::Workload::build(sys, c1);
+  const auto t2 = core::simulate_step(w2, c2, {.include_long_range = true});
+  const auto t1 = core::simulate_step(w1, c1, {.include_long_range = true});
+  const double n = 512.0;
+  for (const char* phase :
+       {"pos_export", "pair_local", "pair_tile", "bonded", "spread", "fft",
+        "interp", "integrate", "constrain", "migrate", "barrier"}) {
+    const auto get = [&](const core::StepTiming& st, bool end) {
+      const auto& m = end ? st.exec.phase_end_ns : st.exec.phase_busy_ns;
+      const auto it = m.find(phase);
+      return it == m.end() ? 0.0 : (end ? it->second : it->second / n);
+    };
+    t.add_row({phase, TextTable::fmt(get(t2, false), 1),
+               TextTable::fmt(get(t2, true), 0),
+               TextTable::fmt(get(t1, false), 1),
+               TextTable::fmt(get(t1, true), 0)});
+  }
+  t.add_row({"TOTAL (makespan)", "-", TextTable::fmt(t2.step_ns, 0), "-",
+             TextTable::fmt(t1.step_ns, 0)});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  print_header("T3", "Per-phase timestep breakdown");
+  breakdown(dhfr_system(), "dhfr_23k");
+
+  BuilderOptions o;
+  o.total_atoms = 1066628;
+  o.solute_fraction = 0.12;
+  o.temperature_k = -1;
+  o.seed = 2014;
+  breakdown(build_solvated_system(o), "stmv_1m");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the experiment harness.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md / EXPERIMENTS.md for the index) and prints the
+// same kind of rows/series the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "arch/config.h"
+#include "chem/builder.h"
+#include "common/table.h"
+#include "core/machine.h"
+
+namespace anton::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& description) {
+  std::cout << "\n=== " << experiment_id << ": " << description << " ===\n";
+}
+
+// The standard 23,558-atom benchmark system (DHFR class), built once.
+inline const System& dhfr_system() {
+  static const System sys = build_benchmark_system(dhfr_spec());
+  return sys;
+}
+
+// Machine preset by name with an arbitrary node count.
+inline arch::MachineConfig machine_preset(const std::string& name,
+                                          int nodes) {
+  int nx, ny, nz;
+  core::torus_dims(nodes, &nx, &ny, &nz);
+  if (name == "anton1") return arch::MachineConfig::anton1(nx, ny, nz);
+  if (name == "anton2-bsp") return arch::MachineConfig::anton2_bsp(nx, ny, nz);
+  return arch::MachineConfig::anton2(nx, ny, nz);
+}
+
+// Paper-anchored reference points quoted in the abstract; printed next to
+// measured values so every run shows paper-vs-reproduction at a glance.
+inline constexpr double kPaperDhfr512UsPerDay = 85.0;
+inline constexpr double kPaperAnton2OverAnton1 = 10.0;  // "up to ten times"
+inline constexpr double kPaperCommoditySpeedup = 180.0;
+
+}  // namespace anton::bench

@@ -1,0 +1,49 @@
+// DHFR-class scaling campaign: the workload the paper's headline number is
+// quoted on.  Builds the standard 23,558-atom benchmark system and studies
+// how simulation rate, communication exposure, and the event-driven
+// advantage change across machine sizes — the kind of study an Anton user
+// runs before committing machine time.
+//
+//   ./build/examples/dhfr_campaign [max_nodes=512]
+#include <cstdio>
+#include <iostream>
+
+#include "chem/builder.h"
+#include "common/config.h"
+#include "common/table.h"
+#include "core/machine.h"
+
+using namespace anton;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int max_nodes = static_cast<int>(cfg.get_int("max_nodes", 512));
+
+  std::printf("Building the standard 23,558-atom benchmark system...\n");
+  const System sys = build_benchmark_system(dhfr_spec());
+
+  TextTable t({"nodes", "atoms/node", "us/day", "step (us)",
+               "noc bytes/step (KB)", "mean msg lat (ns)", "event/bsp"});
+  for (int nodes = 8; nodes <= max_nodes; nodes *= 2) {
+    int nx, ny, nz;
+    core::torus_dims(nodes, &nx, &ny, &nz);
+    const core::AntonMachine ev(arch::MachineConfig::anton2(nx, ny, nz));
+    const core::AntonMachine bs(arch::MachineConfig::anton2_bsp(nx, ny, nz));
+    const auto re = ev.estimate(sys, 2.5, 2);
+    const auto rb = bs.estimate(sys, 2.5, 2);
+    t.add_row({TextTable::fmt_int(nodes),
+               TextTable::fmt(23558.0 / nodes, 0),
+               TextTable::fmt(re.us_per_day()),
+               TextTable::fmt(re.avg_step_ns() / 1e3, 2),
+               TextTable::fmt(re.full_step.exec.noc.total_bytes / 1e3, 0),
+               TextTable::fmt(re.full_step.exec.noc.latency_ns.mean(), 0),
+               TextTable::fmt(re.us_per_day() / rb.us_per_day(), 2)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nAt 512 nodes each node holds ~46 atoms: per-step compute is tens of"
+      "\nnanoseconds and everything hinges on how well communication is"
+      "\nhidden — which is why the event-driven column grows with scale.\n");
+  return 0;
+}

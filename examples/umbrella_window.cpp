@@ -1,0 +1,104 @@
+// Umbrella-sampling window: the kind of enhanced-sampling workload Anton 2's
+// programmability enables ("allows a wider range of algorithms to run
+// efficiently").
+//
+// Two solute beads are held at a series of target separations with harmonic
+// distance restraints; each window samples the restrained distance and the
+// machine model reports what the added bias costs per step.  A trajectory of
+// the final window is written in XYZ for external visualisation.
+//
+//   ./build/examples/umbrella_window [windows=4] [steps=300]
+#include <cstdio>
+#include <fstream>
+
+#include "chem/builder.h"
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/machine.h"
+#include "md/checkpoint.h"
+#include "md/engine.h"
+#include "md/minimize.h"
+
+using namespace anton;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int windows = static_cast<int>(cfg.get_int("windows", 4));
+  const int steps = static_cast<int>(cfg.get_int("steps", 300));
+
+  // A small solvated two-chain system; restrain the first bead of each
+  // chain against the other.
+  BuilderOptions o;
+  o.total_atoms = 3000;
+  o.solute_fraction = 0.12;
+  o.chain_length = 60;
+  o.seed = 99;
+  System base = build_solvated_system(o);
+
+  MdParams p;
+  p.cutoff = 7.0;
+  p.skin = 0.8;
+  p.dt_fs = 1.0;
+  p.respa_k = 2;
+  p.long_range = LongRangeMethod::kMesh;
+  p.thermostat = ThermostatKind::kLangevin;
+  p.langevin_gamma_per_fs = 0.02;
+  p.temperature_k = 300.0;
+  md::minimize_energy(base, p, 200);
+  base.assign_velocities(300.0, 99);
+
+  // Pick the two chain-start beads (first two molecules are chains).
+  const auto [a_begin, a_end] = base.topology().molecule_range(0);
+  const auto [b_begin, b_end] = base.topology().molecule_range(1);
+  (void)a_end;
+  (void)b_end;
+  const int bead_a = a_begin, bead_b = b_begin;
+  const double k_umbrella = 8.0;  // kcal/mol/Å²
+
+  std::printf("umbrella sampling over the %d-%d bead separation "
+              "(k = %.1f kcal/mol/A^2)\n\n",
+              bead_a, bead_b, k_umbrella);
+  std::printf("%8s %12s %12s %10s\n", "r0 (A)", "<r> (A)", "stddev (A)",
+              "samples");
+
+  std::ofstream traj("/tmp/umbrella_last_window.xyz");
+  for (int w = 0; w < windows; ++w) {
+    const double r0 = 8.0 + 3.0 * w;
+    // Fresh topology clone with this window's restraint.
+    auto top = std::make_shared<Topology>(base.topology());
+    top->add_distance_restraint({bead_a, bead_b, k_umbrella, r0});
+    System sys(top, base.box(),
+               std::vector<Vec3>(base.positions().begin(),
+                                 base.positions().end()));
+    std::copy(base.velocities().begin(), base.velocities().end(),
+              sys.velocities().begin());
+
+    md::Simulation sim(std::move(sys), p);
+    sim.step(steps / 3);  // burn-in toward the window target
+    RunningStat r_stat;
+    for (int s = 0; s < steps; s += 5) {
+      sim.step(5);
+      r_stat.add(sim.system().box().distance(
+          sim.system().positions()[static_cast<size_t>(bead_a)],
+          sim.system().positions()[static_cast<size_t>(bead_b)]));
+      if (w == windows - 1) {
+        md::append_xyz_frame(traj, sim.system(),
+                             "window r0=" + std::to_string(r0));
+      }
+    }
+    std::printf("%8.1f %12.2f %12.2f %10llu\n", r0, r_stat.mean(),
+                r_stat.stddev(),
+                static_cast<unsigned long long>(r_stat.count()));
+  }
+  std::printf("\nlast window trajectory: /tmp/umbrella_last_window.xyz\n");
+
+  // What does the bias cost on the machine?  One extra GC distance term per
+  // step is noise; the interesting number is the whole enhanced-sampling
+  // step rate.
+  const core::AntonMachine machine(arch::MachineConfig::anton2(4, 4, 4));
+  const auto perf = machine.estimate(base, p.dt_fs, p.respa_k);
+  std::printf("machine estimate for this system on 64 Anton 2 nodes: "
+              "%.1f us/day\n",
+              perf.us_per_day());
+  return 0;
+}

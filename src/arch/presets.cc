@@ -1,0 +1,65 @@
+#include "arch/config.h"
+
+namespace anton::arch {
+
+MachineConfig MachineConfig::anton2(int nx, int ny, int nz) {
+  MachineConfig c;
+  c.name = "anton2";
+  c.ppims_per_node = 76;
+  c.ppim_clock_ghz = 1.65;
+  c.htis_task_overhead_ns = 3.0;
+  c.geometry_cores = 64;
+  c.gc_simd_width = 4;
+  c.gc_clock_ghz = 1.65;
+  c.gc_task_overhead_ns = 8.0;
+  c.sync = SyncModel::kEventDriven;
+  c.sync_trigger_ns = 2.0;
+  c.barrier_base_ns = 400.0;
+  c.noc.nx = nx;
+  c.noc.ny = ny;
+  c.noc.nz = nz;
+  c.noc.link_bandwidth_gbs = 24.0;
+  c.noc.hop_latency_ns = 20.0;
+  c.noc.injection_overhead_ns = 6.0;
+  c.noc.packet_overhead_bytes = 32.0;
+  c.bytes_per_position = 8.0;
+  c.bytes_per_force = 8.0;
+  c.cycles_per_fft_point = 8.0;
+  return c;
+}
+
+MachineConfig MachineConfig::anton1(int nx, int ny, int nz) {
+  MachineConfig c;
+  c.name = "anton1";
+  c.ppims_per_node = 32;
+  c.ppim_clock_ghz = 0.80;
+  c.htis_task_overhead_ns = 40.0;
+  c.geometry_cores = 8;
+  c.gc_simd_width = 1;
+  c.gc_clock_ghz = 0.485;
+  c.gc_task_overhead_ns = 50.0;
+  c.sync = SyncModel::kBulkSynchronous;
+  c.sync_trigger_ns = 4.0;       // unused in BSP mode
+  c.barrier_base_ns = 450.0;
+  c.noc.nx = nx;
+  c.noc.ny = ny;
+  c.noc.nz = nz;
+  c.noc.link_bandwidth_gbs = 6.3;  // 50.6 Gbit/s per direction
+  c.noc.hop_latency_ns = 50.0;
+  c.noc.injection_overhead_ns = 30.0;
+  c.noc.packet_overhead_bytes = 32.0;
+  c.bytes_per_position = 12.0;
+  c.bytes_per_force = 12.0;
+  c.cycles_per_fft_point = 8.0;
+  c.cycles_per_constraint_iter = 15.0;
+  return c;
+}
+
+MachineConfig MachineConfig::anton2_bsp(int nx, int ny, int nz) {
+  MachineConfig c = anton2(nx, ny, nz);
+  c.name = "anton2-bsp";
+  c.sync = SyncModel::kBulkSynchronous;
+  return c;
+}
+
+}  // namespace anton::arch

@@ -1,0 +1,308 @@
+#include "chem/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "geom/cells.h"
+
+namespace anton {
+
+namespace {
+
+// TIP3P-like rigid water geometry.
+constexpr double kOH = 0.9572;              // Å
+constexpr double kHOH = 104.52 * M_PI / 180.0;
+constexpr double kQO = -0.834;
+constexpr double kQH = 0.417;
+
+// Solute bead geometry/parameters.
+constexpr double kBondLen = 1.53;           // Å backbone
+constexpr double kBondK = 310.0;            // kcal/mol/Å²
+constexpr double kSideLen = 1.09;           // constrained light bead
+constexpr double kAngleDeg = 111.0;
+constexpr double kAngleK = 58.0;            // kcal/mol/rad²
+constexpr double kDihedralK = 1.4;          // kcal/mol
+constexpr int kDihedralN = 3;
+
+// Adds one rigid water molecule at position `origin` with random
+// orientation; returns the oxygen index.
+int add_water(Topology& top, std::vector<Vec3>& pos, const Vec3& origin,
+              Rng& rng) {
+  const int o = top.add_atom(ForceField::Std::kOW, kQO);
+  const int h1 = top.add_atom(ForceField::Std::kHW, kQH);
+  const int h2 = top.add_atom(ForceField::Std::kHW, kQH);
+
+  // Random orthonormal frame.
+  const Vec3 u = rng.unit_vector();
+  Vec3 w = cross(u, rng.unit_vector());
+  if (norm(w) < 1e-8) w = cross(u, Vec3{1, 0, 0});
+  w = normalized(w);
+
+  const double half = 0.5 * kHOH;
+  pos.push_back(origin);
+  pos.push_back(origin + kOH * (std::cos(half) * u + std::sin(half) * w));
+  pos.push_back(origin + kOH * (std::cos(half) * u - std::sin(half) * w));
+
+  const double hh = 2.0 * kOH * std::sin(half);
+  top.add_constraint({o, h1, kOH});
+  top.add_constraint({o, h2, kOH});
+  top.add_constraint({h1, h2, hh});
+  top.add_water({o, h1, h2});
+  top.end_molecule();
+  return o;
+}
+
+// Builds one solute chain of `n_beads` beads as a constrained-geometry
+// random walk inside the box; appends positions.  Charges alternate so each
+// chain is exactly neutral.  Returns indices of all beads added.
+void add_chain(Topology& top, std::vector<Vec3>& pos, const Box& box,
+               int n_beads, Rng& rng) {
+  ANTON_CHECK(n_beads >= 1);
+  std::vector<int> backbone;
+  const Vec3 start = rng.uniform_in_box(box.lengths());
+  // Globule radius targeting ~0.008 beads/Å³ so chains stay protein-dense
+  // without severe self-overlap.
+  const double pull_radius =
+      std::cbrt(3.0 * n_beads / (4.0 * M_PI * 0.008));
+
+  // Charge pattern: +0.25, -0.25 alternating, with any odd bead neutralised
+  // at the end (handled below by assigning the last leftover bead q=0).
+  int added = 0;
+  Vec3 prev_dir = rng.unit_vector();
+  Vec3 cur = start;
+  double pending_charge = 0.0;  // keeps the chain exactly neutral
+  while (added < n_beads) {
+    const bool want_side = added + 1 < n_beads && (backbone.size() % 2 == 1);
+    double q;
+    if (added + 1 == n_beads) {
+      q = -pending_charge;  // close out neutrality
+    } else {
+      q = (backbone.size() % 2 == 0) ? 0.25 : -0.25;
+      pending_charge += q;
+    }
+    const int type = (backbone.size() % 8 == 5) ? ForceField::Std::kCS
+                                                : ForceField::Std::kCB;
+    const int bead = top.add_atom(type, q);
+    pos.push_back(box.wrap(cur));
+    backbone.push_back(bead);
+    ++added;
+
+    if (backbone.size() >= 2) {
+      top.add_bond({backbone[backbone.size() - 2], bead, kBondK, kBondLen});
+    }
+    if (backbone.size() >= 3) {
+      top.add_angle({backbone[backbone.size() - 3],
+                     backbone[backbone.size() - 2], bead, kAngleK,
+                     kAngleDeg * M_PI / 180.0});
+    }
+    if (backbone.size() >= 4) {
+      top.add_dihedral({backbone[backbone.size() - 4],
+                        backbone[backbone.size() - 3],
+                        backbone[backbone.size() - 2], bead, kDihedralK,
+                        kDihedralN, 0.0});
+    }
+
+    // Optional constrained side bead hanging off this backbone bead.
+    if (want_side) {
+      const int side = top.add_atom(ForceField::Std::kHS, 0.0);
+      const Vec3 side_dir = normalized(cross(prev_dir, rng.unit_vector()) +
+                                       0.3 * rng.unit_vector());
+      pos.push_back(box.wrap(cur + kSideLen * side_dir));
+      top.add_constraint({bead, side, kSideLen});
+      top.add_bond({bead, side, 340.0, kSideLen});  // for energy bookkeeping
+      ++added;
+    }
+
+    // Advance the walk: new direction at ~kAngleDeg from the previous one,
+    // with a compactness bias pulling back toward the chain start so chains
+    // stay globular (protein-like) instead of spanning the box.
+    Vec3 axis = cross(prev_dir, rng.unit_vector());
+    if (norm(axis) < 1e-8) axis = cross(prev_dir, Vec3{0, 0, 1});
+    axis = normalized(axis);
+    const double theta = M_PI - kAngleDeg * M_PI / 180.0;
+    Vec3 dir = std::cos(theta) * prev_dir +
+               std::sin(theta) * normalized(cross(axis, prev_dir));
+    const Vec3 back = box.min_image(start, cur);
+    if (norm(back) > pull_radius) {
+      dir = normalized(dir + 0.25 * normalized(back));
+    }
+    prev_dir = normalized(dir);
+    cur += kBondLen * prev_dir;
+  }
+}
+
+}  // namespace
+
+System build_water_box(int n_molecules, uint64_t seed, double temperature_k) {
+  ANTON_CHECK_MSG(n_molecules > 0, "need at least one water molecule");
+  const double volume = 3.0 * n_molecules / units::kWaterAtomsPerA3;
+  const Box box = Box::cube(std::cbrt(volume));
+
+  auto top = std::make_shared<Topology>(ForceField::standard());
+  std::vector<Vec3> pos;
+  pos.reserve(static_cast<size_t>(3 * n_molecules));
+  Rng rng(mix_seed(seed, 0xA201), 0);
+
+  // Jittered simple-cubic lattice with enough sites.
+  const int g = static_cast<int>(std::ceil(std::cbrt(double(n_molecules))));
+  const Vec3 cell = box.lengths() / g;
+  int placed = 0;
+  for (int z = 0; z < g && placed < n_molecules; ++z) {
+    for (int y = 0; y < g && placed < n_molecules; ++y) {
+      for (int x = 0; x < g && placed < n_molecules; ++x) {
+        Vec3 origin{(x + 0.5) * cell.x, (y + 0.5) * cell.y,
+                    (z + 0.5) * cell.z};
+        origin += 0.12 * rng.gaussian_vec3();
+        add_water(*top, pos, box.wrap(origin), rng);
+        ++placed;
+      }
+    }
+  }
+  ANTON_CHECK(placed == n_molecules);
+  top->finalize();
+
+  System sys(std::move(top), box, std::move(pos));
+  if (temperature_k >= 0) sys.assign_velocities(temperature_k, seed);
+  return sys;
+}
+
+System build_solvated_system(const BuilderOptions& options) {
+  ANTON_CHECK_MSG(options.total_atoms >= 12, "system too small");
+  ANTON_CHECK(options.solute_fraction >= 0 && options.solute_fraction < 0.9);
+
+  const double volume = options.total_atoms / units::kWaterAtomsPerA3;
+  const Box box = Box::cube(std::cbrt(volume));
+
+  // Split the atom budget: solute atoms + ions first, remainder must be
+  // divisible by 3 for water molecules.
+  const int n_ions = 2 * options.ion_pairs;
+  int n_solute = static_cast<int>(
+      std::lround(options.solute_fraction * options.total_atoms));
+  while ((options.total_atoms - n_solute - n_ions) % 3 != 0) ++n_solute;
+  ANTON_CHECK_MSG(n_solute + n_ions <= options.total_atoms,
+                  "ion_pairs + solute_fraction exceed the atom budget");
+  const int n_water = (options.total_atoms - n_solute - n_ions) / 3;
+
+  auto top = std::make_shared<Topology>(ForceField::standard());
+  std::vector<Vec3> pos;
+  pos.reserve(static_cast<size_t>(options.total_atoms));
+  Rng rng(mix_seed(options.seed, 0xA202), 0);
+
+  // --- solute chains ------------------------------------------------------
+  int remaining = n_solute;
+  while (remaining > 0) {
+    const int len = std::min(remaining, options.chain_length);
+    // A "chain" shorter than 2 beads becomes an ion.
+    if (len == 1) {
+      top->add_atom(ForceField::Std::kION, 0.0);
+      pos.push_back(rng.uniform_in_box(box.lengths()));
+      top->end_molecule();
+    } else {
+      add_chain(*top, pos, box, len, rng);
+      top->end_molecule();
+    }
+    remaining -= len;
+  }
+  ANTON_CHECK(static_cast<int>(pos.size()) == n_solute);
+
+  // --- salt ions ------------------------------------------------------------
+  for (int i = 0; i < options.ion_pairs; ++i) {
+    for (double q : {+1.0, -1.0}) {
+      top->add_atom(ForceField::Std::kION, q);
+      pos.push_back(rng.uniform_in_box(box.lengths()));
+      top->end_molecule();
+    }
+  }
+
+  // --- water fill ---------------------------------------------------------
+  // Candidate lattice denser than needed; skip sites too close to solute.
+  if (n_water > 0) {
+    constexpr double kSpacing = 2.80;   // Å
+    constexpr double kSkip = 2.20;      // Å clearance from solute atoms
+    CellGrid grid(box, std::max(kSkip, 3.0));
+    grid.bin(pos);  // solute atoms only at this point
+
+    const int gx = std::max(1, static_cast<int>(box.lengths().x / kSpacing));
+    const int gy = std::max(1, static_cast<int>(box.lengths().y / kSpacing));
+    const int gz = std::max(1, static_cast<int>(box.lengths().z / kSpacing));
+    const Vec3 cell{box.lengths().x / gx, box.lengths().y / gy,
+                    box.lengths().z / gz};
+
+    const std::vector<Vec3> solute_pos = pos;  // snapshot for clash checks
+    auto clashes = [&](const Vec3& p) {
+      const int c = grid.cell_of(p);
+      for (int nc : grid.stencil(c)) {
+        for (int a : grid.cell_atoms(nc)) {
+          if (box.distance2(p, solute_pos[static_cast<size_t>(a)]) <
+              kSkip * kSkip) {
+            return true;
+          }
+        }
+      }
+      return false;
+    };
+
+    int placed = 0;
+    for (int z = 0; z < gz && placed < n_water; ++z) {
+      for (int y = 0; y < gy && placed < n_water; ++y) {
+        for (int x = 0; x < gx && placed < n_water; ++x) {
+          Vec3 origin{(x + 0.5) * cell.x, (y + 0.5) * cell.y,
+                      (z + 0.5) * cell.z};
+          origin = box.wrap(origin + 0.10 * rng.gaussian_vec3());
+          if (clashes(origin)) continue;
+          add_water(*top, pos, origin, rng);
+          ++placed;
+        }
+      }
+    }
+    ANTON_CHECK_MSG(placed == n_water,
+                    "water lattice exhausted: placed "
+                        << placed << " of " << n_water
+                        << " molecules; lower solute_fraction or density");
+  }
+
+  top->finalize();
+  ANTON_CHECK(top->num_atoms() == options.total_atoms);
+
+  System sys(std::move(top), box, std::move(pos));
+  if (options.temperature_k >= 0) {
+    sys.assign_velocities(options.temperature_k, options.seed);
+  }
+  return sys;
+}
+
+System build_test_molecule(uint64_t seed) {
+  auto top = std::make_shared<Topology>(ForceField::standard());
+  std::vector<Vec3> pos;
+  const Box box = Box::cube(24.0);
+  Rng rng(mix_seed(seed, 0xA203), 0);
+  add_chain(*top, pos, box, 6, rng);
+  top->end_molecule();
+  top->finalize();
+  System sys(std::move(top), box, std::move(pos));
+  sys.assign_velocities(300.0, seed);
+  return sys;
+}
+
+BenchmarkSpec dhfr_spec() { return {"dhfr_23k", 23558, 2489.0 / 23558.0}; }
+BenchmarkSpec apoa1_spec() { return {"apoa1_92k", 92224, 0.10}; }
+BenchmarkSpec stmv_spec() { return {"stmv_1m", 1066628, 0.12}; }
+BenchmarkSpec ribosome_spec() { return {"ribosome_2m", 2217000, 0.13}; }
+
+std::vector<BenchmarkSpec> benchmark_suite() {
+  return {dhfr_spec(), apoa1_spec(), stmv_spec(), ribosome_spec()};
+}
+
+System build_benchmark_system(const BenchmarkSpec& spec, uint64_t seed) {
+  BuilderOptions o;
+  o.total_atoms = spec.total_atoms;
+  o.solute_fraction = spec.solute_fraction;
+  o.seed = seed;
+  return build_solvated_system(o);
+}
+
+}  // namespace anton

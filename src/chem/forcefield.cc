@@ -1,0 +1,44 @@
+#include "chem/forcefield.h"
+
+#include <cmath>
+
+namespace anton {
+
+int ForceField::add_type(const AtomType& t) {
+  ANTON_CHECK_MSG(t.mass > 0, "atom type '" << t.name << "' must have mass");
+  ANTON_CHECK_MSG(t.lj_eps >= 0 && t.lj_sigma >= 0,
+                  "atom type '" << t.name << "' has negative LJ parameters");
+  types_.push_back(t);
+  return static_cast<int>(types_.size()) - 1;
+}
+
+int ForceField::find_type(const std::string& name) const {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].name == name) return static_cast<int>(i);
+  }
+  ANTON_CHECK_MSG(false, "unknown atom type '" << name << "'");
+  return -1;
+}
+
+LjPair ForceField::lj(int type_a, int type_b) const {
+  const AtomType& a = type(type_a);
+  const AtomType& b = type(type_b);
+  return {std::sqrt(a.lj_eps * b.lj_eps), 0.5 * (a.lj_sigma + b.lj_sigma)};
+}
+
+ForceField ForceField::standard() {
+  ForceField ff;
+  // TIP3P-like water.
+  ff.add_type({"OW", 15.9994, 0.1521, 3.1507});
+  ff.add_type({"HW", 1.008, 0.0, 0.4});  // tiny sigma avoids 0/0 in mixing
+  // Solute beads (roughly united-atom carbon / nitrogen-ish).
+  ff.add_type({"CB", 12.011, 0.0860, 3.9000});
+  ff.add_type({"CS", 12.011, 0.1094, 3.7500});
+  ff.add_type({"NP", 14.007, 0.1700, 3.2500});
+  ff.add_type({"NM", 14.007, 0.1700, 3.2500});
+  ff.add_type({"HS", 1.008, 0.0157, 2.4500});
+  ff.add_type({"ION", 22.990, 0.0874, 2.4299});
+  return ff;
+}
+
+}  // namespace anton

@@ -1,0 +1,75 @@
+// Force-field parameter tables.
+//
+// A compact CHARMM/AMBER-style additive force field: per-type Lennard-Jones
+// parameters combined with Lorentz–Berthelot rules, harmonic bonds and
+// angles, cosine dihedrals, fixed partial charges, and scaled 1-4
+// interactions.  The parameter values are generic but physically reasonable;
+// the reproduction depends on interaction *counts and shapes*, not on
+// biological fidelity (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace anton {
+
+struct AtomType {
+  std::string name;
+  double mass;      // amu
+  double lj_eps;    // kcal/mol
+  double lj_sigma;  // Å
+};
+
+// LJ parameters for a type pair after combination rules.
+struct LjPair {
+  double eps;
+  double sigma;
+};
+
+class ForceField {
+ public:
+  // Registers a type; returns its index.
+  int add_type(const AtomType& t);
+
+  int num_types() const { return static_cast<int>(types_.size()); }
+  const AtomType& type(int i) const {
+    return types_.at(static_cast<size_t>(i));
+  }
+  int find_type(const std::string& name) const;
+
+  // Lorentz–Berthelot: sigma arithmetic mean, eps geometric mean.
+  LjPair lj(int type_a, int type_b) const;
+
+  // Scaling factors applied to 1-4 (third-neighbour) nonbonded pairs.
+  double lj14_scale() const { return lj14_scale_; }
+  double elec14_scale() const { return elec14_scale_; }
+  void set_14_scales(double lj, double elec) {
+    lj14_scale_ = lj;
+    elec14_scale_ = elec;
+  }
+
+  // The built-in parameter set used by all synthetic builders: 3-site water
+  // (TIP3P-like) plus a family of solute bead types.
+  static ForceField standard();
+
+  // Named indices into standard(); kept stable so topologies serialize.
+  struct Std {
+    static constexpr int kOW = 0;   // water oxygen
+    static constexpr int kHW = 1;   // water hydrogen
+    static constexpr int kCB = 2;   // solute backbone bead
+    static constexpr int kCS = 3;   // solute sidechain bead
+    static constexpr int kNP = 4;   // positively charged solute bead
+    static constexpr int kNM = 5;   // negatively charged solute bead
+    static constexpr int kHS = 6;   // solute hydrogen-like light bead
+    static constexpr int kION = 7;  // monatomic ion
+  };
+
+ private:
+  std::vector<AtomType> types_;
+  double lj14_scale_ = 0.5;
+  double elec14_scale_ = 0.8333;
+};
+
+}  // namespace anton

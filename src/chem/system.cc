@@ -1,0 +1,27 @@
+#include "chem/system.h"
+
+#include <cmath>
+
+namespace anton {
+
+void System::assign_velocities(double temperature_k, uint64_t seed) {
+  ANTON_CHECK(temperature_k >= 0);
+  const auto m = top_->masses();
+  for (size_t i = 0; i < velocities_.size(); ++i) {
+    // Per-atom stream: node-count independent determinism.
+    Rng rng(mix_seed(seed, 0x5EED0F5EED5ull), static_cast<uint64_t>(i));
+    const double sigma =
+        std::sqrt(units::kBoltzmann * temperature_k / m[i]);
+    velocities_[i] = sigma * rng.gaussian_vec3();
+  }
+  remove_com_velocity();
+  if (temperature_k > 0) {
+    const double t_now = temperature();
+    if (t_now > 0) {
+      const double scale = std::sqrt(temperature_k / t_now);
+      for (auto& v : velocities_) v *= scale;
+    }
+  }
+}
+
+}  // namespace anton

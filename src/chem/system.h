@@ -1,0 +1,90 @@
+// A simulation-ready molecular system: immutable topology + box + mutable
+// phase-space state.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "chem/topology.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "common/vec3.h"
+#include "geom/box.h"
+
+namespace anton {
+
+class System {
+ public:
+  System(std::shared_ptr<const Topology> top, Box box,
+         std::vector<Vec3> positions)
+      : top_(std::move(top)),
+        box_(box),
+        positions_(std::move(positions)),
+        velocities_(positions_.size()) {
+    ANTON_CHECK(top_ != nullptr);
+    ANTON_CHECK(top_->finalized());
+    ANTON_CHECK_MSG(static_cast<int>(positions_.size()) == top_->num_atoms(),
+                    "positions/topology size mismatch");
+  }
+
+  const Topology& topology() const { return *top_; }
+  std::shared_ptr<const Topology> topology_ptr() const { return top_; }
+  const Box& box() const { return box_; }
+  // Barostats rescale the box; positions must be rescaled consistently by
+  // the caller (see md::Simulation).
+  void set_box(const Box& box) { box_ = box; }
+  int num_atoms() const { return top_->num_atoms(); }
+
+  std::span<const Vec3> positions() const { return positions_; }
+  std::span<Vec3> positions() { return positions_; }
+  std::span<const Vec3> velocities() const { return velocities_; }
+  std::span<Vec3> velocities() { return velocities_; }
+
+  // Instantaneous kinetic energy (kcal/mol); velocities are in internal
+  // units (Å per natural time unit).
+  double kinetic_energy() const {
+    double ke = 0;
+    const auto m = top_->masses();
+    for (size_t i = 0; i < velocities_.size(); ++i) {
+      ke += 0.5 * m[i] * norm2(velocities_[i]);
+    }
+    return ke;
+  }
+
+  // Instantaneous temperature (K) from equipartition over constrained DoF.
+  double temperature() const {
+    const int dof = top_->degrees_of_freedom();
+    ANTON_CHECK(dof > 0);
+    return 2.0 * kinetic_energy() / (dof * units::kBoltzmann);
+  }
+
+  Vec3 center_of_mass_velocity() const {
+    Vec3 p{};
+    double m_total = 0;
+    const auto m = top_->masses();
+    for (size_t i = 0; i < velocities_.size(); ++i) {
+      p += m[i] * velocities_[i];
+      m_total += m[i];
+    }
+    return p / m_total;
+  }
+
+  // Draws Maxwell–Boltzmann velocities at temperature T (K), removes net
+  // momentum, and rescales to hit T exactly.  Deterministic in (seed).
+  void assign_velocities(double temperature_k, uint64_t seed);
+
+  void remove_com_velocity() {
+    const Vec3 v = center_of_mass_velocity();
+    for (auto& vi : velocities_) vi -= v;
+  }
+
+ private:
+  std::shared_ptr<const Topology> top_;
+  Box box_;
+  std::vector<Vec3> positions_;
+  std::vector<Vec3> velocities_;
+};
+
+}  // namespace anton

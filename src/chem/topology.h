@@ -1,0 +1,169 @@
+// Molecular topology: atoms, bonded terms, exclusions, constraint groups.
+//
+// Structure-of-arrays layout for per-atom data (type, charge, mass) plus
+// flat term lists — the layout both the host MD engine and the machine-model
+// work partitioner consume directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chem/forcefield.h"
+#include "common/error.h"
+#include "common/vec3.h"
+
+namespace anton {
+
+struct BondTerm {
+  int i, j;
+  double k;   // kcal/mol/Å²  (E = k (r - r0)²)
+  double r0;  // Å
+};
+
+struct AngleTerm {
+  int i, j, k;       // j is the apex
+  double k_theta;    // kcal/mol/rad²
+  double theta0;     // radians
+};
+
+struct DihedralTerm {
+  int i, j, k, l;
+  double k_phi;  // kcal/mol  (E = k (1 + cos(n φ - phase)))
+  int n;
+  double phase;  // radians
+};
+
+// Scaled third-neighbour nonbonded pair.
+struct Pair14 {
+  int i, j;
+};
+
+// Holonomic bond-length constraint (SHAKE/RATTLE unit).
+struct Constraint {
+  int i, j;
+  double length;  // Å
+};
+
+// Rigid 3-site water: constrained O-H1, O-H2, H1-H2.
+struct WaterGroup {
+  int o, h1, h2;
+};
+
+// Harmonic position restraint: E = k |r - target|² (absolute coordinates;
+// used to pin solute atoms during equilibration).
+struct PositionRestraint {
+  int atom;
+  double k;     // kcal/mol/Å²
+  Vec3 target;  // Å
+};
+
+// Harmonic distance restraint between two atoms (enhanced-sampling /
+// umbrella-style bias): E = k (|r_ij| - r0)².
+struct DistanceRestraint {
+  int i, j;
+  double k;
+  double r0;
+};
+
+class Topology {
+ public:
+  explicit Topology(ForceField ff) : ff_(std::move(ff)) {}
+
+  // --- construction -------------------------------------------------------
+  // Returns the new atom's index.
+  int add_atom(int type, double charge);
+  void add_bond(const BondTerm& b);
+  void add_angle(const AngleTerm& a);
+  void add_dihedral(const DihedralTerm& d);
+  void add_constraint(const Constraint& c);
+  void add_water(const WaterGroup& w);
+  // Restraints may be added before or after finalize(); they do not affect
+  // exclusions.
+  void add_position_restraint(const PositionRestraint& r);
+  void add_distance_restraint(const DistanceRestraint& r);
+
+  // Marks the current end of the atom list as a molecule boundary; molecules
+  // are contiguous atom ranges.
+  void end_molecule();
+
+  // Derives exclusions (1-2, 1-3) and scaled 1-4 pairs from the bond graph
+  // and constraint graph.  Must be called once after construction.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- per-atom data ------------------------------------------------------
+  int num_atoms() const { return static_cast<int>(type_.size()); }
+  std::span<const int> types() const { return type_; }
+  std::span<const double> charges() const { return charge_; }
+  std::span<const double> masses() const { return mass_; }
+  int type(int i) const { return type_.at(static_cast<size_t>(i)); }
+  double charge(int i) const { return charge_.at(static_cast<size_t>(i)); }
+  double mass(int i) const { return mass_.at(static_cast<size_t>(i)); }
+  double total_charge() const;
+  double total_mass() const;
+
+  // --- term lists ---------------------------------------------------------
+  std::span<const BondTerm> bonds() const { return bonds_; }
+  std::span<const AngleTerm> angles() const { return angles_; }
+  std::span<const DihedralTerm> dihedrals() const { return dihedrals_; }
+  std::span<const Pair14> pairs14() const { return pairs14_; }
+  std::span<const Constraint> constraints() const { return constraints_; }
+  std::span<const WaterGroup> waters() const { return waters_; }
+  std::span<const PositionRestraint> position_restraints() const {
+    return pos_restraints_;
+  }
+  std::span<const DistanceRestraint> distance_restraints() const {
+    return dist_restraints_;
+  }
+
+  // Molecule ranges: molecule m spans atoms [starts[m], starts[m+1]).
+  int num_molecules() const {
+    return static_cast<int>(molecule_starts_.size()) - 1;
+  }
+  std::pair<int, int> molecule_range(int m) const {
+    return {molecule_starts_.at(static_cast<size_t>(m)),
+            molecule_starts_.at(static_cast<size_t>(m) + 1)};
+  }
+
+  // --- exclusions ---------------------------------------------------------
+  // Sorted list of atoms j > i excluded from nonbonded interaction with i
+  // (1-2 and 1-3 neighbours, constrained pairs, intra-water pairs).
+  std::span<const int> exclusions_of(int i) const {
+    const auto begin = excl_starts_.at(static_cast<size_t>(i));
+    const auto end = excl_starts_.at(static_cast<size_t>(i) + 1);
+    return {excl_.data() + begin, excl_.data() + end};
+  }
+  bool excluded(int i, int j) const;
+  int64_t num_exclusions() const { return static_cast<int64_t>(excl_.size()); }
+
+  const ForceField& forcefield() const { return ff_; }
+
+  // Degrees of freedom after constraints (3N - n_constraints, no COM removal
+  // correction by default).
+  int degrees_of_freedom() const;
+
+  // Sanity checks: indices in range, finite parameters, exclusions sorted.
+  void validate() const;
+
+ private:
+  ForceField ff_;
+  std::vector<int> type_;
+  std::vector<double> charge_;
+  std::vector<double> mass_;
+  std::vector<BondTerm> bonds_;
+  std::vector<AngleTerm> angles_;
+  std::vector<DihedralTerm> dihedrals_;
+  std::vector<Pair14> pairs14_;
+  std::vector<Constraint> constraints_;
+  std::vector<WaterGroup> waters_;
+  std::vector<PositionRestraint> pos_restraints_;
+  std::vector<DistanceRestraint> dist_restraints_;
+  std::vector<int> molecule_starts_{0};
+  // CSR exclusion lists over ordered pairs (i < j).
+  std::vector<int> excl_;
+  std::vector<int> excl_starts_;
+  bool finalized_ = false;
+};
+
+}  // namespace anton

@@ -1,0 +1,52 @@
+// Error handling primitives for anton2sim.
+//
+// The library is exception-based at API boundaries (constructors, loaders)
+// and assertion-based in hot inner loops (ANTON_DCHECK compiles away in
+// release builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anton {
+
+// Thrown for invalid user input / configuration at API boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "ANTON_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace anton
+
+// Always-on invariant check. Use for API preconditions and cheap invariants.
+#define ANTON_CHECK(cond)                                            \
+  do {                                                               \
+    if (!(cond)) ::anton::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ANTON_CHECK_MSG(cond, msg)                               \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      std::ostringstream anton_os_;                              \
+      anton_os_ << msg;                                          \
+      ::anton::detail::fail(#cond, __FILE__, __LINE__, anton_os_.str()); \
+    }                                                            \
+  } while (0)
+
+// Debug-only check for hot loops.
+#ifdef NDEBUG
+#define ANTON_DCHECK(cond) ((void)0)
+#else
+#define ANTON_DCHECK(cond) ANTON_CHECK(cond)
+#endif

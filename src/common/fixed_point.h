@@ -1,0 +1,92 @@
+// Deterministic fixed-point accumulation.
+//
+// Anton machines accumulate forces in fixed point so that sums are exactly
+// associative: the result is bitwise identical regardless of the order in
+// which contributions arrive over the network.  This is essential for an
+// event-driven machine, where arrival order is timing-dependent.  We model
+// the same scheme: a 64-bit signed accumulator with a compile-time binary
+// scale.  With a 2^32 scale, the dynamic range is ±2^31 ≈ ±2.1e9 units with
+// a resolution of 2.3e-10 — ample for forces in kcal/mol/Å.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.h"
+#include "common/vec3.h"
+
+namespace anton {
+
+template <int FracBits = 32>
+class Fixed {
+  static_assert(FracBits > 0 && FracBits < 63);
+
+ public:
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_double(double v) {
+    Fixed f;
+    f.raw_ = static_cast<int64_t>(v * kScale + (v >= 0 ? 0.5 : -0.5));
+    return f;
+  }
+  static constexpr Fixed from_raw(int64_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+  constexpr int64_t raw() const { return raw_; }
+
+  constexpr Fixed& operator+=(const Fixed& o) {
+    raw_ += o.raw_;  // wraps on overflow like the hardware adder would
+    return *this;
+  }
+  constexpr Fixed& operator-=(const Fixed& o) {
+    raw_ -= o.raw_;
+    return *this;
+  }
+  friend constexpr Fixed operator+(Fixed a, const Fixed& b) { return a += b; }
+  friend constexpr Fixed operator-(Fixed a, const Fixed& b) { return a -= b; }
+  friend constexpr bool operator==(const Fixed& a, const Fixed& b) {
+    return a.raw_ == b.raw_;
+  }
+
+  static constexpr double resolution() { return 1.0 / kScale; }
+  static constexpr double max_magnitude() {
+    return static_cast<double>(std::numeric_limits<int64_t>::max()) / kScale;
+  }
+
+ private:
+  static constexpr double kScale = static_cast<double>(int64_t{1} << FracBits);
+  int64_t raw_ = 0;
+};
+
+// Force accumulator: three fixed-point lanes.  Addition is exactly
+// associative and commutative, so accumulation order cannot change results.
+template <int FracBits = 32>
+struct FixedVec3 {
+  Fixed<FracBits> x, y, z;
+
+  static FixedVec3 from_vec3(const Vec3& v) {
+    return {Fixed<FracBits>::from_double(v.x), Fixed<FracBits>::from_double(v.y),
+            Fixed<FracBits>::from_double(v.z)};
+  }
+  Vec3 to_vec3() const { return {x.to_double(), y.to_double(), z.to_double()}; }
+
+  FixedVec3& operator+=(const FixedVec3& o) {
+    x += o.x; y += o.y; z += o.z; return *this;
+  }
+  friend FixedVec3 operator+(FixedVec3 a, const FixedVec3& b) { return a += b; }
+  friend bool operator==(const FixedVec3& a, const FixedVec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  void accumulate(const Vec3& v) { *this += from_vec3(v); }
+};
+
+using ForceFixed = FixedVec3<32>;
+
+}  // namespace anton

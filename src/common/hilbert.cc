@@ -1,0 +1,107 @@
+#include "common/hilbert.h"
+
+namespace anton {
+
+namespace {
+constexpr int kDims = 3;
+
+// Skilling's TransposetoAxes / AxestoTranspose, specialised to 3D.
+void transpose_to_axes(std::array<uint32_t, kDims>& x, int bits) {
+  uint32_t n = 2, p, q, t;
+  // Gray decode by H ^ (H/2).
+  t = x[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) x[static_cast<size_t>(i)] ^= x[static_cast<size_t>(i - 1)];
+  x[0] ^= t;
+  // Undo excess work.
+  for (q = 2; q != (1u << bits); q <<= 1) {
+    p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (x[static_cast<size_t>(i)] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        t = (x[0] ^ x[static_cast<size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<size_t>(i)] ^= t;
+      }
+    }
+  }
+  (void)n;
+}
+
+void axes_to_transpose(std::array<uint32_t, kDims>& x, int bits) {
+  uint32_t m = 1u << (bits - 1), p, q, t;
+  // Inverse undo.
+  for (q = m; q > 1; q >>= 1) {
+    p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (x[static_cast<size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[static_cast<size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) x[static_cast<size_t>(i)] ^= x[static_cast<size_t>(i - 1)];
+  t = 0;
+  for (q = m; q > 1; q >>= 1) {
+    if (x[kDims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < kDims; ++i) x[static_cast<size_t>(i)] ^= t;
+}
+
+// Interleave the transpose representation into a single index: bit b of
+// axis a contributes to index bit (b*3 + (2-a)).
+uint64_t pack_transpose(const std::array<uint32_t, kDims>& x, int bits) {
+  uint64_t h = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      h = (h << 1) | ((x[static_cast<size_t>(i)] >> b) & 1u);
+    }
+  }
+  return h;
+}
+
+std::array<uint32_t, kDims> unpack_transpose(uint64_t h, int bits) {
+  std::array<uint32_t, kDims> x{0, 0, 0};
+  for (int b = 0; b < bits; ++b) {
+    for (int i = kDims - 1; i >= 0; --i) {
+      x[static_cast<size_t>(i)] |=
+          static_cast<uint32_t>((h >> (3 * (bits - 1 - b) + (2 - i))) & 1u)
+          << (bits - 1 - b);
+    }
+  }
+  // Rebuild: bit layout must mirror pack_transpose exactly.
+  x = {0, 0, 0};
+  int shift = 3 * bits - 1;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < kDims; ++i) {
+      x[static_cast<size_t>(i)] |=
+          static_cast<uint32_t>((h >> shift) & 1u) << b;
+      --shift;
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+uint64_t hilbert_encode(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  ANTON_CHECK_MSG(bits >= 1 && bits <= 20, "bits out of range");
+  ANTON_CHECK_MSG(x < (1u << bits) && y < (1u << bits) && z < (1u << bits),
+                  "coordinate out of range for " << bits << " bits");
+  std::array<uint32_t, kDims> axes{x, y, z};
+  axes_to_transpose(axes, bits);
+  return pack_transpose(axes, bits);
+}
+
+HilbertCoords hilbert_decode(uint64_t index, int bits) {
+  ANTON_CHECK_MSG(bits >= 1 && bits <= 20, "bits out of range");
+  auto axes = unpack_transpose(index, bits);
+  transpose_to_axes(axes, bits);
+  return {axes[0], axes[1], axes[2]};
+}
+
+}  // namespace anton

@@ -1,0 +1,28 @@
+// 3D Hilbert curve indexing.
+//
+// Like Morton order (morton.h) but with strictly contiguous traversal: every
+// consecutive pair of Hilbert indices is face-adjacent in space, which gives
+// measurably better locality for streamed force pipelines.  Implementation:
+// iterative bit-serial transpose algorithm (Skilling, 2004) for b bits per
+// axis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace anton {
+
+// Encodes (x, y, z), each in [0, 2^bits), into a Hilbert index in
+// [0, 2^(3*bits)).
+uint64_t hilbert_encode(uint32_t x, uint32_t y, uint32_t z, int bits);
+
+struct HilbertCoords {
+  uint32_t x, y, z;
+};
+
+// Inverse of hilbert_encode.
+HilbertCoords hilbert_decode(uint64_t index, int bits);
+
+}  // namespace anton

@@ -1,0 +1,49 @@
+// 3D Morton (Z-order) codes, used for spatial sorting of atoms so that
+// memory layout follows spatial locality — the same trick Anton's software
+// uses to keep cache/SRAM working sets tight.
+#pragma once
+
+#include <cstdint>
+
+namespace anton {
+
+namespace detail {
+// Spread the low 21 bits of x so there are two zero bits between each bit.
+inline uint64_t spread3(uint64_t x) {
+  x &= 0x1FFFFF;  // 21 bits
+  x = (x | (x << 32)) & 0x1F00000000FFFFull;
+  x = (x | (x << 16)) & 0x1F0000FF0000FFull;
+  x = (x | (x << 8)) & 0x100F00F00F00F00Full;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ull;
+  x = (x | (x << 2)) & 0x1249249249249249ull;
+  return x;
+}
+
+inline uint64_t compact3(uint64_t x) {
+  x &= 0x1249249249249249ull;
+  x = (x ^ (x >> 2)) & 0x10C30C30C30C30C3ull;
+  x = (x ^ (x >> 4)) & 0x100F00F00F00F00Full;
+  x = (x ^ (x >> 8)) & 0x1F0000FF0000FFull;
+  x = (x ^ (x >> 16)) & 0x1F00000000FFFFull;
+  x = (x ^ (x >> 32)) & 0x1FFFFF;
+  return x;
+}
+}  // namespace detail
+
+// Interleaves the low 21 bits of (x, y, z) into a 63-bit Morton code.
+inline uint64_t morton_encode(uint32_t x, uint32_t y, uint32_t z) {
+  return detail::spread3(x) | (detail::spread3(y) << 1) |
+         (detail::spread3(z) << 2);
+}
+
+struct MortonCoords {
+  uint32_t x, y, z;
+};
+
+inline MortonCoords morton_decode(uint64_t code) {
+  return {static_cast<uint32_t>(detail::compact3(code)),
+          static_cast<uint32_t>(detail::compact3(code >> 1)),
+          static_cast<uint32_t>(detail::compact3(code >> 2))};
+}
+
+}  // namespace anton

@@ -1,0 +1,147 @@
+// Counter-based pseudo-random number generation (Philox-style).
+//
+// Anton-class machines need *reproducible* randomness that is independent of
+// the number of nodes and the order of execution: the same (seed, stream,
+// counter) tuple must give the same value no matter which node asks.  A
+// counter-based generator provides exactly that, which is why we use a
+// Philox 2x64-10 core rather than a stateful Mersenne engine.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/vec3.h"
+
+namespace anton {
+
+// Philox 2x64 round function constants (from Salmon et al., SC'11 —
+// fittingly, J. Salmon is also an Anton author).
+class Philox2x64 {
+ public:
+  // Canonical Philox 2x64 carries a single 64-bit key; the stream selector
+  // becomes the high word of the 128-bit counter.
+  explicit Philox2x64(uint64_t key) : key_(key) {}
+
+  // Returns 128 bits of output for a given counter value.
+  struct Output {
+    uint64_t a, b;
+  };
+
+  Output operator()(uint64_t counter_hi, uint64_t counter_lo) const {
+    uint64_t x0 = counter_lo, x1 = counter_hi;
+    uint64_t k = key_;
+    for (int round = 0; round < 10; ++round) {
+      const uint64_t hi = mulhi(kMul, x0);
+      const uint64_t lo = kMul * x0;
+      x0 = hi ^ x1 ^ k;
+      x1 = lo;
+      k += kWeyl;
+    }
+    return {x0, x1};
+  }
+
+ private:
+  static constexpr uint64_t kMul = 0xD2B74407B1CE6E93ull;
+  static constexpr uint64_t kWeyl = 0x9E3779B97F4A7C15ull;
+
+  static uint64_t mulhi(uint64_t a, uint64_t b) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(a) * static_cast<__uint128_t>(b)) >> 64);
+  }
+
+  uint64_t key_;
+};
+
+// Convenience stateful wrapper with uniform / gaussian draws.  The state is
+// only the counter; two Rng objects with the same (seed, stream) produce the
+// same sequence.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed, uint64_t stream = 0)
+      : core_(seed), stream_(stream), counter_(0) {}
+
+  uint64_t next_u64() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    const auto out = core_(stream_, counter_++);
+    spare_ = out.b;
+    have_spare_ = true;
+    return out.a;
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  uint64_t uniform_u64(uint64_t n) {
+    // Lemire's multiply-shift rejection-free mapping is fine for our use
+    // (n << 2^64, bias < 2^-40).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next_u64()) * n) >> 64);
+  }
+
+  // Standard normal via Box–Muller (polar-free form; deterministic draw
+  // count of 2 uniforms per pair of normals).
+  double gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return gauss_;
+    }
+    // Avoid log(0).
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    gauss_ = r * std::sin(theta);
+    have_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  Vec3 gaussian_vec3() { return {gaussian(), gaussian(), gaussian()}; }
+
+  // Uniform point in an axis-aligned box [0,L).
+  Vec3 uniform_in_box(const Vec3& lengths) {
+    return {uniform() * lengths.x, uniform() * lengths.y,
+            uniform() * lengths.z};
+  }
+
+  // Uniform direction on the unit sphere.
+  Vec3 unit_vector() {
+    const double z = uniform(-1.0, 1.0);
+    const double phi = uniform(0.0, 2.0 * M_PI);
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    return {r * std::cos(phi), r * std::sin(phi), z};
+  }
+
+  uint64_t counter() const { return counter_; }
+
+ private:
+  Philox2x64 core_;
+  uint64_t stream_;
+  uint64_t counter_;
+  uint64_t spare_ = 0;
+  bool have_spare_ = false;
+  double gauss_ = 0.0;
+  bool have_gauss_ = false;
+};
+
+// Hash combiner for deriving per-entity streams (e.g. per-atom Langevin
+// noise streams) from a master seed.
+inline uint64_t mix_seed(uint64_t a, uint64_t b) {
+  uint64_t x = a + 0x9E3779B97F4A7C15ull + (b << 6) + (b >> 2);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace anton

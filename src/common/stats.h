@@ -1,0 +1,107 @@
+// Lightweight statistics helpers used by the performance model, the NoC
+// utilization accounting, and the test suite.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace anton {
+
+// Welford running mean/variance with min/max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStat& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / total;
+    mean_ = (na * mean_ + nb * o.mean_) / total;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range samples land in the first /
+// last bin so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), bins_(bins), counts_(static_cast<size_t>(bins), 0) {
+    ANTON_CHECK(bins > 0 && hi > lo);
+  }
+
+  void add(double x) {
+    int b = static_cast<int>((x - lo_) / (hi_ - lo_) * bins_);
+    b = std::clamp(b, 0, bins_ - 1);
+    ++counts_[static_cast<size_t>(b)];
+    ++total_;
+  }
+
+  uint64_t count(int bin) const { return counts_.at(static_cast<size_t>(bin)); }
+  uint64_t total() const { return total_; }
+  int bins() const { return bins_; }
+  double bin_lo(int bin) const { return lo_ + (hi_ - lo_) * bin / bins_; }
+  double bin_hi(int bin) const { return lo_ + (hi_ - lo_) * (bin + 1) / bins_; }
+
+  // Value below which `q` of the mass lies (linear within the bin).
+  double quantile(double q) const {
+    ANTON_CHECK(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (int b = 0; b < bins_; ++b) {
+      const double c = static_cast<double>(counts_[static_cast<size_t>(b)]);
+      if (cum + c >= target) {
+        const double frac = c > 0 ? (target - cum) / c : 0.0;
+        return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+      }
+      cum += c;
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_, hi_;
+  int bins_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace anton

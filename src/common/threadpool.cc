@@ -1,0 +1,90 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+namespace anton {
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  for (unsigned i = 1; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Keep one task for the calling thread.
+  std::function<void()> mine = std::move(tasks.back());
+  tasks.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ += tasks.size();
+    for (auto& t : tasks) queue_.push_back(std::move(t));
+  }
+  cv_.notify_all();
+  mine();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::parallel_for(size_t n,
+                              const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t threads = std::min<size_t>(size(), n);
+  if (threads <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(threads);
+  const size_t chunk = (n + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    tasks.push_back([&fn, begin, end] { fn(begin, end); });
+  }
+  run_batch(std::move(tasks));
+}
+
+void ThreadPool::for_each_thread(const std::function<void(unsigned)>& fn) {
+  std::vector<std::function<void()>> tasks;
+  const unsigned threads = size();
+  tasks.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    tasks.push_back([&fn, t] { fn(t); });
+  }
+  run_batch(std::move(tasks));
+}
+
+}  // namespace anton

@@ -1,0 +1,54 @@
+// Minimal blocking thread pool with a parallel_for helper.
+//
+// The functional MD engine (the commodity baseline) uses this to exploit
+// host cores; the machine simulator itself is single-threaded and
+// deterministic.  Static chunking keeps the force decomposition reproducible
+// for a fixed thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anton {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 means hardware_concurrency().
+  explicit ThreadPool(unsigned n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size() + 1); }
+
+  // Runs fn(begin, end) over [0, n) split into contiguous chunks, one per
+  // thread (including the calling thread). Blocks until all chunks finish.
+  void parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  // Runs fn(thread_index) on every thread; useful for thread-local reduction
+  // buffers.
+  void for_each_thread(const std::function<void(unsigned)>& fn);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace anton

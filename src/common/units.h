@@ -1,0 +1,47 @@
+// Unit system and physical constants.
+//
+// The library uses the AKMA-style unit system common in biomolecular MD:
+//   length  : angstrom (Å)
+//   energy  : kcal/mol
+//   mass    : atomic mass unit (g/mol)
+//   charge  : elementary charge (e)
+//   time    : internally the "natural" unit sqrt(amu·Å²/(kcal/mol)) ≈ 48.89 fs;
+//             all public APIs take femtoseconds and convert.
+//
+// With these units Newton's law reads a = F/m with no extra factor once time
+// is expressed in natural units.
+#pragma once
+
+namespace anton::units {
+
+// Boltzmann constant, kcal/(mol·K).
+inline constexpr double kBoltzmann = 0.001987204259;
+
+// Coulomb constant: E = kCoulomb * q1*q2 / r, with q in e, r in Å,
+// E in kcal/mol.
+inline constexpr double kCoulomb = 332.063713;
+
+// One natural time unit expressed in femtoseconds:
+// sqrt(1 g/mol · Å² / (kcal/mol)) = 48.88821 fs.
+inline constexpr double kTimeUnitFs = 48.88821;
+
+// Femtoseconds -> natural time units.
+inline constexpr double fs_to_internal(double fs) { return fs / kTimeUnitFs; }
+inline constexpr double internal_to_fs(double t) { return t * kTimeUnitFs; }
+
+// Seconds in one day — used when converting steps/s to simulated μs/day.
+inline constexpr double kSecondsPerDay = 86400.0;
+
+// Convenience: simulated microseconds of physical time per wall-clock day,
+// given the MD timestep (fs) and the wall-clock time of one step (seconds).
+inline constexpr double us_per_day(double dt_fs, double wall_seconds_per_step) {
+  // dt_fs femtoseconds of physical time every wall_seconds_per_step seconds.
+  const double fs_per_day = dt_fs * (kSecondsPerDay / wall_seconds_per_step);
+  return fs_per_day * 1e-9;  // fs -> μs
+}
+
+// Density of liquid water at 300 K, atoms (3 per molecule) per Å^3.
+// 0.997 g/cm^3 / 18.015 g/mol * 6.022e23 / 1e24 Å^3/cm^3 * 3.
+inline constexpr double kWaterAtomsPerA3 = 0.10002;
+
+}  // namespace anton::units

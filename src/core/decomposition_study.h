@@ -1,0 +1,48 @@
+// Pairwise-decomposition import analysis: half-shell vs neutral territory.
+//
+// The Anton line's signature scaling trick is the choice of *where* each
+// pairwise interaction is computed.  The half-shell method computes a pair
+// on one of the two atoms' home nodes — its import volume grows with the
+// full cutoff shell.  The neutral-territory (NT) method computes the pair on
+// the node owning (x_i, y_i, z_j): each atom is imported into a thin "tower"
+// (same x,y column, z within cutoff) and a flat "plate" (same z slab, x,y
+// within cutoff), whose combined volume scales much better when home boxes
+// shrink below the cutoff.
+//
+// This module computes exact per-node import statistics for both schemes on
+// a real atom configuration, quantifying the communication the NoC must
+// carry.  (The DES timestep model uses the half-shell scheme; this analysis
+// is the design-space study.)
+#pragma once
+
+#include "arch/config.h"
+#include "chem/system.h"
+#include "common/stats.h"
+
+namespace anton::core {
+
+enum class DecompositionScheme {
+  kHalfShell,
+  kNeutralTerritory,
+};
+
+struct ImportStats {
+  DecompositionScheme scheme;
+  int nodes = 0;
+  int64_t total_pairs = 0;
+  // Per-node distinct atoms imported (positions received).
+  RunningStat imported_atoms;
+  // Per-node distinct (atom, destination) position sends.
+  RunningStat exported_copies;
+  double total_import_bytes = 0;  // positions, summed over nodes
+
+  double mean_import_per_node() const { return imported_atoms.mean(); }
+};
+
+// Exact import statistics for `scheme` on the given system decomposed onto
+// the torus in `config` (cutoff = config.machine_cutoff).
+ImportStats analyze_decomposition(const System& system,
+                                  const arch::MachineConfig& config,
+                                  DecompositionScheme scheme);
+
+}  // namespace anton::core

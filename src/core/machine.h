@@ -1,0 +1,68 @@
+// AntonMachine: the public facade of the machine model.
+//
+// Two modes:
+//   - estimate(): timing-only — decompose the system, simulate one full and
+//     one RESPA-short timestep, report μs/day and the per-phase breakdown.
+//   - run(): functional — advance the system with the gold MD engine while
+//     accumulating simulated machine time, so users get a real trajectory
+//     *and* the machine-clock performance for it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/config.h"
+#include "chem/system.h"
+#include "core/timestep.h"
+#include "core/workload.h"
+#include "md/params.h"
+
+namespace anton::core {
+
+struct PerfReport {
+  std::string machine;
+  int nodes = 0;
+  int atoms = 0;
+  double dt_fs = 2.5;
+  int respa_k = 2;
+
+  StepTiming full_step;   // with long-range (FFT) phases
+  StepTiming short_step;  // RESPA inner step
+
+  double avg_step_ns() const {
+    return (full_step.step_ns + (respa_k - 1) * short_step.step_ns) / respa_k;
+  }
+  double steps_per_second() const { return 1e9 / avg_step_ns(); }
+  // Simulated physical time per wall-clock day, microseconds.
+  double us_per_day() const {
+    return dt_fs * steps_per_second() * 86400.0 * 1e-9;
+  }
+  double ns_per_day() const { return us_per_day() * 1e3; }
+};
+
+// Picks a near-cubic torus (nx, ny, nz) with nx*ny*nz == nodes.
+void torus_dims(int nodes, int* nx, int* ny, int* nz);
+
+class AntonMachine {
+ public:
+  explicit AntonMachine(arch::MachineConfig config)
+      : config_(std::move(config)) {}
+
+  const arch::MachineConfig& config() const { return config_; }
+  int nodes() const { return config_.noc.num_nodes(); }
+
+  // Timing-only estimate for the system's current configuration.
+  PerfReport estimate(const System& system, double dt_fs = 2.5,
+                      int respa_k = 2) const;
+
+  // Functional run: advances `system` for `steps` MD steps using the gold
+  // engine with `md` parameters, while accumulating machine timing.  The
+  // workload decomposition refreshes every `workload_refresh` steps.
+  PerfReport run(System& system, const MdParams& md, int steps,
+                 int workload_refresh = 20) const;
+
+ private:
+  arch::MachineConfig config_;
+};
+
+}  // namespace anton::core

@@ -1,0 +1,51 @@
+// The MD timestep as executed by the simulated machine.
+//
+// Builds the task graph of one timestep from a Workload and runs it on the
+// discrete-event machine model.  Two scheduling regimes, selected by
+// MachineConfig::sync:
+//
+//   kEventDriven (Anton 2)  — every task fires the moment its dependency
+//     counter drains.  Position multicasts overlap pairwise tiles, the FFT
+//     all-to-alls overlap bonded work, force returns stream back while
+//     other tiles still compute.
+//
+//   kBulkSynchronous (Anton 1) — the same tasks separated by global
+//     barriers after each phase (position exchange; force computation;
+//     each FFT transpose; interpolation; step end).  No overlap across
+//     phase boundaries.
+//
+// A "short" step omits the long-range (mesh/FFT) phases — the RESPA inner
+// step; the full/short mix reproduces the machine's multiple-time-step
+// cadence.
+#pragma once
+
+#include "arch/config.h"
+#include "core/taskgraph.h"
+#include "core/workload.h"
+
+namespace anton::core {
+
+struct StepOptions {
+  bool include_long_range = true;
+};
+
+struct StepTiming {
+  ExecStats exec;
+  double step_ns = 0;
+
+  double phase_ns(const std::string& phase) const {
+    const auto it = exec.phase_busy_ns.find(phase);
+    return it == exec.phase_busy_ns.end() ? 0.0 : it->second;
+  }
+};
+
+// Simulates one timestep; deterministic.
+StepTiming simulate_step(const Workload& workload,
+                         const arch::MachineConfig& config,
+                         const StepOptions& options);
+
+// Cost of one global barrier (BSP mode): software base + reduction +
+// broadcast over the torus diameter.
+double barrier_cost_ns(const arch::MachineConfig& config);
+
+}  // namespace anton::core

@@ -1,0 +1,244 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "fft/fft.h"
+#include "geom/cells.h"
+
+namespace anton::core {
+
+namespace {
+
+// Packs a node-grid offset into a map key.
+int64_t pack_offset(int dx, int dy, int dz) {
+  return (static_cast<int64_t>(dx + 64) << 14) |
+         (static_cast<int64_t>(dy + 64) << 7) |
+         static_cast<int64_t>(dz + 64);
+}
+
+// Periodic node-grid delta from a to b, wrapped into (-n/2, n/2].
+int wrap_delta(int a, int b, int n) {
+  int d = (b - a) % n;
+  if (d > n / 2) d -= n;
+  if (d < -(n - 1) / 2) d += n;
+  return d;
+}
+
+bool positive_half(int dx, int dy, int dz) {
+  return dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0);
+}
+
+}  // namespace
+
+Workload Workload::build(const System& system,
+                         const arch::MachineConfig& config) {
+  const double mesh_spacing = config.mesh_spacing;
+  Workload w;
+  const Box& box = system.box();
+  const auto& nc = config.noc;
+  w.decomp_ =
+      std::make_unique<DomainDecomp>(box, nc.nx, nc.ny, nc.nz);
+  const DomainDecomp& dd = *w.decomp_;
+  const int P = dd.num_nodes();
+  w.nodes_.assign(static_cast<size_t>(P), NodeWork{});
+  w.total_atoms_ = system.num_atoms();
+
+  // --- per-atom node assignment -------------------------------------------
+  const auto pos = system.positions();
+  std::vector<int> owner(pos.size());
+  for (size_t i = 0; i < pos.size(); ++i) {
+    owner[i] = dd.node_of(pos[i]);
+    w.nodes_[static_cast<size_t>(owner[i])].atoms++;
+  }
+
+  // --- exact pair counting with half-shell tile assignment ----------------
+  const double rc = config.machine_cutoff;
+  ANTON_CHECK_MSG(rc <= box.max_cutoff(),
+                  "machine cutoff " << rc << " exceeds minimum-image limit "
+                                    << box.max_cutoff());
+  CellGrid grid(box, rc);
+  grid.bin(pos);
+  const double rc2 = rc * rc;
+  const bool tiny = grid.nx() < 3 || grid.ny() < 3 || grid.nz() < 3;
+
+  // (node, packed_offset) -> (pairs, distinct remote atoms).
+  struct TileCount {
+    int64_t pairs = 0;
+    int64_t remote_atoms = 0;
+  };
+  std::vector<std::map<int64_t, TileCount>> tile_pairs(
+      static_cast<size_t>(P));
+  // First-touch stamps: last (tile key, owner) that counted each atom as
+  // remote; lets us count distinct remote atoms in O(1) per pair.
+  std::vector<int64_t> remote_stamp(pos.size(), -1);
+
+  auto count_pair = [&](int i, int j) {
+    const int a = owner[static_cast<size_t>(i)];
+    const int b = owner[static_cast<size_t>(j)];
+    if (a == b) {
+      w.nodes_[static_cast<size_t>(a)].internal_pairs++;
+      return;
+    }
+    int ax, ay, az, bx, by, bz;
+    dd.coords(a, &ax, &ay, &az);
+    dd.coords(b, &bx, &by, &bz);
+    int dx = wrap_delta(ax, bx, dd.nx());
+    int dy = wrap_delta(ay, by, dd.ny());
+    int dz = wrap_delta(az, bz, dd.nz());
+    int owner_rank = a;
+    int remote_atom = j;
+    if (!positive_half(dx, dy, dz)) {
+      owner_rank = b;
+      remote_atom = i;
+      dx = -dx;
+      dy = -dy;
+      dz = -dz;
+    }
+    const int64_t key = pack_offset(dx, dy, dz);
+    TileCount& tc = tile_pairs[static_cast<size_t>(owner_rank)][key];
+    tc.pairs++;
+    const int64_t stamp = key * P + owner_rank;
+    if (remote_stamp[static_cast<size_t>(remote_atom)] != stamp) {
+      remote_stamp[static_cast<size_t>(remote_atom)] = stamp;
+      tc.remote_atoms++;
+    }
+  };
+
+  if (tiny) {
+    const int n = static_cast<int>(pos.size());
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (box.distance2(pos[static_cast<size_t>(i)],
+                          pos[static_cast<size_t>(j)]) < rc2) {
+          count_pair(i, j);
+        }
+      }
+    }
+  } else {
+    for (int c = 0; c < grid.num_cells(); ++c) {
+      const auto atoms_c = grid.cell_atoms(c);
+      for (int ncell : grid.half_stencil(c)) {
+        const auto atoms_n = grid.cell_atoms(ncell);
+        for (int a : atoms_c) {
+          for (int b : atoms_n) {
+            if (ncell == c && b <= a) continue;
+            if (box.distance2(pos[static_cast<size_t>(a)],
+                              pos[static_cast<size_t>(b)]) < rc2) {
+              count_pair(std::min(a, b), std::max(a, b));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Canonical offset table (union across nodes) + per-node tiles.
+  std::map<int64_t, int> offset_index;
+  for (int v = 0; v < P; ++v) {
+    for (const auto& [key, tc] : tile_pairs[static_cast<size_t>(v)]) {
+      if (!offset_index.count(key)) {
+        const int idx = static_cast<int>(w.tile_offsets_.size());
+        offset_index[key] = idx;
+        const int dx = static_cast<int>((key >> 14) & 0x7F) - 64;
+        const int dy = static_cast<int>((key >> 7) & 0x7F) - 64;
+        const int dz = static_cast<int>(key & 0x7F) - 64;
+        w.tile_offsets_.push_back({dx, dy, dz});
+      }
+      w.nodes_[static_cast<size_t>(v)].tiles.push_back(
+          {offset_index[key], tc.pairs, tc.remote_atoms});
+    }
+  }
+
+  // Position multicast destinations: node u needs v's positions when u owns
+  // a tile whose offset points from u to v, i.e. v = u + offset.
+  std::vector<std::set<int>> dests(static_cast<size_t>(P));
+  for (int u = 0; u < P; ++u) {
+    for (const auto& t : w.nodes_[static_cast<size_t>(u)].tiles) {
+      const NodeOffset& off =
+          w.tile_offsets_[static_cast<size_t>(t.offset_index)];
+      const int v = dd.neighbor_rank(u, off);
+      if (v != u) dests[static_cast<size_t>(v)].insert(u);
+    }
+  }
+  for (int v = 0; v < P; ++v) {
+    auto& nd = w.nodes_[static_cast<size_t>(v)];
+    nd.pos_destinations.assign(dests[static_cast<size_t>(v)].begin(),
+                               dests[static_cast<size_t>(v)].end());
+  }
+
+  // --- bonded terms (owner = node of first atom) --------------------------
+  const Topology& top = system.topology();
+  auto all_local = [&](std::initializer_list<int> atoms) {
+    const int o = owner[static_cast<size_t>(*atoms.begin())];
+    for (int a : atoms) {
+      if (owner[static_cast<size_t>(a)] != o) return false;
+    }
+    return true;
+  };
+  for (const auto& b : top.bonds()) {
+    auto& nd = w.nodes_[static_cast<size_t>(owner[static_cast<size_t>(b.i)])];
+    (all_local({b.i, b.j}) ? nd.bonded_local : nd.bonded_boundary).bonds++;
+  }
+  for (const auto& a : top.angles()) {
+    auto& nd = w.nodes_[static_cast<size_t>(owner[static_cast<size_t>(a.i)])];
+    (all_local({a.i, a.j, a.k}) ? nd.bonded_local : nd.bonded_boundary)
+        .angles++;
+  }
+  for (const auto& d : top.dihedrals()) {
+    auto& nd = w.nodes_[static_cast<size_t>(owner[static_cast<size_t>(d.i)])];
+    (all_local({d.i, d.j, d.k, d.l}) ? nd.bonded_local : nd.bonded_boundary)
+        .dihedrals++;
+  }
+  for (const auto& p : top.pairs14()) {
+    auto& nd = w.nodes_[static_cast<size_t>(owner[static_cast<size_t>(p.i)])];
+    (all_local({p.i, p.j}) ? nd.bonded_local : nd.bonded_boundary).pairs14++;
+  }
+  for (const auto& c : top.constraints()) {
+    w.nodes_[static_cast<size_t>(owner[static_cast<size_t>(c.i)])]
+        .constraints++;
+  }
+
+  // --- mesh geometry -------------------------------------------------------
+  // Nearest power of two (geometric rounding) keeps the realised spacing
+  // close to the target instead of up to 2x finer.
+  for (int axis = 0; axis < 3; ++axis) {
+    const double l = box.lengths()[axis];
+    const double want = std::max(4.0, l / mesh_spacing);
+    const int up = next_power_of_two(static_cast<int>(std::ceil(want)));
+    const int down = std::max(4, up / 2);
+    w.mesh_dim_[axis] = (want / down <= up / want) ? down : up;
+  }
+  // The spreading Gaussian's width tracks the mesh spacing, so the support
+  // is a fixed radius in cells.
+  const int r = config.spread_support_cells;
+  w.spread_support_points_ = (2 * r + 1) * (2 * r + 1) * (2 * r + 1);
+  return w;
+}
+
+int64_t Workload::total_pairs() const {
+  int64_t s = 0;
+  for (const auto& n : nodes_) s += n.total_pairs();
+  return s;
+}
+
+int Workload::max_atoms_per_node() const {
+  int m = 0;
+  for (const auto& n : nodes_) m = std::max(m, n.atoms);
+  return m;
+}
+
+double Workload::spread_halo_bytes(const arch::MachineConfig& config) const {
+  // Halo depth = spread radius in cells; each face exchanges
+  // depth * (brick cross-section) mesh points.
+  const int P = num_nodes();
+  const double brick_points = static_cast<double>(mesh_points_total()) / P;
+  const double cross_section = std::pow(brick_points, 2.0 / 3.0);
+  const double depth =
+      std::cbrt(static_cast<double>(spread_support_points_)) / 2.0;
+  return depth * cross_section * config.bytes_per_mesh_point;
+}
+
+}  // namespace anton::core

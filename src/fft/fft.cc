@@ -1,0 +1,125 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+namespace anton {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int next_power_of_two(int n) {
+  ANTON_CHECK(n >= 1);
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(int n) : n_(n) {
+  ANTON_CHECK_MSG(is_power_of_two(n), "FFT size must be a power of two, got "
+                                          << n);
+  log2n_ = 0;
+  while ((1 << log2n_) < n) ++log2n_;
+
+  twiddles_.resize(static_cast<size_t>(n / 2));
+  for (int k = 0; k < n / 2; ++k) {
+    const double theta = -2.0 * M_PI * k / n;
+    twiddles_[static_cast<size_t>(k)] = {std::cos(theta), std::sin(theta)};
+  }
+
+  bitrev_.resize(static_cast<size_t>(n));
+  for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i) {
+    uint32_t r = 0;
+    for (int b = 0; b < log2n_; ++b) {
+      r |= ((i >> b) & 1u) << (log2n_ - 1 - b);
+    }
+    bitrev_[i] = r;
+  }
+}
+
+void FftPlan::transform(std::span<Complex> data, bool inverse) const {
+  ANTON_CHECK(static_cast<int>(data.size()) == n_);
+  // Bit-reversal permutation.
+  for (int i = 0; i < n_; ++i) {
+    const auto j = static_cast<int>(bitrev_[static_cast<size_t>(i)]);
+    if (i < j) std::swap(data[static_cast<size_t>(i)],
+                         data[static_cast<size_t>(j)]);
+  }
+  // Iterative butterflies.
+  for (int len = 2; len <= n_; len <<= 1) {
+    const int half = len / 2;
+    const int tw_step = n_ / len;
+    for (int start = 0; start < n_; start += len) {
+      for (int k = 0; k < half; ++k) {
+        Complex w = twiddles_[static_cast<size_t>(k * tw_step)];
+        if (inverse) w = std::conj(w);
+        const size_t a = static_cast<size_t>(start + k);
+        const size_t b = a + static_cast<size_t>(half);
+        const Complex t = data[b] * w;
+        data[b] = data[a] - t;
+        data[a] += t;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / n_;
+    for (auto& v : data) v *= scale;
+  }
+}
+
+Fft3D::Fft3D(int nx, int ny, int nz)
+    : nx_(nx), ny_(ny), nz_(nz), px_(nx), py_(ny), pz_(nz) {}
+
+void Fft3D::transform(std::span<Complex> data, bool inverse) const {
+  ANTON_CHECK(data.size() == num_points());
+
+  // X lines are contiguous.
+  for (int z = 0; z < nz_; ++z) {
+    for (int y = 0; y < ny_; ++y) {
+      px_.transform(data.subspan(index(0, y, z), static_cast<size_t>(nx_)),
+                    inverse);
+    }
+  }
+  // Y lines: gather/scatter with stride nx.
+  std::vector<Complex> line(static_cast<size_t>(std::max(ny_, nz_)));
+  for (int z = 0; z < nz_; ++z) {
+    for (int x = 0; x < nx_; ++x) {
+      for (int y = 0; y < ny_; ++y) {
+        line[static_cast<size_t>(y)] = data[index(x, y, z)];
+      }
+      py_.transform({line.data(), static_cast<size_t>(ny_)}, inverse);
+      for (int y = 0; y < ny_; ++y) {
+        data[index(x, y, z)] = line[static_cast<size_t>(y)];
+      }
+    }
+  }
+  // Z lines: stride nx*ny.
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      for (int z = 0; z < nz_; ++z) {
+        line[static_cast<size_t>(z)] = data[index(x, y, z)];
+      }
+      pz_.transform({line.data(), static_cast<size_t>(nz_)}, inverse);
+      for (int z = 0; z < nz_; ++z) {
+        data[index(x, y, z)] = line[static_cast<size_t>(z)];
+      }
+    }
+  }
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> in, bool inverse) {
+  const size_t n = in.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t k = 0; k < n; ++k) {
+    Complex acc{0, 0};
+    for (size_t j = 0; j < n; ++j) {
+      const double theta =
+          sign * 2.0 * M_PI * static_cast<double>(k * j % n) /
+          static_cast<double>(n);
+      acc += in[j] * Complex{std::cos(theta), std::sin(theta)};
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+}  // namespace anton

@@ -1,0 +1,73 @@
+// From-scratch FFT substrate.
+//
+// Anton 2 computes small distributed 3D FFTs on-machine as part of the
+// mesh-based long-range electrostatics.  The host library needs the same
+// transform for (a) the functional Gaussian-split-Ewald solver and (b) the
+// machine model's FFT phase, whose communication pattern (axis all-to-alls)
+// is derived from these dimensions.  Power-of-two, complex double,
+// iterative radix-2 with precomputed twiddles.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace anton {
+
+using Complex = std::complex<double>;
+
+bool is_power_of_two(int n);
+// Smallest power of two >= n.
+int next_power_of_two(int n);
+
+// One-dimensional in-place FFT plan for a fixed power-of-two size.
+class FftPlan {
+ public:
+  explicit FftPlan(int n);
+
+  int size() const { return n_; }
+
+  // In-place DIT transform; `inverse` applies the conjugate transform and
+  // scales by 1/n.
+  void transform(std::span<Complex> data, bool inverse) const;
+
+ private:
+  int n_;
+  int log2n_;
+  std::vector<Complex> twiddles_;   // forward twiddles, n/2 entries
+  std::vector<uint32_t> bitrev_;
+};
+
+// 3D FFT over a dense array indexed [z][y][x] (x fastest).  Each dimension
+// must be a power of two.
+class Fft3D {
+ public:
+  Fft3D(int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  size_t num_points() const {
+    return static_cast<size_t>(nx_) * ny_ * nz_;
+  }
+  size_t index(int x, int y, int z) const {
+    return (static_cast<size_t>(z) * ny_ + y) * nx_ + x;
+  }
+
+  void forward(std::span<Complex> data) const { transform(data, false); }
+  void inverse(std::span<Complex> data) const { transform(data, true); }
+
+ private:
+  void transform(std::span<Complex> data, bool inverse) const;
+
+  int nx_, ny_, nz_;
+  FftPlan px_, py_, pz_;
+};
+
+// Reference O(n²) DFT used by the test suite to validate the fast path.
+std::vector<Complex> dft_reference(std::span<const Complex> in, bool inverse);
+
+}  // namespace anton

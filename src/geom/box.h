@@ -1,0 +1,64 @@
+// Orthorhombic periodic simulation box.
+//
+// Anton machines simulate periodic systems; all distance math in the library
+// goes through Box so the minimum-image convention is applied in exactly one
+// place.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/vec3.h"
+
+namespace anton {
+
+class Box {
+ public:
+  Box() : lengths_{1.0, 1.0, 1.0} {}
+  explicit Box(const Vec3& lengths) : lengths_(lengths) {
+    ANTON_CHECK_MSG(lengths.x > 0 && lengths.y > 0 && lengths.z > 0,
+                    "box lengths must be positive, got " << lengths);
+  }
+  static Box cube(double l) { return Box({l, l, l}); }
+
+  const Vec3& lengths() const { return lengths_; }
+  double volume() const { return lengths_.x * lengths_.y * lengths_.z; }
+
+  // Wraps a position into [0, L) per axis.
+  Vec3 wrap(Vec3 p) const {
+    p.x -= lengths_.x * std::floor(p.x / lengths_.x);
+    p.y -= lengths_.y * std::floor(p.y / lengths_.y);
+    p.z -= lengths_.z * std::floor(p.z / lengths_.z);
+    // floor rounding can land exactly on L for tiny negative inputs.
+    if (p.x >= lengths_.x) p.x -= lengths_.x;
+    if (p.y >= lengths_.y) p.y -= lengths_.y;
+    if (p.z >= lengths_.z) p.z -= lengths_.z;
+    return p;
+  }
+
+  // Minimum-image displacement a - b.
+  Vec3 min_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d = a - b;
+    d.x -= lengths_.x * std::nearbyint(d.x / lengths_.x);
+    d.y -= lengths_.y * std::nearbyint(d.y / lengths_.y);
+    d.z -= lengths_.z * std::nearbyint(d.z / lengths_.z);
+    return d;
+  }
+
+  double distance2(const Vec3& a, const Vec3& b) const {
+    return norm2(min_image(a, b));
+  }
+  double distance(const Vec3& a, const Vec3& b) const {
+    return std::sqrt(distance2(a, b));
+  }
+
+  // Largest cutoff for which the minimum-image convention is valid.
+  double max_cutoff() const {
+    return 0.5 * std::min(lengths_.x, std::min(lengths_.y, lengths_.z));
+  }
+
+ private:
+  Vec3 lengths_;
+};
+
+}  // namespace anton

@@ -1,0 +1,71 @@
+#include "geom/cells.h"
+
+#include <algorithm>
+
+namespace anton {
+
+CellGrid::CellGrid(const Box& box, double min_cell) : box_(box) {
+  ANTON_CHECK_MSG(min_cell > 0, "cell size must be positive");
+  const Vec3& l = box.lengths();
+  nx_ = std::max(1, static_cast<int>(l.x / min_cell));
+  ny_ = std::max(1, static_cast<int>(l.y / min_cell));
+  nz_ = std::max(1, static_cast<int>(l.z / min_cell));
+  starts_.assign(static_cast<size_t>(num_cells()) + 1, 0);
+}
+
+void CellGrid::bin(std::span<const Vec3> positions) {
+  const size_t n = positions.size();
+  std::vector<int> cell_of_atom(n);
+  std::vector<int> counts(static_cast<size_t>(num_cells()), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int c = cell_of(positions[i]);
+    cell_of_atom[i] = c;
+    ++counts[static_cast<size_t>(c)];
+  }
+  starts_.assign(static_cast<size_t>(num_cells()) + 1, 0);
+  for (int c = 0; c < num_cells(); ++c) {
+    starts_[static_cast<size_t>(c) + 1] =
+        starts_[static_cast<size_t>(c)] + counts[static_cast<size_t>(c)];
+  }
+  atoms_.assign(n, 0);
+  std::vector<int> cursor(starts_.begin(), starts_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    atoms_[static_cast<size_t>(
+        cursor[static_cast<size_t>(cell_of_atom[i])]++)] = static_cast<int>(i);
+  }
+}
+
+std::vector<int> CellGrid::stencil(int cell) const {
+  std::vector<int> out;
+  out.reserve(27);
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int c = neighbor(cell, dx, dy, dz);
+        if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> CellGrid::half_stencil(int cell) const {
+  // Standard half-shell: (dz > 0) || (dz == 0 && dy > 0) ||
+  // (dz == 0 && dy == 0 && dx >= 0).
+  std::vector<int> out;
+  out.reserve(14);
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const bool keep =
+            dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx >= 0);
+        if (!keep) continue;
+        const int c = neighbor(cell, dx, dy, dz);
+        if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace anton

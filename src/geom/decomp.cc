@@ -1,0 +1,95 @@
+#include "geom/decomp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace anton {
+
+DomainDecomp::DomainDecomp(const Box& box, int nx, int ny, int nz)
+    : box_(box), nx_(nx), ny_(ny), nz_(nz) {
+  ANTON_CHECK_MSG(nx > 0 && ny > 0 && nz > 0,
+                  "node grid dims must be positive");
+}
+
+int DomainDecomp::node_of(const Vec3& p) const {
+  const Vec3 w = box_.wrap(p);
+  const Vec3& l = box_.lengths();
+  int cx = static_cast<int>(w.x / l.x * nx_);
+  int cy = static_cast<int>(w.y / l.y * ny_);
+  int cz = static_cast<int>(w.z / l.z * nz_);
+  cx = std::min(cx, nx_ - 1);
+  cy = std::min(cy, ny_ - 1);
+  cz = std::min(cz, nz_ - 1);
+  return rank(cx, cy, cz);
+}
+
+int DomainDecomp::neighbor_rank(int r, const NodeOffset& off) const {
+  int cx, cy, cz;
+  coords(r, &cx, &cy, &cz);
+  cx = (cx + off.dx % nx_ + nx_) % nx_;
+  cy = (cy + off.dy % ny_ + ny_) % ny_;
+  cz = (cz + off.dz % nz_ + nz_) % nz_;
+  return rank(cx, cy, cz);
+}
+
+double DomainDecomp::box_distance(const NodeOffset& off) const {
+  const Vec3 hb = home_box_lengths();
+  auto axis_gap = [](int d, double cell) {
+    const int gap = std::max(0, std::abs(d) - 1);
+    return gap * cell;
+  };
+  const double gx = axis_gap(off.dx, hb.x);
+  const double gy = axis_gap(off.dy, hb.y);
+  const double gz = axis_gap(off.dz, hb.z);
+  return std::sqrt(gx * gx + gy * gy + gz * gz);
+}
+
+std::vector<NodeOffset> DomainDecomp::import_offsets(double cutoff,
+                                                     ImportShell shell) const {
+  ANTON_CHECK_MSG(cutoff > 0, "cutoff must be positive");
+  const Vec3 hb = home_box_lengths();
+  // How many home boxes the cutoff can span per axis.  Capped so that on
+  // small node grids an offset and its periodic image are not both listed.
+  const int rx = std::min(nx_ / 2,
+                          static_cast<int>(std::ceil(cutoff / hb.x)));
+  const int ry = std::min(ny_ / 2,
+                          static_cast<int>(std::ceil(cutoff / hb.y)));
+  const int rz = std::min(nz_ / 2,
+                          static_cast<int>(std::ceil(cutoff / hb.z)));
+  std::vector<NodeOffset> out;
+  for (int dz = -rz; dz <= rz; ++dz) {
+    for (int dy = -ry; dy <= ry; ++dy) {
+      for (int dx = -rx; dx <= rx; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const NodeOffset off{dx, dy, dz};
+        if (box_distance(off) >= cutoff) continue;
+        if (shell == ImportShell::kHalf) {
+          // Keep the lexicographically-positive representative.
+          const bool keep =
+              dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0);
+          if (!keep) continue;
+        }
+        out.push_back(off);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> DomainDecomp::assign(std::span<const Vec3> positions) const {
+  std::vector<int> out(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    out[i] = node_of(positions[i]);
+  }
+  return out;
+}
+
+std::vector<int> DomainDecomp::counts(std::span<const Vec3> positions) const {
+  std::vector<int> out(static_cast<size_t>(num_nodes()), 0);
+  for (const auto& p : positions) ++out[static_cast<size_t>(node_of(p))];
+  return out;
+}
+
+}  // namespace anton

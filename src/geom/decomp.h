@@ -1,0 +1,79 @@
+// Spatial domain decomposition onto a 3D grid of nodes.
+//
+// Each node of the simulated machine owns a rectangular "home box".  For a
+// given interaction cutoff, a node must import atom positions from every
+// neighbouring home box whose nearest face/edge/corner lies within the
+// cutoff — the "import region".  This module computes home-box membership
+// and the set of neighbour offsets, which in turn drives the NoC traffic the
+// machine model simulates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/vec3.h"
+#include "geom/box.h"
+
+namespace anton {
+
+struct NodeOffset {
+  int dx = 0, dy = 0, dz = 0;
+  friend bool operator==(const NodeOffset&, const NodeOffset&) = default;
+};
+
+enum class ImportShell {
+  kFull,  // all neighbours within cutoff (positions imported both ways)
+  kHalf,  // half-shell: each pair of boxes appears exactly once
+};
+
+class DomainDecomp {
+ public:
+  DomainDecomp(const Box& box, int nx, int ny, int nz);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int num_nodes() const { return nx_ * ny_ * nz_; }
+  const Box& box() const { return box_; }
+
+  // Home-box edge lengths.
+  Vec3 home_box_lengths() const {
+    const Vec3& l = box_.lengths();
+    return {l.x / nx_, l.y / ny_, l.z / nz_};
+  }
+
+  int rank(int cx, int cy, int cz) const { return (cz * ny_ + cy) * nx_ + cx; }
+  void coords(int rank, int* cx, int* cy, int* cz) const {
+    *cx = rank % nx_;
+    *cy = (rank / nx_) % ny_;
+    *cz = rank / (nx_ * ny_);
+  }
+
+  // Which node owns position p (after wrapping).
+  int node_of(const Vec3& p) const;
+
+  // Periodic neighbour rank.
+  int neighbor_rank(int rank, const NodeOffset& off) const;
+
+  // Neighbour offsets whose home box comes within `cutoff` of the local one.
+  // Excludes (0,0,0).  For kHalf, exactly one of (off, -off) is returned.
+  std::vector<NodeOffset> import_offsets(double cutoff,
+                                         ImportShell shell) const;
+
+  // Minimum distance between the local home box and the home box at `off`
+  // (0 for face-adjacent boxes).
+  double box_distance(const NodeOffset& off) const;
+
+  // Bins atoms to nodes: out[i] = owning rank of positions[i].
+  std::vector<int> assign(std::span<const Vec3> positions) const;
+
+  // Per-node atom counts for a position set.
+  std::vector<int> counts(std::span<const Vec3> positions) const;
+
+ private:
+  Box box_;
+  int nx_, ny_, nz_;
+};
+
+}  // namespace anton

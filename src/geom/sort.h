@@ -1,0 +1,77 @@
+// Spatial (Morton-order) sorting of atom indices.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/hilbert.h"
+#include "common/morton.h"
+#include "common/vec3.h"
+#include "geom/box.h"
+
+namespace anton {
+
+// Returns a permutation `perm` such that positions[perm[0]], positions[perm[1]],
+// ... follow a Z-order curve through the box.  Resolution: 1024 cells/axis.
+inline std::vector<int> morton_order(const Box& box,
+                                     std::span<const Vec3> positions) {
+  constexpr uint32_t kGrid = 1024;
+  const Vec3& l = box.lengths();
+  std::vector<uint64_t> keys(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 w = box.wrap(positions[i]);
+    const auto clampg = [](double frac) {
+      const auto g = static_cast<uint32_t>(frac * kGrid);
+      return g >= kGrid ? kGrid - 1 : g;
+    };
+    keys[i] = morton_encode(clampg(w.x / l.x), clampg(w.y / l.y),
+                            clampg(w.z / l.z));
+  }
+  std::vector<int> perm(positions.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+    return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+  });
+  return perm;
+}
+
+// Like morton_order but along a 3D Hilbert curve (strictly face-adjacent
+// traversal; better locality at the same cost).  Resolution: 256 cells/axis.
+inline std::vector<int> hilbert_order(const Box& box,
+                                      std::span<const Vec3> positions) {
+  constexpr int kBits = 8;
+  constexpr uint32_t kGrid = 1u << kBits;
+  const Vec3& l = box.lengths();
+  std::vector<uint64_t> keys(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    const Vec3 w = box.wrap(positions[i]);
+    const auto clampg = [](double frac) {
+      const auto g = static_cast<uint32_t>(frac * kGrid);
+      return g >= kGrid ? kGrid - 1 : g;
+    };
+    keys[i] = hilbert_encode(clampg(w.x / l.x), clampg(w.y / l.y),
+                             clampg(w.z / l.z), kBits);
+  }
+  std::vector<int> perm(positions.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](int a, int b) {
+    return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+  });
+  return perm;
+}
+
+// Applies a permutation: out[i] = in[perm[i]].
+template <typename T>
+std::vector<T> apply_permutation(std::span<const T> in,
+                                 std::span<const int> perm) {
+  std::vector<T> out(in.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    out[i] = in[static_cast<size_t>(perm[i])];
+  }
+  return out;
+}
+
+}  // namespace anton

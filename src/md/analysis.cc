@@ -1,0 +1,134 @@
+#include "md/analysis.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "geom/cells.h"
+
+namespace anton::md {
+
+RdfAccumulator::RdfAccumulator(double r_max, int bins)
+    : r_max_(r_max), bins_(bins), counts_(static_cast<size_t>(bins), 0.0) {
+  ANTON_CHECK(r_max > 0 && bins > 0);
+}
+
+void RdfAccumulator::add_frame(const System& system,
+                               std::span<const int> group_a,
+                               std::span<const int> group_b) {
+  const Box& box = system.box();
+  ANTON_CHECK_MSG(r_max_ <= box.max_cutoff(),
+                  "RDF range exceeds the minimum-image limit");
+  const auto pos = system.positions();
+  const bool self = group_a.data() == group_b.data() &&
+                    group_a.size() == group_b.size();
+  const double r_max2 = r_max_ * r_max_;
+
+  // Cell-accelerated pair search over group_b positions.
+  std::vector<Vec3> b_pos;
+  b_pos.reserve(group_b.size());
+  for (int j : group_b) b_pos.push_back(pos[static_cast<size_t>(j)]);
+  CellGrid grid(box, r_max_);
+  const bool tiny = grid.nx() < 3 || grid.ny() < 3 || grid.nz() < 3;
+
+  auto bin_pair = [&](double r2) {
+    const double r = std::sqrt(r2);
+    int b = static_cast<int>(r / r_max_ * bins_);
+    if (b >= bins_) b = bins_ - 1;
+    counts_[static_cast<size_t>(b)] += self ? 2.0 : 1.0;
+  };
+
+  if (tiny) {
+    for (size_t ia = 0; ia < group_a.size(); ++ia) {
+      const Vec3 pa = pos[static_cast<size_t>(group_a[ia])];
+      const size_t jb_start = self ? ia + 1 : 0;
+      for (size_t jb = jb_start; jb < group_b.size(); ++jb) {
+        if (!self || group_a[ia] != group_b[jb]) {
+          const double r2 = box.distance2(pa, b_pos[jb]);
+          if (r2 < r_max2 && r2 > 1e-12) bin_pair(r2);
+        }
+      }
+    }
+  } else {
+    grid.bin(b_pos);
+    for (size_t ia = 0; ia < group_a.size(); ++ia) {
+      const int i_global = group_a[ia];
+      const Vec3 pa = pos[static_cast<size_t>(i_global)];
+      const int c = grid.cell_of(pa);
+      for (int nc : grid.stencil(c)) {
+        for (int jb : grid.cell_atoms(nc)) {
+          if (self) {
+            // Count each unordered pair once (then weight 2 in bin_pair).
+            if (group_b[static_cast<size_t>(jb)] <= i_global) continue;
+          }
+          const double r2 = box.distance2(pa, b_pos[static_cast<size_t>(jb)]);
+          if (r2 < r_max2 && r2 > 1e-12) bin_pair(r2);
+        }
+      }
+    }
+  }
+
+  const double rho_b =
+      static_cast<double>(group_b.size()) / box.volume();
+  pair_norm_ += static_cast<double>(group_a.size()) * rho_b;
+  ++frames_;
+}
+
+std::vector<double> RdfAccumulator::g_of_r() const {
+  ANTON_CHECK_MSG(frames_ > 0, "no frames accumulated");
+  std::vector<double> g(static_cast<size_t>(bins_));
+  const double dr = r_max_ / bins_;
+  for (int b = 0; b < bins_; ++b) {
+    const double r_lo = b * dr, r_hi = (b + 1) * dr;
+    const double shell =
+        4.0 / 3.0 * M_PI * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = pair_norm_ * shell;  // expected count, all frames
+    g[static_cast<size_t>(b)] =
+        ideal > 0 ? counts_[static_cast<size_t>(b)] / ideal : 0.0;
+  }
+  return g;
+}
+
+std::vector<double> RdfAccumulator::r_centers() const {
+  std::vector<double> r(static_cast<size_t>(bins_));
+  const double dr = r_max_ / bins_;
+  for (int b = 0; b < bins_; ++b) {
+    r[static_cast<size_t>(b)] = (b + 0.5) * dr;
+  }
+  return r;
+}
+
+double RdfAccumulator::first_peak_r(double r_min_search) const {
+  const auto g = g_of_r();
+  const auto r = r_centers();
+  double best_r = 0, best_g = -1;
+  for (size_t b = 0; b + 1 < g.size(); ++b) {
+    if (r[b] < r_min_search) continue;
+    if (g[b] > best_g) {
+      best_g = g[b];
+      best_r = r[b];
+    } else if (best_g > 1.0 && g[b] < 0.8 * best_g) {
+      break;  // well past the first peak
+    }
+  }
+  return best_r;
+}
+
+std::vector<int> atoms_of_type(const Topology& top, int type) {
+  std::vector<int> out;
+  for (int i = 0; i < top.num_atoms(); ++i) {
+    if (top.type(i) == type) out.push_back(i);
+  }
+  return out;
+}
+
+double mean_squared_displacement(std::span<const Vec3> reference,
+                                 std::span<const Vec3> current) {
+  ANTON_CHECK(reference.size() == current.size() && !reference.empty());
+  double acc = 0;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    acc += norm2(current[i] - reference[i]);
+  }
+  return acc / static_cast<double>(reference.size());
+}
+
+}  // namespace anton::md

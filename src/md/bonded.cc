@@ -1,0 +1,179 @@
+#include "md/bonded.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace anton::md {
+
+void compute_bonds(const Box& box, const Topology& top,
+                   std::span<const Vec3> pos, std::span<Vec3> forces,
+                   EnergyReport& energy) {
+  for (const auto& b : top.bonds()) {
+    const Vec3 d = box.min_image(pos[static_cast<size_t>(b.i)],
+                                 pos[static_cast<size_t>(b.j)]);
+    const double r = norm(d);
+    const double dr = r - b.r0;
+    energy.bond += b.k * dr * dr;
+    // F_i = -dE/dr_i = -2 k (r - r0) d̂
+    const double fmag = -2.0 * b.k * dr / r;
+    const Vec3 f = fmag * d;
+    forces[static_cast<size_t>(b.i)] += f;
+    forces[static_cast<size_t>(b.j)] -= f;
+    energy.virial += dot(d, f);
+  }
+}
+
+void compute_angles(const Box& box, const Topology& top,
+                    std::span<const Vec3> pos, std::span<Vec3> forces,
+                    EnergyReport& energy) {
+  for (const auto& a : top.angles()) {
+    const Vec3 u = box.min_image(pos[static_cast<size_t>(a.i)],
+                                 pos[static_cast<size_t>(a.j)]);
+    const Vec3 v = box.min_image(pos[static_cast<size_t>(a.k)],
+                                 pos[static_cast<size_t>(a.j)]);
+    const double lu = norm(u), lv = norm(v);
+    double c = dot(u, v) / (lu * lv);
+    c = std::clamp(c, -1.0, 1.0);
+    const double theta = std::acos(c);
+    const double s = std::sqrt(std::max(1e-12, 1.0 - c * c));
+    const double dtheta = theta - a.theta0;
+    energy.angle += a.k_theta * dtheta * dtheta;
+    const double de_dtheta = 2.0 * a.k_theta * dtheta;
+
+    // dθ/dr_i = -(v̂ - cosθ û) / (|u| sinθ);  F = -dE/dθ dθ/dr.
+    const Vec3 uh = u / lu, vh = v / lv;
+    const Vec3 fi = (de_dtheta / (lu * s)) * (vh - c * uh);
+    const Vec3 fk = (de_dtheta / (lv * s)) * (uh - c * vh);
+    forces[static_cast<size_t>(a.i)] += fi;
+    forces[static_cast<size_t>(a.k)] += fk;
+    forces[static_cast<size_t>(a.j)] -= fi + fk;
+    // Virial with the apex as origin (translation-invariant: term forces
+    // sum to zero).
+    energy.virial += dot(u, fi) + dot(v, fk);
+  }
+}
+
+double dihedral_angle(const Box& box, const Vec3& ri, const Vec3& rj,
+                      const Vec3& rk, const Vec3& rl) {
+  const Vec3 b1 = box.min_image(rj, ri);
+  const Vec3 b2 = box.min_image(rk, rj);
+  const Vec3 b3 = box.min_image(rl, rk);
+  const Vec3 n1 = cross(b1, b2);
+  const Vec3 n2 = cross(b2, b3);
+  const double x = dot(n1, n2);
+  const double y = dot(cross(n1, n2), b2) / norm(b2);
+  return std::atan2(y, x);
+}
+
+void compute_dihedrals(const Box& box, const Topology& top,
+                       std::span<const Vec3> pos, std::span<Vec3> forces,
+                       EnergyReport& energy) {
+  for (const auto& d : top.dihedrals()) {
+    const Vec3& ri = pos[static_cast<size_t>(d.i)];
+    const Vec3& rj = pos[static_cast<size_t>(d.j)];
+    const Vec3& rk = pos[static_cast<size_t>(d.k)];
+    const Vec3& rl = pos[static_cast<size_t>(d.l)];
+    const Vec3 b1 = box.min_image(rj, ri);
+    const Vec3 b2 = box.min_image(rk, rj);
+    const Vec3 b3 = box.min_image(rl, rk);
+    const Vec3 n1 = cross(b1, b2);
+    const Vec3 n2 = cross(b2, b3);
+    const double n1sq = norm2(n1);
+    const double n2sq = norm2(n2);
+    const double lb2 = norm(b2);
+    if (n1sq < 1e-12 || n2sq < 1e-12 || lb2 < 1e-12) continue;  // collinear
+
+    const double phi =
+        std::atan2(dot(cross(n1, n2), b2) / lb2, dot(n1, n2));
+    energy.dihedral += d.k_phi * (1.0 + std::cos(d.n * phi - d.phase));
+    const double de_dphi = -d.k_phi * d.n * std::sin(d.n * phi - d.phase);
+
+    // Blondel–Karplus gradient of the dihedral angle.
+    const Vec3 dphi_dri = -(lb2 / n1sq) * n1;
+    const Vec3 dphi_drl = (lb2 / n2sq) * n2;
+    const double s12 = dot(b1, b2) / (lb2 * lb2);
+    const double s32 = dot(b3, b2) / (lb2 * lb2);
+    const Vec3 dphi_drj = -(1.0 + s12) * dphi_dri + s32 * dphi_drl;
+    const Vec3 dphi_drk = s12 * dphi_dri - (1.0 + s32) * dphi_drl;
+
+    const Vec3 f_i = -de_dphi * dphi_dri;
+    const Vec3 f_k = -de_dphi * dphi_drk;
+    const Vec3 f_l = -de_dphi * dphi_drl;
+    forces[static_cast<size_t>(d.i)] += f_i;
+    forces[static_cast<size_t>(d.j)] -= de_dphi * dphi_drj;
+    forces[static_cast<size_t>(d.k)] += f_k;
+    forces[static_cast<size_t>(d.l)] += f_l;
+    // Virial with atom j as origin: r_i - r_j = -b1, r_k - r_j = b2,
+    // r_l - r_j = b2 + b3.
+    energy.virial += dot(-b1, f_i) + dot(b2, f_k) + dot(b2 + b3, f_l);
+  }
+}
+
+void compute_pairs14(const Box& box, const Topology& top,
+                     std::span<const Vec3> pos, std::span<Vec3> forces,
+                     EnergyReport& energy) {
+  const ForceField& ff = top.forcefield();
+  const double lj_scale = ff.lj14_scale();
+  const double elec_scale = ff.elec14_scale();
+  for (const auto& p : top.pairs14()) {
+    const Vec3 d = box.min_image(pos[static_cast<size_t>(p.i)],
+                                 pos[static_cast<size_t>(p.j)]);
+    const double r2 = norm2(d);
+    const double r = std::sqrt(r2);
+    const LjPair lj = ff.lj(top.type(p.i), top.type(p.j));
+
+    // LJ: E = 4 eps [(s/r)^12 - (s/r)^6].
+    const double sr2 = lj.sigma * lj.sigma / r2;
+    const double sr6 = sr2 * sr2 * sr2;
+    const double e_lj = 4.0 * lj.eps * (sr6 * sr6 - sr6);
+    // -dE/dr * (1/r): force prefactor on displacement vector.
+    const double f_lj = 24.0 * lj.eps * (2.0 * sr6 * sr6 - sr6) / r2;
+
+    // Plain Coulomb for the scaled 1-4 term.
+    const double qq = units::kCoulomb * top.charge(p.i) * top.charge(p.j);
+    const double e_c = qq / r;
+    const double f_c = qq / (r2 * r);
+
+    energy.pair14 += lj_scale * e_lj + elec_scale * e_c;
+    const Vec3 f = (lj_scale * f_lj + elec_scale * f_c) * d;
+    forces[static_cast<size_t>(p.i)] += f;
+    forces[static_cast<size_t>(p.j)] -= f;
+    energy.virial += dot(d, f);
+  }
+}
+
+void compute_restraints(const Box& box, const Topology& top,
+                        std::span<const Vec3> pos, std::span<Vec3> forces,
+                        EnergyReport& energy) {
+  for (const auto& r : top.position_restraints()) {
+    const Vec3 d = pos[static_cast<size_t>(r.atom)] - r.target;
+    energy.restraint += r.k * norm2(d);
+    forces[static_cast<size_t>(r.atom)] -= 2.0 * r.k * d;
+    // External field: no internal virial contribution.
+  }
+  for (const auto& r : top.distance_restraints()) {
+    const Vec3 d = box.min_image(pos[static_cast<size_t>(r.i)],
+                                 pos[static_cast<size_t>(r.j)]);
+    const double dist = norm(d);
+    const double dr = dist - r.r0;
+    energy.restraint += r.k * dr * dr;
+    const Vec3 f = (-2.0 * r.k * dr / dist) * d;
+    forces[static_cast<size_t>(r.i)] += f;
+    forces[static_cast<size_t>(r.j)] -= f;
+    energy.virial += dot(d, f);
+  }
+}
+
+void compute_all_bonded(const Box& box, const Topology& top,
+                        std::span<const Vec3> pos, std::span<Vec3> forces,
+                        EnergyReport& energy) {
+  compute_bonds(box, top, pos, forces, energy);
+  compute_angles(box, top, pos, forces, energy);
+  compute_dihedrals(box, top, pos, forces, energy);
+  compute_pairs14(box, top, pos, forces, energy);
+  compute_restraints(box, top, pos, forces, energy);
+}
+
+}  // namespace anton::md

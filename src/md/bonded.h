@@ -1,0 +1,50 @@
+// Bonded force terms: harmonic bonds, harmonic angles, cosine dihedrals, and
+// scaled 1-4 nonbonded pairs.  All displacements use the minimum-image
+// convention so molecules may straddle the periodic boundary.
+#pragma once
+
+#include <span>
+
+#include "chem/topology.h"
+#include "common/vec3.h"
+#include "geom/box.h"
+#include "md/params.h"
+
+namespace anton::md {
+
+// Accumulates forces in-place and energy terms into `energy`.
+void compute_bonds(const Box& box, const Topology& top,
+                   std::span<const Vec3> pos, std::span<Vec3> forces,
+                   EnergyReport& energy);
+
+void compute_angles(const Box& box, const Topology& top,
+                    std::span<const Vec3> pos, std::span<Vec3> forces,
+                    EnergyReport& energy);
+
+void compute_dihedrals(const Box& box, const Topology& top,
+                       std::span<const Vec3> pos, std::span<Vec3> forces,
+                       EnergyReport& energy);
+
+// Scaled 1-4 LJ + plain Coulomb on the third-neighbour pair list.
+void compute_pairs14(const Box& box, const Topology& top,
+                     std::span<const Vec3> pos, std::span<Vec3> forces,
+                     EnergyReport& energy);
+
+// Harmonic position and distance restraints.  Position restraints use
+// absolute (unwrapped) coordinates and contribute no virial (they are an
+// external field); distance restraints are pairwise and do.
+void compute_restraints(const Box& box, const Topology& top,
+                        std::span<const Vec3> pos, std::span<Vec3> forces,
+                        EnergyReport& energy);
+
+// Convenience: all of the above.
+void compute_all_bonded(const Box& box, const Topology& top,
+                        std::span<const Vec3> pos, std::span<Vec3> forces,
+                        EnergyReport& energy);
+
+// Dihedral angle (radians, in (-pi, pi]) of four positions; exposed for
+// tests and the machine model's functional GC kernels.
+double dihedral_angle(const Box& box, const Vec3& ri, const Vec3& rj,
+                      const Vec3& rk, const Vec3& rl);
+
+}  // namespace anton::md

@@ -1,0 +1,39 @@
+// Checkpointing and trajectory output.
+//
+// Binary checkpoints capture exact phase-space state (positions, velocities,
+// step counter) for bitwise-identical restart — the property Anton's
+// deterministic fixed-point arithmetic exists to guarantee.  The XYZ writer
+// emits human-readable trajectories for external visualisation tools.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "chem/system.h"
+
+namespace anton::md {
+
+struct Checkpoint {
+  int64_t step = 0;
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+};
+
+// Binary serialisation; format is versioned and checked on load.
+void save_checkpoint(std::ostream& os, const Checkpoint& cp);
+Checkpoint load_checkpoint(std::istream& is);
+
+void save_checkpoint_file(const std::string& path, const Checkpoint& cp);
+Checkpoint load_checkpoint_file(const std::string& path);
+
+// Captures / restores a System's state.
+Checkpoint capture(const System& system, int64_t step);
+void restore(System& system, const Checkpoint& cp);
+
+// Appends one frame in XYZ format (element guessed from the atom type
+// name's first letter).
+void append_xyz_frame(std::ostream& os, const System& system,
+                      const std::string& comment = "");
+
+}  // namespace anton::md

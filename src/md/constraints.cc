@@ -1,0 +1,110 @@
+#include "md/constraints.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace anton::md {
+
+ShakeStats shake(const Box& box, const Topology& top,
+                 std::span<const Vec3> ref, std::span<Vec3> pos,
+                 std::span<Vec3> vel, double dt, double tol, int max_iter) {
+  const auto constraints = top.constraints();
+  const auto mass = top.masses();
+  ShakeStats stats;
+  if (constraints.empty()) {
+    stats.converged = true;
+    return stats;
+  }
+  const bool fix_vel = !vel.empty() && dt > 0;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    double max_viol = 0.0;
+    for (const auto& c : constraints) {
+      const size_t i = static_cast<size_t>(c.i), j = static_cast<size_t>(c.j);
+      const Vec3 p = box.min_image(pos[i], pos[j]);
+      const double d2 = c.length * c.length;
+      const double diff = norm2(p) - d2;
+      const double viol = std::abs(diff) / d2;
+      max_viol = std::max(max_viol, viol);
+      if (viol <= tol) continue;
+
+      // Correction along the *reference* bond direction (standard SHAKE).
+      const Vec3 r = box.min_image(ref[i], ref[j]);
+      const double inv_mi = 1.0 / mass[i];
+      const double inv_mj = 1.0 / mass[j];
+      const double denom = 2.0 * (inv_mi + inv_mj) * dot(p, r);
+      if (std::abs(denom) < 1e-12) continue;  // pathological; skip this pass
+      const double g = diff / denom;
+      const Vec3 dp_i = (-g * inv_mi) * r;
+      const Vec3 dp_j = (g * inv_mj) * r;
+      pos[i] += dp_i;
+      pos[j] += dp_j;
+      if (fix_vel) {
+        vel[i] += dp_i / dt;
+        vel[j] += dp_j / dt;
+      }
+    }
+    stats.iterations = iter + 1;
+    stats.max_violation = max_viol;
+    if (max_viol <= tol) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+ShakeStats rattle(const Box& box, const Topology& top,
+                  std::span<const Vec3> pos, std::span<Vec3> vel, double tol,
+                  int max_iter) {
+  const auto constraints = top.constraints();
+  const auto mass = top.masses();
+  ShakeStats stats;
+  if (constraints.empty()) {
+    stats.converged = true;
+    return stats;
+  }
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    double max_viol = 0.0;
+    for (const auto& c : constraints) {
+      const size_t i = static_cast<size_t>(c.i), j = static_cast<size_t>(c.j);
+      const Vec3 r = box.min_image(pos[i], pos[j]);
+      const Vec3 v = vel[i] - vel[j];
+      const double d2 = c.length * c.length;
+      const double rv = dot(r, v);
+      // Relative measure: bond-length rate over (length/unit time).
+      const double viol = std::abs(rv) / d2;
+      max_viol = std::max(max_viol, viol);
+      if (viol <= tol) continue;
+
+      const double inv_mi = 1.0 / mass[i];
+      const double inv_mj = 1.0 / mass[j];
+      const double k = rv / ((inv_mi + inv_mj) * d2);
+      vel[i] -= (k * inv_mi) * r;
+      vel[j] += (k * inv_mj) * r;
+    }
+    stats.iterations = iter + 1;
+    stats.max_violation = max_viol;
+    if (max_viol <= tol) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+double max_constraint_violation(const Box& box, const Topology& top,
+                                std::span<const Vec3> pos) {
+  double max_viol = 0.0;
+  for (const auto& c : top.constraints()) {
+    const Vec3 p = box.min_image(pos[static_cast<size_t>(c.i)],
+                                 pos[static_cast<size_t>(c.j)]);
+    const double d2 = c.length * c.length;
+    max_viol = std::max(max_viol, std::abs(norm2(p) - d2) / d2);
+  }
+  return max_viol;
+}
+
+}  // namespace anton::md

@@ -1,0 +1,40 @@
+// Holonomic bond-length constraints: SHAKE (positions) and RATTLE
+// (velocities).  Rigid 3-site water is handled by the same iteration over
+// its three constraints — the classic M-SHAKE special case Anton's geometry
+// cores execute in software.
+#pragma once
+
+#include <span>
+
+#include "chem/topology.h"
+#include "common/vec3.h"
+#include "geom/box.h"
+
+namespace anton::md {
+
+struct ShakeStats {
+  int iterations = 0;
+  double max_violation = 0;  // relative, after convergence
+  bool converged = false;
+};
+
+// Adjusts `pos` so that every constraint is satisfied to |r²-d²|/d² <= tol.
+// `ref` holds the positions *before* the unconstrained update (constraint
+// directions are evaluated there, as in standard SHAKE).  If `vel` is
+// non-empty, the position corrections are also applied to velocities as
+// Δp/dt (the velocity half of constrained velocity Verlet).
+ShakeStats shake(const Box& box, const Topology& top,
+                 std::span<const Vec3> ref, std::span<Vec3> pos,
+                 std::span<Vec3> vel, double dt, double tol, int max_iter);
+
+// Projects velocity components along constrained bonds to zero (RATTLE
+// second stage): after this, d/dt |r_ij|² = 0 for every constraint.
+ShakeStats rattle(const Box& box, const Topology& top,
+                  std::span<const Vec3> pos, std::span<Vec3> vel, double tol,
+                  int max_iter);
+
+// Max relative constraint violation of a configuration (diagnostics/tests).
+double max_constraint_violation(const Box& box, const Topology& top,
+                                std::span<const Vec3> pos);
+
+}  // namespace anton::md

@@ -1,0 +1,145 @@
+#include "md/ewald.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace anton::md {
+
+namespace {
+using Cx = std::complex<double>;
+
+// Per-atom axis phase tables: phase[axis][n][atom] = e^{i 2π n x/L} for
+// n = 0..nmax; negative n use the conjugate.
+struct PhaseTables {
+  int nmax;
+  size_t n_atoms;
+  std::vector<Cx> px, py, pz;  // (nmax+1) * n_atoms each
+
+  const Cx& get(const std::vector<Cx>& t, int n, size_t i) const {
+    return t[static_cast<size_t>(n) * n_atoms + i];
+  }
+  Cx phase(int nx, int ny, int nz, size_t i) const {
+    Cx v = (nx >= 0) ? get(px, nx, i) : std::conj(get(px, -nx, i));
+    v *= (ny >= 0) ? get(py, ny, i) : std::conj(get(py, -ny, i));
+    v *= (nz >= 0) ? get(pz, nz, i) : std::conj(get(pz, -nz, i));
+    return v;
+  }
+};
+
+PhaseTables build_phases(const Box& box, std::span<const Vec3> pos,
+                         int nmax) {
+  PhaseTables t;
+  t.nmax = nmax;
+  t.n_atoms = pos.size();
+  const auto fill = [&](std::vector<Cx>& out, auto coord, double L) {
+    out.resize(static_cast<size_t>(nmax + 1) * t.n_atoms);
+    for (size_t i = 0; i < t.n_atoms; ++i) {
+      out[i] = Cx{1.0, 0.0};
+    }
+    if (nmax == 0) return;
+    for (size_t i = 0; i < t.n_atoms; ++i) {
+      const double theta = 2.0 * M_PI * coord(pos[i]) / L;
+      const Cx base{std::cos(theta), std::sin(theta)};
+      Cx cur = base;
+      for (int n = 1; n <= nmax; ++n) {
+        out[static_cast<size_t>(n) * t.n_atoms + i] = cur;
+        cur *= base;
+      }
+    }
+  };
+  fill(t.px, [](const Vec3& p) { return p.x; }, box.lengths().x);
+  fill(t.py, [](const Vec3& p) { return p.y; }, box.lengths().y);
+  fill(t.pz, [](const Vec3& p) { return p.z; }, box.lengths().z);
+  return t;
+}
+
+// Iterates the k half-space (each ±k pair represented once); calls
+// fn(nx, ny, nz, kvec, prefactor_A) where A = exp(-k²/4α²)/k².
+template <typename Fn>
+void for_each_k(const Box& box, double alpha, int nmax, Fn&& fn) {
+  const Vec3 two_pi_over_l{2.0 * M_PI / box.lengths().x,
+                           2.0 * M_PI / box.lengths().y,
+                           2.0 * M_PI / box.lengths().z};
+  for (int nx = 0; nx <= nmax; ++nx) {
+    const int ny_lo = (nx == 0) ? 0 : -nmax;
+    for (int ny = ny_lo; ny <= nmax; ++ny) {
+      const int nz_lo = (nx == 0 && ny == 0) ? 1 : -nmax;
+      for (int nz = nz_lo; nz <= nmax; ++nz) {
+        const Vec3 k{nx * two_pi_over_l.x, ny * two_pi_over_l.y,
+                     nz * two_pi_over_l.z};
+        const double k2 = norm2(k);
+        const double a = std::exp(-k2 / (4.0 * alpha * alpha)) / k2;
+        fn(nx, ny, nz, k, a);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EwaldDirect::EwaldDirect(const Box& box, double alpha, int nmax)
+    : box_(box), alpha_(alpha), nmax_(nmax) {
+  ANTON_CHECK_MSG(alpha > 0, "Ewald alpha must be positive");
+  ANTON_CHECK_MSG(nmax >= 1, "need at least one k shell");
+}
+
+void EwaldDirect::compute(const Topology& top, std::span<const Vec3> pos,
+                          std::span<Vec3> forces,
+                          EnergyReport& energy) const {
+  const size_t n = pos.size();
+  ANTON_CHECK(static_cast<int>(n) == top.num_atoms());
+  const PhaseTables phases = build_phases(box_, pos, nmax_);
+  const auto q = top.charges();
+  const double pref = units::kCoulomb * 2.0 * M_PI / box_.volume();
+
+  double e_total = 0.0;
+  double w_total = 0.0;
+  for_each_k(box_, alpha_, nmax_, [&](int nx, int ny, int nz, const Vec3& k,
+                                      double a) {
+    // Structure factor.
+    Cx s{0, 0};
+    for (size_t i = 0; i < n; ++i) {
+      s += q[i] * phases.phase(nx, ny, nz, i);
+    }
+    // Half-space: factor 2 accounts for -k.
+    const double e_k = 2.0 * a * std::norm(s);
+    e_total += e_k;
+    // Analytic reciprocal-space virial: W_k = E_k (1 - k²/(2α²)).
+    w_total += e_k * (1.0 - norm2(k) / (2.0 * alpha_ * alpha_));
+
+    // Forces: F_i = C (4π/V) q_i Σ_k A(k) k Im[S*(k) e^{ik·r_i}]; doubling
+    // for -k already included via the factor 2 below.
+    const Cx s_conj = std::conj(s);
+    for (size_t i = 0; i < n; ++i) {
+      const Cx e_ikr = phases.phase(nx, ny, nz, i);
+      const double im = (s_conj * e_ikr).imag();
+      const double c = 2.0 * pref * 2.0 * a * q[i] * im;
+      forces[i] += c * k;
+    }
+  });
+  energy.coulomb_kspace += pref * e_total;
+  energy.virial += pref * w_total;
+}
+
+double EwaldDirect::energy_only(const Topology& top,
+                                std::span<const Vec3> pos) const {
+  const size_t n = pos.size();
+  const PhaseTables phases = build_phases(box_, pos, nmax_);
+  const auto q = top.charges();
+  double e_total = 0.0;
+  for_each_k(box_, alpha_, nmax_,
+             [&](int nx, int ny, int nz, const Vec3&, double a) {
+               Cx s{0, 0};
+               for (size_t i = 0; i < n; ++i) {
+                 s += q[i] * phases.phase(nx, ny, nz, i);
+               }
+               e_total += 2.0 * a * std::norm(s);
+             });
+  return units::kCoulomb * 2.0 * M_PI / box_.volume() * e_total;
+}
+
+}  // namespace anton::md

@@ -1,0 +1,36 @@
+// Exact reciprocal-space Ewald sum (direct summation over k-vectors).
+//
+// O(N·K) — used as the gold standard that validates the mesh-based
+// Gaussian-split-Ewald solver, and for small test systems.  Combined with
+// the erfc real-space part (nonbonded.h), the self term and the excluded-
+// pair correction, this yields the exact periodic Coulomb energy.
+#pragma once
+
+#include <span>
+
+#include "chem/topology.h"
+#include "common/vec3.h"
+#include "geom/box.h"
+#include "md/params.h"
+
+namespace anton::md {
+
+class EwaldDirect {
+ public:
+  // nmax: include all k = 2π(nx/Lx, ny/Ly, nz/Lz) with |ni| <= nmax, k != 0.
+  EwaldDirect(const Box& box, double alpha, int nmax);
+
+  // Adds reciprocal-space forces; energy lands in energy.coulomb_kspace.
+  void compute(const Topology& top, std::span<const Vec3> pos,
+               std::span<Vec3> forces, EnergyReport& energy) const;
+
+  // Energy only (no forces) — used by finite-difference force tests.
+  double energy_only(const Topology& top, std::span<const Vec3> pos) const;
+
+ private:
+  Box box_;
+  double alpha_;
+  int nmax_;
+};
+
+}  // namespace anton::md

@@ -1,0 +1,93 @@
+#include "md/forces.h"
+
+#include <algorithm>
+
+#include "md/bonded.h"
+#include "md/nonbonded.h"
+
+namespace anton::md {
+
+ForceCompute::ForceCompute(std::shared_ptr<const Topology> top, Box box,
+                           MdParams params, ThreadPool* pool)
+    : top_(std::move(top)),
+      box_(box),
+      params_(params),
+      pool_(pool),
+      nlist_(params.cutoff, params.skin) {
+  ANTON_CHECK(top_ && top_->finalized());
+  switch (params_.long_range) {
+    case LongRangeMethod::kDirect:
+      ewald_ = std::make_unique<EwaldDirect>(box_, params_.ewald_alpha,
+                                             params_.kspace_nmax);
+      break;
+    case LongRangeMethod::kMesh:
+      gse_ = std::make_unique<GseMesh>(box_, params_.ewald_alpha,
+                                       params_.mesh_spacing,
+                                       params_.gse_sigma);
+      break;
+    case LongRangeMethod::kNone:
+      break;
+  }
+  if (params_.long_range != LongRangeMethod::kNone) {
+    ANTON_CHECK_MSG(std::abs(top_->total_charge()) < 1e-6,
+                    "Ewald requires a neutral system; net charge = "
+                        << top_->total_charge());
+  }
+}
+
+void ForceCompute::maybe_rebuild(std::span<const Vec3> pos) {
+  if (!nlist_.built() || nlist_.needs_rebuild(box_, pos)) {
+    nlist_.build(box_, pos, *top_);
+    ++nlist_builds_;
+  }
+}
+
+EnergyReport ForceCompute::compute_short(std::span<const Vec3> pos,
+                                         std::span<Vec3> forces) {
+  std::fill(forces.begin(), forces.end(), Vec3{});
+  maybe_rebuild(pos);
+  EnergyReport e;
+  compute_all_bonded(box_, *top_, pos, forces, e);
+  const double alpha =
+      params_.long_range == LongRangeMethod::kNone ? 0.0 : params_.ewald_alpha;
+  compute_nonbonded(box_, *top_, nlist_, pos, alpha, forces, e, pool_,
+                    params_.shift_at_cutoff);
+  if (params_.long_range != LongRangeMethod::kNone) {
+    compute_excluded_correction(box_, *top_, pos, params_.ewald_alpha, forces,
+                                e);
+  }
+  return e;
+}
+
+EnergyReport ForceCompute::compute_long(std::span<const Vec3> pos,
+                                        std::span<Vec3> forces) {
+  std::fill(forces.begin(), forces.end(), Vec3{});
+  EnergyReport e;
+  switch (params_.long_range) {
+    case LongRangeMethod::kDirect:
+      ewald_->compute(*top_, pos, forces, e);
+      e.coulomb_self += ewald_self_energy(*top_, params_.ewald_alpha);
+      break;
+    case LongRangeMethod::kMesh:
+      gse_->compute(*top_, pos, forces, e);
+      e.coulomb_self += ewald_self_energy(*top_, params_.ewald_alpha);
+      break;
+    case LongRangeMethod::kNone:
+      break;
+  }
+  return e;
+}
+
+EnergyReport ForceCompute::compute_all(std::span<const Vec3> pos,
+                                       std::span<Vec3> forces) {
+  EnergyReport e = compute_short(pos, forces);
+  std::vector<Vec3> f_long(forces.size());
+  const EnergyReport e_long = compute_long(pos, f_long);
+  for (size_t i = 0; i < forces.size(); ++i) forces[i] += f_long[i];
+  e.coulomb_kspace += e_long.coulomb_kspace;
+  e.coulomb_self += e_long.coulomb_self;
+  e.virial += e_long.virial;
+  return e;
+}
+
+}  // namespace anton::md

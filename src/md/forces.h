@@ -1,0 +1,55 @@
+// Force orchestration: combines bonded, range-limited nonbonded and
+// long-range electrostatic contributions, managing the neighbour list and
+// the RESPA short/long split.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "chem/system.h"
+#include "common/threadpool.h"
+#include "md/ewald.h"
+#include "md/gse.h"
+#include "md/neighborlist.h"
+#include "md/params.h"
+
+namespace anton::md {
+
+class ForceCompute {
+ public:
+  ForceCompute(std::shared_ptr<const Topology> top, Box box, MdParams params,
+               ThreadPool* pool = nullptr);
+
+  const MdParams& params() const { return params_; }
+
+  // Short-range ("fast") forces: bonded terms, LJ + real-space Coulomb,
+  // excluded-pair correction.  Rebuilds the neighbour list when stale.
+  // Forces are *overwritten* (not accumulated).
+  EnergyReport compute_short(std::span<const Vec3> pos,
+                             std::span<Vec3> forces);
+
+  // Long-range ("slow") forces: reciprocal-space Ewald + self energy.
+  // Forces are overwritten.  No-op (zero forces) for kNone.
+  EnergyReport compute_long(std::span<const Vec3> pos, std::span<Vec3> forces);
+
+  // Both, summed; for single-timestep integration and energy reporting.
+  EnergyReport compute_all(std::span<const Vec3> pos, std::span<Vec3> forces);
+
+  const NeighborList& nlist() const { return nlist_; }
+  int64_t pair_count() const { return nlist_.num_pairs(); }
+  int64_t nlist_builds() const { return nlist_builds_; }
+
+ private:
+  void maybe_rebuild(std::span<const Vec3> pos);
+
+  std::shared_ptr<const Topology> top_;
+  Box box_;
+  MdParams params_;
+  ThreadPool* pool_;
+  NeighborList nlist_;
+  std::unique_ptr<EwaldDirect> ewald_;
+  std::unique_ptr<GseMesh> gse_;
+  int64_t nlist_builds_ = 0;
+};
+
+}  // namespace anton::md

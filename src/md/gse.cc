@@ -1,0 +1,212 @@
+#include "md/gse.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace anton::md {
+
+namespace {
+// Signed frequency for DFT bin f of an n-point transform.
+int signed_freq(int f, int n) { return f <= n / 2 ? f : f - n; }
+}  // namespace
+
+GseMesh::GseMesh(const Box& box, double alpha, double spacing, double sigma)
+    : box_(box),
+      alpha_(alpha),
+      sigma_(sigma),
+      nx_(next_power_of_two(
+          std::max(4, static_cast<int>(std::ceil(box.lengths().x / spacing))))),
+      ny_(next_power_of_two(
+          std::max(4, static_cast<int>(std::ceil(box.lengths().y / spacing))))),
+      nz_(next_power_of_two(
+          std::max(4, static_cast<int>(std::ceil(box.lengths().z / spacing))))),
+      fft_(nx_, ny_, nz_) {
+  ANTON_CHECK_MSG(alpha > 0 && sigma > 0, "bad GSE parameters");
+  // The kernel carries exp(-k²/4α² + σ²k²); boundedness needs σ < 1/(2α).
+  ANTON_CHECK_MSG(sigma * alpha < 0.5,
+                  "GSE deconvolution unstable: need sigma < 1/(2 alpha), got "
+                  "sigma*alpha = "
+                      << sigma * alpha);
+  h_ = {box.lengths().x / nx_, box.lengths().y / ny_, box.lengths().z / nz_};
+
+  const double support = 3.2 * sigma;
+  rx_ = std::max(1, static_cast<int>(std::ceil(support / h_.x)));
+  ry_ = std::max(1, static_cast<int>(std::ceil(support / h_.y)));
+  rz_ = std::max(1, static_cast<int>(std::ceil(support / h_.z)));
+  ANTON_CHECK_MSG(2 * rx_ + 1 <= nx_ && 2 * ry_ + 1 <= ny_ &&
+                      2 * rz_ + 1 <= nz_,
+                  "GSE spread support exceeds the mesh — box too small for "
+                  "this spacing/sigma");
+
+  // Precompute the k-space kernel: C·4π·exp(-k²/4α²)/k² · exp(+σ²k²) (the
+  // last factor deconvolves the spread *and* pre-compensates the gather).
+  // The 1/V of the Fourier series cancels against the N of the inverse DFT
+  // and one vol_cell from the Riemann sum (N·vol_cell = V).  k=0 dropped
+  // (neutral systems).
+  green_.assign(mesh_points(), 0.0);
+  virial_factor_.assign(mesh_points(), 0.0);
+  const double c = units::kCoulomb * 4.0 * M_PI;
+  const Vec3 two_pi_over_l{2.0 * M_PI / box.lengths().x,
+                           2.0 * M_PI / box.lengths().y,
+                           2.0 * M_PI / box.lengths().z};
+  for (int fz = 0; fz < nz_; ++fz) {
+    for (int fy = 0; fy < ny_; ++fy) {
+      for (int fx = 0; fx < nx_; ++fx) {
+        if (fx == 0 && fy == 0 && fz == 0) continue;
+        const double kx = signed_freq(fx, nx_) * two_pi_over_l.x;
+        const double ky = signed_freq(fy, ny_) * two_pi_over_l.y;
+        const double kz = signed_freq(fz, nz_) * two_pi_over_l.z;
+        const double k2 = kx * kx + ky * ky + kz * kz;
+        green_[fft_.index(fx, fy, fz)] =
+            c * std::exp(-k2 / (4.0 * alpha * alpha) + sigma * sigma * k2) /
+            k2;
+        // Analytic reciprocal virial factor of the *physical* energy the
+        // mesh approximates: W_k = E_k (1 - k²/(2α²)).  The spreading
+        // Gaussian and its deconvolution cancel and contribute nothing.
+        virial_factor_[fft_.index(fx, fy, fz)] =
+            1.0 - k2 / (2.0 * alpha * alpha);
+      }
+    }
+  }
+  mesh_.assign(mesh_points(), Complex{});
+  rho_.assign(mesh_points(), 0.0);
+}
+
+void GseMesh::spread(const Topology& top, std::span<const Vec3> pos) {
+  std::fill(rho_.begin(), rho_.end(), 0.0);
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma_ * sigma_);
+  const double norm3 =
+      1.0 / std::pow(2.0 * M_PI * sigma_ * sigma_, 1.5);
+  const auto q = top.charges();
+
+  std::vector<double> wx(static_cast<size_t>(2 * rx_ + 1));
+  std::vector<double> wy(static_cast<size_t>(2 * ry_ + 1));
+  std::vector<double> wz(static_cast<size_t>(2 * rz_ + 1));
+
+  for (size_t i = 0; i < pos.size(); ++i) {
+    if (q[i] == 0.0) continue;
+    const Vec3 p = box_.wrap(pos[i]);
+    const int cx = static_cast<int>(p.x / h_.x);
+    const int cy = static_cast<int>(p.y / h_.y);
+    const int cz = static_cast<int>(p.z / h_.z);
+    // Separable per-axis Gaussian factors (unnormalised per axis; the 3D
+    // normalisation is applied once in norm3).
+    for (int d = -rx_; d <= rx_; ++d) {
+      const double dx = (cx + d) * h_.x - p.x;
+      wx[static_cast<size_t>(d + rx_)] = std::exp(-dx * dx * inv_two_sigma2);
+    }
+    for (int d = -ry_; d <= ry_; ++d) {
+      const double dy = (cy + d) * h_.y - p.y;
+      wy[static_cast<size_t>(d + ry_)] = std::exp(-dy * dy * inv_two_sigma2);
+    }
+    for (int d = -rz_; d <= rz_; ++d) {
+      const double dz = (cz + d) * h_.z - p.z;
+      wz[static_cast<size_t>(d + rz_)] = std::exp(-dz * dz * inv_two_sigma2);
+    }
+    const double qn = q[i] * norm3;
+    for (int dz = -rz_; dz <= rz_; ++dz) {
+      const int mz = (cz + dz % nz_ + nz_) % nz_;
+      const double wzq = wz[static_cast<size_t>(dz + rz_)] * qn;
+      for (int dy = -ry_; dy <= ry_; ++dy) {
+        const int my = (cy + dy % ny_ + ny_) % ny_;
+        const double wyz = wy[static_cast<size_t>(dy + ry_)] * wzq;
+        const size_t row = (static_cast<size_t>(mz) * ny_ + my) * nx_;
+        for (int dx = -rx_; dx <= rx_; ++dx) {
+          const int mx = (cx + dx % nx_ + nx_) % nx_;
+          rho_[row + static_cast<size_t>(mx)] +=
+              wx[static_cast<size_t>(dx + rx_)] * wyz;
+        }
+      }
+    }
+  }
+}
+
+void GseMesh::compute(const Topology& top, std::span<const Vec3> pos,
+                      std::span<Vec3> forces, EnergyReport& energy) {
+  ANTON_CHECK(static_cast<int>(pos.size()) == top.num_atoms());
+  spread(top, pos);
+
+  for (size_t m = 0; m < mesh_.size(); ++m) {
+    mesh_[m] = Complex{rho_[m], 0.0};
+  }
+  fft_.forward(mesh_);
+  // Per-k energy e_k = vol_cell/(2N) green |ρ̂|² (Parseval); the k-space
+  // virial accumulates alongside the potential multiply.
+  const double e_k_scale =
+      (h_.x * h_.y * h_.z) / (2.0 * static_cast<double>(mesh_points()));
+  double w_kspace = 0.0;
+  for (size_t m = 0; m < mesh_.size(); ++m) {
+    w_kspace +=
+        e_k_scale * green_[m] * virial_factor_[m] * std::norm(mesh_[m]);
+    mesh_[m] *= green_[m];
+  }
+  energy.virial += w_kspace;
+  fft_.inverse(mesh_);
+  // mesh_ now holds the (deconvolved) potential φ at mesh points.
+
+  const double vol_cell = h_.x * h_.y * h_.z;
+  double e = 0.0;
+  for (size_t m = 0; m < mesh_.size(); ++m) {
+    e += rho_[m] * mesh_[m].real();
+  }
+  energy.coulomb_kspace += 0.5 * vol_cell * e;
+
+  // Gather forces: F_i = -q_i vol_cell / σ² Σ_m φ(m) G_σ(d) d,
+  // d = r_m - r_i.
+  const double inv_two_sigma2 = 1.0 / (2.0 * sigma_ * sigma_);
+  const double norm3 = 1.0 / std::pow(2.0 * M_PI * sigma_ * sigma_, 1.5);
+  const double inv_sigma2 = 1.0 / (sigma_ * sigma_);
+  const auto q = top.charges();
+
+  std::vector<double> wx(static_cast<size_t>(2 * rx_ + 1));
+  std::vector<double> wy(static_cast<size_t>(2 * ry_ + 1));
+  std::vector<double> wz(static_cast<size_t>(2 * rz_ + 1));
+  std::vector<double> dxs(wx.size()), dys(wy.size()), dzs(wz.size());
+
+  for (size_t i = 0; i < pos.size(); ++i) {
+    if (q[i] == 0.0) continue;
+    const Vec3 p = box_.wrap(pos[i]);
+    const int cx = static_cast<int>(p.x / h_.x);
+    const int cy = static_cast<int>(p.y / h_.y);
+    const int cz = static_cast<int>(p.z / h_.z);
+    for (int d = -rx_; d <= rx_; ++d) {
+      const double dx = (cx + d) * h_.x - p.x;
+      dxs[static_cast<size_t>(d + rx_)] = dx;
+      wx[static_cast<size_t>(d + rx_)] = std::exp(-dx * dx * inv_two_sigma2);
+    }
+    for (int d = -ry_; d <= ry_; ++d) {
+      const double dy = (cy + d) * h_.y - p.y;
+      dys[static_cast<size_t>(d + ry_)] = dy;
+      wy[static_cast<size_t>(d + ry_)] = std::exp(-dy * dy * inv_two_sigma2);
+    }
+    for (int d = -rz_; d <= rz_; ++d) {
+      const double dz = (cz + d) * h_.z - p.z;
+      dzs[static_cast<size_t>(d + rz_)] = dz;
+      wz[static_cast<size_t>(d + rz_)] = std::exp(-dz * dz * inv_two_sigma2);
+    }
+    Vec3 acc{};
+    for (int dz = -rz_; dz <= rz_; ++dz) {
+      const int mz = (cz + dz % nz_ + nz_) % nz_;
+      const double wzv = wz[static_cast<size_t>(dz + rz_)];
+      for (int dy = -ry_; dy <= ry_; ++dy) {
+        const int my = (cy + dy % ny_ + ny_) % ny_;
+        const double wyz = wy[static_cast<size_t>(dy + ry_)] * wzv;
+        const size_t row = (static_cast<size_t>(mz) * ny_ + my) * nx_;
+        for (int dx = -rx_; dx <= rx_; ++dx) {
+          const int mx = (cx + dx % nx_ + nx_) % nx_;
+          const double w = wx[static_cast<size_t>(dx + rx_)] * wyz;
+          const double phi = mesh_[row + static_cast<size_t>(mx)].real();
+          const double c = phi * w;
+          acc += c * Vec3{dxs[static_cast<size_t>(dx + rx_)],
+                          dys[static_cast<size_t>(dy + ry_)],
+                          dzs[static_cast<size_t>(dz + rz_)]};
+        }
+      }
+    }
+    forces[i] += (-q[i] * vol_cell * norm3 * inv_sigma2) * acc;
+  }
+}
+
+}  // namespace anton::md

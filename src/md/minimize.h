@@ -1,0 +1,30 @@
+// Constrained steepest-descent energy minimisation.
+//
+// Synthetic systems come off the builder with steric clashes (random-walk
+// solute chains, lattice water).  A few hundred clamped steepest-descent
+// steps relax them enough for stable dynamics — the same role the
+// preparation pipeline plays ahead of a real Anton run.
+#pragma once
+
+#include "chem/system.h"
+#include "common/threadpool.h"
+#include "md/params.h"
+
+namespace anton::md {
+
+struct MinimizeResult {
+  int steps = 0;
+  double initial_energy = 0;
+  double final_energy = 0;
+  double max_force = 0;  // kcal/mol/Å at exit
+};
+
+// Steepest descent with per-step displacement clamped to max_disp (Å);
+// constraints re-satisfied by SHAKE after every move.  Stops when the
+// largest atomic force drops below f_tol or after max_steps.
+MinimizeResult minimize_energy(System& system, const MdParams& params,
+                               int max_steps = 200, double max_disp = 0.1,
+                               double f_tol = 10.0,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace anton::md

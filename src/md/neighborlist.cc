@@ -1,0 +1,96 @@
+#include "md/neighborlist.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "geom/cells.h"
+
+namespace anton {
+
+NeighborList::NeighborList(double cutoff, double skin)
+    : cutoff_(cutoff), skin_(skin) {
+  ANTON_CHECK_MSG(cutoff > 0 && skin >= 0, "bad neighbour-list parameters");
+}
+
+void NeighborList::build(const Box& box, std::span<const Vec3> positions,
+                         const Topology& top) {
+  const double rl = list_radius();
+  ANTON_CHECK_MSG(rl <= box.max_cutoff(),
+                  "list radius " << rl << " exceeds minimum-image limit "
+                                 << box.max_cutoff());
+  const int n = static_cast<int>(positions.size());
+  ANTON_CHECK(n == top.num_atoms());
+
+  CellGrid grid(box, rl);
+  grid.bin(positions);
+
+  const double rl2 = rl * rl;
+  std::vector<std::vector<int>> per_atom(static_cast<size_t>(n));
+
+  const bool tiny_grid =
+      grid.nx() < 3 || grid.ny() < 3 || grid.nz() < 3;
+
+  if (tiny_grid) {
+    // Stencils alias on tiny grids; fall back to O(N²) which is only hit by
+    // very small test systems.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (box.distance2(positions[static_cast<size_t>(i)],
+                          positions[static_cast<size_t>(j)]) < rl2 &&
+            !top.excluded(i, j)) {
+          per_atom[static_cast<size_t>(i)].push_back(j);
+        }
+      }
+    }
+  } else {
+    for (int c = 0; c < grid.num_cells(); ++c) {
+      const auto atoms_c = grid.cell_atoms(c);
+      for (int nc : grid.half_stencil(c)) {
+        const auto atoms_n = grid.cell_atoms(nc);
+        for (int a : atoms_c) {
+          for (int b : atoms_n) {
+            if (nc == c && b <= a) continue;
+            const int i = std::min(a, b);
+            const int j = std::max(a, b);
+            if (box.distance2(positions[static_cast<size_t>(i)],
+                              positions[static_cast<size_t>(j)]) >= rl2) {
+              continue;
+            }
+            if (top.excluded(i, j)) continue;
+            per_atom[static_cast<size_t>(i)].push_back(j);
+          }
+        }
+      }
+    }
+  }
+
+  starts_.assign(static_cast<size_t>(n) + 1, 0);
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<int64_t>(per_atom[static_cast<size_t>(i)].size());
+    starts_[static_cast<size_t>(i) + 1] = total;
+  }
+  list_.clear();
+  list_.reserve(static_cast<size_t>(total));
+  for (int i = 0; i < n; ++i) {
+    auto& v = per_atom[static_cast<size_t>(i)];
+    std::sort(v.begin(), v.end());
+    list_.insert(list_.end(), v.begin(), v.end());
+  }
+  ref_positions_.assign(positions.begin(), positions.end());
+}
+
+bool NeighborList::needs_rebuild(const Box& box,
+                                 std::span<const Vec3> positions) const {
+  if (ref_positions_.size() != positions.size()) return true;
+  const double limit = 0.5 * skin_;
+  const double limit2 = limit * limit;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    if (norm2(box.min_image(positions[i], ref_positions_[i])) > limit2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace anton

@@ -1,0 +1,53 @@
+// Verlet neighbour list with skin, built from a cell grid in O(N).
+//
+// Pairs are stored half (each unordered pair once, j in the list of the
+// smaller partner is not guaranteed — we store by discovery order with
+// i < j enforced).  Topological exclusions are filtered at build time, so
+// force loops never branch on exclusion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chem/topology.h"
+#include "common/vec3.h"
+#include "geom/box.h"
+
+namespace anton {
+
+class NeighborList {
+ public:
+  NeighborList(double cutoff, double skin);
+
+  double cutoff() const { return cutoff_; }
+  double skin() const { return skin_; }
+  double list_radius() const { return cutoff_ + skin_; }
+
+  // Rebuilds from scratch; remembers positions for displacement tracking.
+  void build(const Box& box, std::span<const Vec3> positions,
+             const Topology& top);
+
+  // True once any atom has moved more than skin/2 since the last build.
+  bool needs_rebuild(const Box& box, std::span<const Vec3> positions) const;
+
+  // CSR access: neighbours j (all with j != i; each pair appears exactly
+  // once, under the lower index).
+  std::span<const int> neighbors_of(int i) const {
+    const auto b = starts_[static_cast<size_t>(i)];
+    const auto e = starts_[static_cast<size_t>(i) + 1];
+    return {list_.data() + b, list_.data() + e};
+  }
+  int num_atoms() const { return static_cast<int>(starts_.size()) - 1; }
+  int64_t num_pairs() const { return static_cast<int64_t>(list_.size()); }
+  bool built() const { return !starts_.empty(); }
+
+ private:
+  double cutoff_;
+  double skin_;
+  std::vector<int> list_;
+  std::vector<int64_t> starts_;
+  std::vector<Vec3> ref_positions_;
+};
+
+}  // namespace anton

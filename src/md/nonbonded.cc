@@ -1,0 +1,175 @@
+#include "md/nonbonded.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/units.h"
+
+namespace anton::md {
+
+namespace {
+
+struct PartialEnergy {
+  double lj = 0;
+  double coul = 0;
+  double virial = 0;
+};
+
+// Inner kernel over the i-range [begin, end); forces accumulated into `f`.
+PartialEnergy pair_kernel(const Box& box, const Topology& top,
+                          const NeighborList& nlist,
+                          std::span<const Vec3> pos, double alpha,
+                          double cutoff, size_t begin, size_t end,
+                          std::span<Vec3> f, bool shift) {
+  PartialEnergy e;
+  const ForceField& ff = top.forcefield();
+  const auto charges = top.charges();
+  const auto types = top.types();
+  constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+  const double cutoff2 = cutoff * cutoff;
+  // Coulomb shift term per unit qq: value of the (screened) 1/r at cutoff.
+  const double coul_shift =
+      shift ? (alpha > 0 ? std::erfc(alpha * cutoff) / cutoff : 1.0 / cutoff)
+            : 0.0;
+
+  for (size_t i = begin; i < end; ++i) {
+    const Vec3 pi = pos[i];
+    const double qi = units::kCoulomb * charges[i];
+    const int ti = types[i];
+    Vec3 fi{};
+    for (int j : nlist.neighbors_of(static_cast<int>(i))) {
+      const Vec3 d = box.min_image(pi, pos[static_cast<size_t>(j)]);
+      const double r2 = norm2(d);
+      if (r2 >= cutoff2) continue;
+      const double r = std::sqrt(r2);
+      const double inv_r2 = 1.0 / r2;
+      double f_pair = 0.0;
+
+      // Lennard-Jones.
+      const LjPair lj = ff.lj(ti, types[static_cast<size_t>(j)]);
+      if (lj.eps > 0) {
+        const double sr2 = lj.sigma * lj.sigma * inv_r2;
+        const double sr6 = sr2 * sr2 * sr2;
+        double e_lj = 4.0 * lj.eps * (sr6 * sr6 - sr6);
+        if (shift) {
+          const double src2 = lj.sigma * lj.sigma / cutoff2;
+          const double src6 = src2 * src2 * src2;
+          e_lj -= 4.0 * lj.eps * (src6 * src6 - src6);
+        }
+        f_pair += 24.0 * lj.eps * (2.0 * sr6 * sr6 - sr6) * inv_r2;
+        e.lj += e_lj;
+      }
+
+      // Coulomb (screened when alpha > 0).
+      const double qq = qi * charges[static_cast<size_t>(j)];
+      if (qq != 0.0) {
+        double e_c, f_c;
+        if (alpha > 0) {
+          const double ar = alpha * r;
+          const double erfc_ar = std::erfc(ar);
+          e_c = qq * (erfc_ar / r - coul_shift);
+          f_c = qq *
+                (erfc_ar / r + kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) *
+                inv_r2;
+        } else {
+          e_c = qq * (1.0 / r - coul_shift);
+          f_c = qq / r * inv_r2;
+        }
+        e.coul += e_c;
+        f_pair += f_c;
+      }
+
+      const Vec3 fv = f_pair * d;
+      e.virial += dot(d, fv);
+      fi += fv;
+      f[static_cast<size_t>(j)] -= fv;
+    }
+    f[i] += fi;
+  }
+  return e;
+}
+
+}  // namespace
+
+void compute_nonbonded(const Box& box, const Topology& top,
+                       const NeighborList& nlist, std::span<const Vec3> pos,
+                       double alpha, std::span<Vec3> forces,
+                       EnergyReport& energy, ThreadPool* pool,
+                       bool shift_at_cutoff) {
+  ANTON_CHECK(nlist.built());
+  ANTON_CHECK(nlist.num_atoms() == top.num_atoms());
+  const double cutoff = nlist.cutoff();
+  const size_t n = pos.size();
+
+  if (pool == nullptr || pool->size() <= 1 || n < 2048) {
+    const PartialEnergy e = pair_kernel(box, top, nlist, pos, alpha, cutoff,
+                                        0, n, forces, shift_at_cutoff);
+    energy.lj += e.lj;
+    energy.coulomb_real += e.coul;
+    energy.virial += e.virial;
+    return;
+  }
+
+  // Threaded path: per-thread force buffers, reduced afterwards.  The j-side
+  // scatter makes in-place accumulation racy otherwise.
+  const unsigned nthreads = pool->size();
+  std::vector<std::vector<Vec3>> buffers(nthreads,
+                                         std::vector<Vec3>(n, Vec3{}));
+  std::vector<PartialEnergy> partials(nthreads);
+  const size_t chunk = (n + nthreads - 1) / nthreads;
+  pool->for_each_thread([&](unsigned t) {
+    const size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
+    const size_t end = std::min(n, begin + chunk);
+    if (begin < end) {
+      partials[t] = pair_kernel(box, top, nlist, pos, alpha, cutoff, begin,
+                                end, buffers[t], shift_at_cutoff);
+    }
+  });
+  for (unsigned t = 0; t < nthreads; ++t) {
+    energy.lj += partials[t].lj;
+    energy.coulomb_real += partials[t].coul;
+    energy.virial += partials[t].virial;
+    const auto& buf = buffers[t];
+    for (size_t i = 0; i < n; ++i) forces[i] += buf[i];
+  }
+}
+
+double ewald_self_energy(const Topology& top, double alpha) {
+  double q2 = 0;
+  for (double q : top.charges()) q2 += q * q;
+  return -units::kCoulomb * alpha / std::sqrt(M_PI) * q2;
+}
+
+void compute_excluded_correction(const Box& box, const Topology& top,
+                                 std::span<const Vec3> pos, double alpha,
+                                 std::span<Vec3> forces,
+                                 EnergyReport& energy) {
+  constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+  for (int i = 0; i < top.num_atoms(); ++i) {
+    const double qi = units::kCoulomb * top.charge(i);
+    if (qi == 0.0) continue;
+    for (int j : top.exclusions_of(i)) {
+      const double qq = qi * top.charge(j);
+      if (qq == 0.0) continue;
+      const Vec3 d = box.min_image(pos[static_cast<size_t>(i)],
+                                   pos[static_cast<size_t>(j)]);
+      const double r2 = norm2(d);
+      const double r = std::sqrt(r2);
+      const double ar = alpha * r;
+      const double erf_ar = std::erf(ar);
+      // Subtract E = qq erf(ar)/r.
+      energy.coulomb_excl -= qq * erf_ar / r;
+      // F_i for energy -qq erf(ar)/r: gradient of erf/r is
+      // (2a/sqrt(pi) exp(-a²r²) r - erf(ar)) / r²  along r̂.
+      const double f_mag =
+          -qq *
+          (erf_ar / r - kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) / r2;
+      const Vec3 f = f_mag * d;
+      energy.virial += dot(d, f);
+      forces[static_cast<size_t>(i)] += f;
+      forces[static_cast<size_t>(j)] -= f;
+    }
+  }
+}
+
+}  // namespace anton::md

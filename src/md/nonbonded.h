@@ -1,0 +1,45 @@
+// Range-limited nonbonded forces: Lennard-Jones plus the real-space
+// (erfc-screened) part of Ewald electrostatics, evaluated over a Verlet
+// neighbour list.  This is exactly the work Anton's HTIS pipelines perform;
+// the machine model derives PPIM occupancy from the same pair counts.
+#pragma once
+
+#include <span>
+
+#include "chem/topology.h"
+#include "common/threadpool.h"
+#include "common/vec3.h"
+#include "geom/box.h"
+#include "md/neighborlist.h"
+#include "md/params.h"
+
+namespace anton::md {
+
+// Accumulates LJ + real-space Coulomb forces/energies over the list.
+// If `pool` is non-null the pair loop is parallelised with per-thread force
+// buffers (deterministic for a fixed thread count).
+//
+// Electrostatics mode:
+//   - alpha > 0: erfc(alpha r)/r screened Coulomb (Ewald real-space part)
+//   - alpha == 0: plain cutoff Coulomb (LongRangeMethod::kNone)
+//
+// With shift_at_cutoff, each pair's LJ and Coulomb energies are shifted so
+// they vanish at the cutoff (forces unchanged) — the conserved quantity is
+// then continuous as pairs cross the cutoff.
+void compute_nonbonded(const Box& box, const Topology& top,
+                       const NeighborList& nlist, std::span<const Vec3> pos,
+                       double alpha, std::span<Vec3> forces,
+                       EnergyReport& energy, ThreadPool* pool = nullptr,
+                       bool shift_at_cutoff = false);
+
+// Ewald self-energy: -C * alpha/sqrt(pi) * sum q_i^2.  Pure energy term.
+double ewald_self_energy(const Topology& top, double alpha);
+
+// Excluded-pair correction: the reciprocal sum includes *all* pairs, so for
+// every topologically excluded pair we subtract the interaction of the
+// screening charges: E -= C q_i q_j erf(alpha r)/r, with matching forces.
+void compute_excluded_correction(const Box& box, const Topology& top,
+                                 std::span<const Vec3> pos, double alpha,
+                                 std::span<Vec3> forces, EnergyReport& energy);
+
+}  // namespace anton::md

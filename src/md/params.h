@@ -1,0 +1,93 @@
+// Simulation parameters and energy bookkeeping shared by the functional MD
+// engine and the machine model.
+#pragma once
+
+#include <string>
+
+namespace anton {
+
+enum class ThermostatKind {
+  kNone,            // NVE
+  kLangevin,        // stochastic, uses langevin_gamma_per_fs
+  kBerendsen,       // weak coupling, uses thermostat_tau_fs
+  kVelocityRescale, // deterministic exponential rescale to the target
+};
+
+enum class BarostatKind {
+  kNone,
+  kBerendsen,  // weak-coupling isotropic box rescaling
+};
+
+enum class LongRangeMethod {
+  kNone,    // cutoff-only electrostatics (cheap, for tests)
+  kDirect,  // exact Ewald with direct k-space sum (validation gold standard)
+  kMesh,    // Gaussian-split Ewald on an FFT mesh (production; what Anton runs)
+};
+
+struct MdParams {
+  // Pairwise range interactions.
+  double cutoff = 9.0;        // Å — LJ and real-space Ewald cutoff
+  double skin = 1.0;          // Å — Verlet-list skin
+  // Shift pair potentials to zero at the cutoff (removes the energy jump
+  // when pairs cross the cutoff; essential for NVE conservation with
+  // moderate cutoffs).  Forces are unchanged.
+  bool shift_at_cutoff = true;
+
+  // Ewald splitting.
+  double ewald_alpha = 0.35;  // 1/Å
+  LongRangeMethod long_range = LongRangeMethod::kMesh;
+  int kspace_nmax = 8;        // direct Ewald: |n_x|,|n_y|,|n_z| <= nmax
+  double mesh_spacing = 1.1;  // Å — target GSE mesh spacing (rounded to pow2)
+  double gse_sigma = 1.2;     // Å — GSE spreading Gaussian width
+
+  // Integration.
+  double dt_fs = 2.5;         // inner timestep, femtoseconds
+  int respa_k = 2;            // evaluate k-space every respa_k steps (1 = off)
+  double shake_tol = 1e-8;    // relative constraint tolerance
+  int shake_max_iter = 500;
+
+  // Temperature control.  For backward compatibility, a nonzero
+  // langevin_gamma_per_fs with thermostat == kNone behaves as kLangevin.
+  ThermostatKind thermostat = ThermostatKind::kNone;
+  double temperature_k = 300.0;
+  double langevin_gamma_per_fs = 0.0;
+  double thermostat_tau_fs = 100.0;  // Berendsen / rescale coupling time
+
+  // Pressure control (isotropic).  The box and all molecule centres rescale
+  // every barostat_interval steps; rigid molecules translate without
+  // deformation.  Effective coupling: dV/V = -compressibility *
+  // (interval*dt/tau) * (P0 - P).
+  BarostatKind barostat = BarostatKind::kNone;
+  double pressure_bar = 1.0;
+  double barostat_tau_fs = 1000.0;
+  int barostat_interval = 10;
+  double compressibility_per_bar = 4.5e-5;  // liquid water
+
+  uint64_t seed = 1234;
+};
+
+struct EnergyReport {
+  double bond = 0;
+  double angle = 0;
+  double dihedral = 0;
+  double lj = 0;
+  double pair14 = 0;          // scaled 1-4 LJ + Coulomb
+  double restraint = 0;       // position + distance restraints
+  double coulomb_real = 0;    // short-range erfc part (or plain if kNone)
+  double coulomb_kspace = 0;  // reciprocal part
+  double coulomb_self = 0;    // Ewald self-energy (negative)
+  double coulomb_excl = 0;    // excluded-pair correction (negative)
+  double kinetic = 0;
+  // Clausius virial W = sum r_ij . F_ij over all interactions (kcal/mol).
+  // Constraint forces are not included; use unconstrained systems for
+  // quantitative pressure work.
+  double virial = 0;
+
+  double potential() const {
+    return bond + angle + dihedral + lj + pair14 + restraint +
+           coulomb_real + coulomb_kspace + coulomb_self + coulomb_excl;
+  }
+  double total() const { return potential() + kinetic; }
+};
+
+}  // namespace anton

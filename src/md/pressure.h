@@ -1,0 +1,30 @@
+// Instantaneous pressure from the Clausius virial.
+//
+//   P = (2 KE + W) / (3 V),   W = Σ r_ij · F_ij
+//
+// Every force kernel accumulates its virial contribution into
+// EnergyReport::virial; reciprocal-space solvers use the analytic
+// k-space virial.  Constraint forces are not included (see params.h).
+#pragma once
+
+#include "chem/system.h"
+#include "md/params.h"
+
+namespace anton::md {
+
+// 1 kcal/mol/Å³ expressed in bar.
+inline constexpr double kPressureBar = 69476.95;
+
+// Pressure in kcal/mol/Å³; multiply by kPressureBar for bar.
+inline double instantaneous_pressure(const System& system,
+                                     const EnergyReport& energy) {
+  const double ke = system.kinetic_energy();
+  return (2.0 * ke + energy.virial) / (3.0 * system.box().volume());
+}
+
+inline double instantaneous_pressure_bar(const System& system,
+                                         const EnergyReport& energy) {
+  return instantaneous_pressure(system, energy) * kPressureBar;
+}
+
+}  // namespace anton::md

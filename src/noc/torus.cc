@@ -1,0 +1,209 @@
+#include "noc/torus.h"
+
+#include <algorithm>
+#include <map>
+
+namespace anton::noc {
+
+Torus::Torus(const TorusConfig& config, sim::EventQueue* queue)
+    : config_(config), queue_(queue) {
+  ANTON_CHECK(queue != nullptr);
+  ANTON_CHECK_MSG(config.nx >= 1 && config.ny >= 1 && config.nz >= 1,
+                  "torus dimensions must be positive");
+  ANTON_CHECK(config.link_bandwidth_gbs > 0 && config.hop_latency_ns >= 0);
+  link_free_.assign(static_cast<size_t>(num_nodes()) * 6, 0.0);
+  link_busy_total_.assign(link_free_.size(), 0.0);
+  link_derate_.assign(link_free_.size(), 1.0);
+  for (const auto& d : config.derated_links) {
+    derate_link(d.node, d.dir, d.factor);
+  }
+}
+
+void Torus::derate_link(int node, int dir, double factor) {
+  ANTON_CHECK_MSG(node >= 0 && node < num_nodes() && dir >= 0 && dir < 6,
+                  "bad link id (" << node << "," << dir << ")");
+  ANTON_CHECK_MSG(factor >= 1.0, "derate factor must be >= 1");
+  link_derate_[static_cast<size_t>(link_index({node, dir}))] = factor;
+}
+
+namespace {
+// Steps along one ring axis taking the shorter way; returns (+1/-1 step,
+// number of hops).
+std::pair<int, int> ring_steps(int from, int to, int n) {
+  int fwd = (to - from % n + n) % n;
+  fwd = (to - from + n) % n;
+  const int bwd = n - fwd;
+  if (fwd == 0) return {0, 0};
+  if (fwd <= bwd) return {+1, fwd};
+  return {-1, bwd};
+}
+}  // namespace
+
+std::vector<LinkId> Torus::route_ordered(int src, int dst,
+                                         const int (&axis_order)[3]) const {
+  std::vector<LinkId> links;
+  int x, y, z, dx, dy, dz;
+  coords(src, &x, &y, &z);
+  coords(dst, &dx, &dy, &dz);
+
+  const int dims[3] = {config_.nx, config_.ny, config_.nz};
+  int cur[3] = {x, y, z};
+  const int target[3] = {dx, dy, dz};
+  for (int a = 0; a < 3; ++a) {
+    const int axis = axis_order[a];
+    const auto [step, hops] = ring_steps(cur[axis], target[axis], dims[axis]);
+    for (int h = 0; h < hops; ++h) {
+      const int dir = axis * 2 + (step > 0 ? 0 : 1);
+      links.push_back({rank(cur[0], cur[1], cur[2]), dir});
+      cur[axis] = (cur[axis] + step + dims[axis]) % dims[axis];
+    }
+  }
+  return links;
+}
+
+std::vector<LinkId> Torus::route(int src, int dst) const {
+  static constexpr int kOrders[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                        {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  if (config_.routing == RoutingPolicy::kRandomizedOrder) {
+    // Deterministic hash of (src, dst, per-torus sequence number): the same
+    // simulation replays identically, but repeated traffic between a node
+    // pair spreads across all six minimal path families.
+    uint64_t h = 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(src) * 0xBF58476D1CE4E5B9ull;
+    h ^= static_cast<uint64_t>(dst) * 0x94D049BB133111EBull;
+    h ^= ++route_seq_;
+    h *= 0xD2B74407B1CE6E93ull;
+    h ^= h >> 29;
+    return route_ordered(src, dst, kOrders[h % 6]);
+  }
+  return route_ordered(src, dst, kOrders[0]);
+}
+
+int Torus::hop_count(int src, int dst) const {
+  int x, y, z, dx, dy, dz;
+  coords(src, &x, &y, &z);
+  coords(dst, &dx, &dy, &dz);
+  const int dims[3] = {config_.nx, config_.ny, config_.nz};
+  const int a[3] = {x, y, z}, b[3] = {dx, dy, dz};
+  int hops = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    hops += ring_steps(a[axis], b[axis], dims[axis]).second;
+  }
+  return hops;
+}
+
+sim::SimTime Torus::traverse(std::span<const LinkId> links,
+                             double wire_bytes) {
+  const double base_ser_ns =
+      wire_bytes / config_.link_bandwidth_gbs;  // B / (GB/s) = ns
+  sim::SimTime head = queue_->now() + config_.injection_overhead_ns;
+  double last_ser_ns = base_ser_ns;
+  for (const auto& l : links) {
+    const size_t idx = static_cast<size_t>(link_index(l));
+    const double ser_ns = base_ser_ns * link_derate_[idx];
+    const sim::SimTime start = std::max(head, link_free_[idx]);
+    link_free_[idx] = start + ser_ns;
+    link_busy_total_[idx] += ser_ns;
+    head = start + config_.hop_latency_ns;
+    last_ser_ns = ser_ns;
+  }
+  // Tail clears the final link one serialization time after the head leaves.
+  return head + last_ser_ns;
+}
+
+void Torus::unicast(int src, int dst, double bytes,
+                    std::function<void()> on_delivery) {
+  ANTON_CHECK(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
+  ANTON_CHECK(bytes >= 0);
+  const double wire_bytes = bytes + config_.packet_overhead_bytes;
+  sim::SimTime deliver;
+  int hops = 0;
+  if (src == dst) {
+    deliver = queue_->now() + config_.injection_overhead_ns;
+  } else {
+    const auto links = route(src, dst);
+    hops = static_cast<int>(links.size());
+    deliver = traverse(links, wire_bytes);
+  }
+  stats_.messages++;
+  // total_bytes counts link-bytes (payload × links traversed) so unicast and
+  // multicast accounting are comparable.
+  stats_.total_bytes += wire_bytes * std::max(1, hops);
+  stats_.latency_ns.add(deliver - queue_->now());
+  stats_.hops.add(hops);
+  queue_->schedule_at(deliver, std::move(on_delivery));
+}
+
+void Torus::multicast(int src, std::span<const int> dsts, double bytes,
+                      std::function<void(int)> on_delivery) {
+  ANTON_CHECK(bytes >= 0);
+  const double wire_bytes = bytes + config_.packet_overhead_bytes;
+  const double ser_ns = wire_bytes / config_.link_bandwidth_gbs;
+
+  // Dimension-ordered tree: union of the unicast routes.  Each tree link is
+  // charged once; a node's delivery time is the head arrival at that node
+  // plus the final serialization.
+  std::map<std::pair<int, int>, sim::SimTime> head_at_link;  // (node,dir)->start
+  const sim::SimTime inject = queue_->now() + config_.injection_overhead_ns;
+
+  for (int dst : dsts) {
+    ANTON_CHECK(dst >= 0 && dst < num_nodes());
+    sim::SimTime head = inject;
+    int hops = 0;
+    double last_ser_ns = ser_ns;
+    if (dst != src) {
+      // Multicast trees are always dimension-ordered: the hardware tree
+      // relies on branches sharing route prefixes, which randomised axis
+      // order would destroy.
+      static constexpr int kDor[3] = {0, 1, 2};
+      for (const auto& l : route_ordered(src, dst, kDor)) {
+        const auto key = std::make_pair(l.node, l.dir);
+        const size_t idx = static_cast<size_t>(link_index(l));
+        const double link_ser = ser_ns * link_derate_[idx];
+        const auto it = head_at_link.find(key);
+        if (it != head_at_link.end()) {
+          // Link already carries the payload for an earlier branch; this
+          // branch rides along.
+          head = it->second + config_.hop_latency_ns;
+        } else {
+          const sim::SimTime start = std::max(head, link_free_[idx]);
+          link_free_[idx] = start + link_ser;
+          link_busy_total_[idx] += link_ser;
+          head_at_link.emplace(key, start);
+          head = start + config_.hop_latency_ns;
+        }
+        last_ser_ns = link_ser;
+        ++hops;
+      }
+    }
+    const sim::SimTime deliver = head + (dst == src ? 0.0 : last_ser_ns);
+    stats_.messages++;
+    stats_.latency_ns.add(deliver - queue_->now());
+    stats_.hops.add(hops);
+    queue_->schedule_at(deliver, [on_delivery, dst] { on_delivery(dst); });
+  }
+  // Actual tree traffic: one payload per tree link.
+  stats_.total_bytes += wire_bytes * static_cast<double>(head_at_link.size());
+}
+
+const NocStats& Torus::stats() {
+  stats_.max_link_busy_ns = busiest_link_ns();
+  stats_.total_link_busy_ns = 0;
+  for (double b : link_busy_total_) stats_.total_link_busy_ns += b;
+  return stats_;
+}
+
+double Torus::busiest_link_ns() const {
+  double m = 0;
+  for (double b : link_busy_total_) m = std::max(m, b);
+  return m;
+}
+
+void Torus::reset_stats() {
+  stats_ = NocStats{};
+  std::fill(link_busy_total_.begin(), link_busy_total_.end(), 0.0);
+  // link_free_ deliberately *not* reset: occupancy persists across phases
+  // within a run; reset_stats only clears accounting.
+}
+
+}  // namespace anton::noc

@@ -1,0 +1,139 @@
+// 3D-torus interconnect model.
+//
+// Anton machines are built around a 3D torus with per-hop routers and
+// hardware multicast.  This model captures the three effects that determine
+// message timing at MD scale: distance (per-hop router latency), bandwidth
+// (per-link serialization with occupancy-based contention), and endpoint
+// injection overhead.  Routing is dimension-ordered (x, then y, then z),
+// taking the shorter way around each ring.  Multicast follows the
+// dimension-ordered tree, charging each tree link exactly once — the
+// hardware multicast the paper's import regions rely on.
+//
+// Granularity: virtual cut-through at whole-message level.  The head
+// experiences hop latency per router; each traversed link is occupied for
+// the serialization time; delivery completes when the tail clears the final
+// link.  Contention is modelled by per-link busy-until bookkeeping, which is
+// causally consistent because sends are issued from discrete events in time
+// order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/event_queue.h"
+
+namespace anton::noc {
+
+// Route-selection policy.  Dimension-ordered routing is deterministic and
+// deadlock-free but concentrates load; randomised axis order spreads
+// traffic across the (up to) 6 minimal path families, relieving hotspots at
+// the cost of a (modelled) deadlock-avoidance VC.
+enum class RoutingPolicy {
+  kDimensionOrder,
+  kRandomizedOrder,
+};
+
+struct TorusConfig {
+  int nx = 8, ny = 8, nz = 8;
+  RoutingPolicy routing = RoutingPolicy::kDimensionOrder;
+  double link_bandwidth_gbs = 10.0;    // GB/s per direction per link
+  double hop_latency_ns = 30.0;        // router traversal + wire, per hop
+  double injection_overhead_ns = 10.0; // endpoint cost per message
+  double packet_overhead_bytes = 32.0; // header/CRC added per message
+
+  // Failure injection: individual links running at reduced speed (a failing
+  // SerDes lane, a marginal cable).  factor > 1 multiplies the link's
+  // serialization time.
+  struct DeratedLink {
+    int node;
+    int dir;  // 0..5: +x,-x,+y,-y,+z,-z
+    double factor;
+  };
+  std::vector<DeratedLink> derated_links;
+
+  int num_nodes() const { return nx * ny * nz; }
+};
+
+struct LinkId {
+  int node;  // source node of the directed link
+  int dir;   // 0..5: +x,-x,+y,-y,+z,-z
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+};
+
+struct NocStats {
+  uint64_t messages = 0;
+  double total_bytes = 0;
+  RunningStat latency_ns;      // per-delivery
+  RunningStat hops;            // per-delivery
+  double max_link_busy_ns = 0; // busiest link's total occupancy
+  double total_link_busy_ns = 0;
+};
+
+class Torus {
+ public:
+  Torus(const TorusConfig& config, sim::EventQueue* queue);
+
+  const TorusConfig& config() const { return config_; }
+  int num_nodes() const { return config_.num_nodes(); }
+
+  int rank(int x, int y, int z) const {
+    return (z * config_.ny + y) * config_.nx + x;
+  }
+  void coords(int rank, int* x, int* y, int* z) const {
+    *x = rank % config_.nx;
+    *y = (rank / config_.nx) % config_.ny;
+    *z = rank / (config_.nx * config_.ny);
+  }
+
+  // Minimal route; axis order per the routing policy (randomised order
+  // hashes (src, dst, message sequence) deterministically).  Returns the
+  // sequence of directed links.
+  std::vector<LinkId> route(int src, int dst) const;
+  // Route with an explicit axis permutation (perm is a permutation of
+  // {0,1,2}).
+  std::vector<LinkId> route_ordered(int src, int dst,
+                                    const int (&axis_order)[3]) const;
+  int hop_count(int src, int dst) const;
+
+  // Sends `bytes` from src to dst; on_delivery fires at the delivery time.
+  // src == dst delivers after a fixed local-loopback cost.
+  void unicast(int src, int dst, double bytes,
+               std::function<void()> on_delivery);
+
+  // Multicasts along the dimension-ordered tree; on_delivery(dst) fires per
+  // destination at its own delivery time.  Each tree link carries the
+  // payload once.
+  void multicast(int src, std::span<const int> dsts, double bytes,
+                 std::function<void(int)> on_delivery);
+
+  const NocStats& stats();
+  void reset_stats();
+
+  // Failure injection after construction: multiplies the directed link's
+  // serialization time by `factor` (>= 1).
+  void derate_link(int node, int dir, double factor);
+
+  // Total occupancy (ns) of the busiest directed link — used by benches to
+  // report utilization.
+  double busiest_link_ns() const;
+
+ private:
+  int link_index(const LinkId& l) const {
+    return l.node * 6 + l.dir;
+  }
+  // Advances a message across `links`; returns delivery time.
+  sim::SimTime traverse(std::span<const LinkId> links, double wire_bytes);
+
+  TorusConfig config_;
+  sim::EventQueue* queue_;
+  std::vector<sim::SimTime> link_free_;   // busy-until per directed link
+  std::vector<double> link_busy_total_;   // accumulated occupancy
+  std::vector<double> link_derate_;       // serialization multiplier per link
+  mutable uint64_t route_seq_ = 0;        // randomised-routing hash input
+  NocStats stats_;
+};
+
+}  // namespace anton::noc

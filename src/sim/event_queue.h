@@ -1,0 +1,81 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in
+// insertion order.  Time is simulated nanoseconds (double) so components in
+// different clock domains (PPIM arrays, geometry cores, router pipelines)
+// compose without a global clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+
+namespace anton::sim {
+
+using SimTime = double;  // nanoseconds
+
+class EventQueue {
+ public:
+  // Schedules fn at absolute time t (>= now).
+  void schedule_at(SimTime t, std::function<void()> fn) {
+    ANTON_CHECK_MSG(t >= now_ - 1e-9, "event scheduled in the past: t="
+                                          << t << " now=" << now_);
+    heap_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  void schedule_after(SimTime delay, std::function<void()> fn) {
+    ANTON_CHECK(delay >= 0);
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+  uint64_t executed() const { return executed_; }
+
+  // Runs events until the queue drains; returns the final time.
+  SimTime run() {
+    while (!heap_.empty()) step();
+    return now_;
+  }
+
+  // Executes the single earliest event.
+  void step() {
+    ANTON_CHECK(!heap_.empty());
+    // Top must be copied out before pop so the callback may schedule more.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+
+  // Resets the clock for a fresh simulation run.
+  void reset() {
+    ANTON_CHECK_MSG(heap_.empty(), "reset with pending events");
+    now_ = 0;
+    seq_ = 0;
+    executed_ = 0;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace anton::sim

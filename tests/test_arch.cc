@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "arch/config.h"
+#include "core/timestep.h"
+
+namespace anton::arch {
+namespace {
+
+TEST(MachineConfig, Anton2PresetDerivedRates) {
+  const auto c = MachineConfig::anton2();
+  // 76 PPIMs at 1.65 GHz, one pair per cycle each.
+  EXPECT_NEAR(c.pair_rate_per_ns(), 76 * 1.65, 1e-9);
+  // 64 cores x 4 lanes x 1.65 GHz.
+  EXPECT_NEAR(c.gc_lane_rate_per_ns(), 64 * 4 * 1.65, 1e-9);
+  EXPECT_EQ(c.sync, SyncModel::kEventDriven);
+  EXPECT_EQ(c.noc.num_nodes(), 512);
+}
+
+TEST(MachineConfig, Anton1PresetIsSlowerEverywhere) {
+  const auto a1 = MachineConfig::anton1();
+  const auto a2 = MachineConfig::anton2();
+  EXPECT_LT(a1.pair_rate_per_ns(), a2.pair_rate_per_ns());
+  EXPECT_LT(a1.gc_lane_rate_per_ns(), a2.gc_lane_rate_per_ns());
+  EXPECT_LT(a1.noc.link_bandwidth_gbs, a2.noc.link_bandwidth_gbs);
+  EXPECT_GT(a1.noc.hop_latency_ns, a2.noc.hop_latency_ns);
+  EXPECT_GT(a1.gc_task_overhead_ns, a2.gc_task_overhead_ns);
+  EXPECT_EQ(a1.sync, SyncModel::kBulkSynchronous);
+}
+
+TEST(MachineConfig, BspVariantOnlyChangesSync) {
+  const auto ev = MachineConfig::anton2();
+  const auto bsp = MachineConfig::anton2_bsp();
+  EXPECT_EQ(bsp.sync, SyncModel::kBulkSynchronous);
+  EXPECT_EQ(bsp.ppims_per_node, ev.ppims_per_node);
+  EXPECT_EQ(bsp.geometry_cores, ev.geometry_cores);
+  EXPECT_DOUBLE_EQ(bsp.noc.link_bandwidth_gbs, ev.noc.link_bandwidth_gbs);
+}
+
+TEST(MachineConfig, TimeHelpers) {
+  const auto c = MachineConfig::anton2();
+  // 1254 pairs at 125.4 pairs/ns = 10 ns.
+  EXPECT_NEAR(c.htis_time_ns(1254.0), 10.0, 1e-9);
+  // gc_time: lane_cycles / (lanes * GHz).
+  EXPECT_NEAR(c.gc_time_ns(c.gc_lane_rate_per_ns() * 7.0), 7.0, 1e-9);
+  EXPECT_NEAR(c.htis_time_ns(0), 0.0, 1e-12);
+}
+
+TEST(MachineConfig, CustomTorusDims) {
+  const auto c = MachineConfig::anton2(2, 4, 8);
+  EXPECT_EQ(c.noc.nx, 2);
+  EXPECT_EQ(c.noc.ny, 4);
+  EXPECT_EQ(c.noc.nz, 8);
+  EXPECT_EQ(c.noc.num_nodes(), 64);
+}
+
+TEST(BarrierCost, ScalesWithTorusRadius) {
+  const auto small = MachineConfig::anton1(2, 2, 2);
+  const auto large = MachineConfig::anton1(8, 8, 8);
+  EXPECT_LT(core::barrier_cost_ns(small), core::barrier_cost_ns(large));
+  // Base software cost is the floor.
+  EXPECT_GE(core::barrier_cost_ns(small), small.barrier_base_ns);
+}
+
+}  // namespace
+}  // namespace anton::arch

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "common/fixed_point.h"
+#include "common/morton.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/threadpool.h"
+#include "common/units.h"
+#include "common/vec3.h"
+
+namespace anton {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(norm(Vec3(3, 4, 0)), 5.0);
+}
+
+TEST(Vec3, NormalizedHandlesZero) {
+  EXPECT_EQ(normalized(Vec3{}), Vec3{});
+  const Vec3 v = normalized(Vec3{0, 0, 2});
+  EXPECT_DOUBLE_EQ(norm(v), 1.0);
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 v{7, 8, 9};
+  EXPECT_DOUBLE_EQ(v[0], 7);
+  EXPECT_DOUBLE_EQ(v[1], 8);
+  EXPECT_DOUBLE_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_DOUBLE_EQ(v.y, 42);
+}
+
+TEST(FixedPoint, RoundTrip) {
+  for (double v : {0.0, 1.0, -1.0, 3.14159, -123.456, 1e-6}) {
+    const auto f = Fixed<32>::from_double(v);
+    EXPECT_NEAR(f.to_double(), v, Fixed<32>::resolution());
+  }
+}
+
+TEST(FixedPoint, AssociativeAccumulation) {
+  // The whole point: permuting the accumulation order changes nothing.
+  Rng rng(7, 0);
+  std::vector<Vec3> contributions;
+  for (int i = 0; i < 500; ++i) {
+    contributions.push_back(100.0 * rng.gaussian_vec3());
+  }
+  ForceFixed fwd{}, rev{};
+  for (const auto& c : contributions) fwd.accumulate(c);
+  for (auto it = contributions.rbegin(); it != contributions.rend(); ++it) {
+    rev.accumulate(*it);
+  }
+  EXPECT_EQ(fwd, rev);  // bitwise identical
+}
+
+TEST(FixedPoint, DoubleAccumulationIsNotAssociative) {
+  // Sanity check that the test above is meaningful: plain doubles do differ.
+  Rng rng(7, 0);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(1e8 * rng.gaussian());
+  double fwd = 0, rev = 0;
+  for (double x : xs) fwd += x;
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev += *it;
+  EXPECT_NE(fwd, rev);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42, 3), b(42, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 0), b(42, 1), c(43, 0);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng a2(42, 0);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(2026, 0);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, UnitVectorIsUnit) {
+  Rng rng(5, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(norm(rng.unit_vector()), 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(9, 0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.uniform_u64(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Morton, RoundTrip) {
+  Rng rng(3, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.uniform_u64(1u << 21));
+    const uint32_t y = static_cast<uint32_t>(rng.uniform_u64(1u << 21));
+    const uint32_t z = static_cast<uint32_t>(rng.uniform_u64(1u << 21));
+    const auto d = morton_decode(morton_encode(x, y, z));
+    EXPECT_EQ(d.x, x);
+    EXPECT_EQ(d.y, y);
+    EXPECT_EQ(d.z, z);
+  }
+}
+
+TEST(Morton, LocalityOrdering) {
+  // Adjacent codes should be spatially close most of the time: check the
+  // canonical property that (0,0,0) and (1,0,0) differ by 1.
+  EXPECT_EQ(morton_encode(0, 0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+  EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+}
+
+TEST(RunningStat, Basics) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStat, Merge) {
+  RunningStat a, b, all;
+  Rng rng(11, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.gaussian() * 3 + 1;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Histogram, BinningAndQuantile) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 10.0);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.2);
+  // Out-of-range clamps.
+  h.add(-5);
+  h.add(100);
+  EXPECT_EQ(h.count(0), 11u);
+  EXPECT_EQ(h.count(9), 11u);
+}
+
+TEST(Config, ParsesTypedValues) {
+  const Config c = Config::from_tokens(
+      {"nodes=512", "cutoff=9.5", "event_driven=true", "name=dhfr"});
+  EXPECT_EQ(c.get_int("nodes", 0), 512);
+  EXPECT_DOUBLE_EQ(c.get_double("cutoff", 0), 9.5);
+  EXPECT_TRUE(c.get_bool("event_driven", false));
+  EXPECT_EQ(c.get_string("name", ""), "dhfr");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+}
+
+TEST(Config, RejectsMalformed) {
+  EXPECT_THROW(Config::from_tokens({"oops"}), Error);
+  const Config c = Config::from_tokens({"x=notanumber"});
+  EXPECT_THROW(c.get_int("x", 0), Error);
+  EXPECT_THROW(c.get_bool("x", false), Error);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10000, 0);
+  pool.parallel_for(hits.size(), [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i]++;
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPool, ForEachThreadRunsOncePerThread) {
+  ThreadPool pool(3);
+  std::vector<int> marks(pool.size(), 0);
+  pool.for_each_thread([&](unsigned t) { marks[t]++; });
+  for (int m : marks) EXPECT_EQ(m, 1);
+}
+
+TEST(ThreadPool, EmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Units, TimeConversionRoundTrip) {
+  EXPECT_NEAR(units::internal_to_fs(units::fs_to_internal(2.5)), 2.5, 1e-12);
+}
+
+TEST(Units, UsPerDay) {
+  // One 2.5 fs step every 2.5 μs of wall time = 86.4 μs/day... check:
+  // steps/day = 86400/2.5e-6 = 3.456e10; fs/day = 8.64e10 fs = 86.4 μs.
+  EXPECT_NEAR(units::us_per_day(2.5, 2.5e-6), 86.4, 1e-9);
+}
+
+TEST(Error, CheckMacros) {
+  EXPECT_NO_THROW(ANTON_CHECK(1 + 1 == 2));
+  EXPECT_THROW(ANTON_CHECK(false), Error);
+  try {
+    ANTON_CHECK_MSG(false, "ctx " << 42);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+TEST(TextTable, FormatsAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::fmt(1.5)});
+  t.add_row({"beta", TextTable::fmt_int(42)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anton

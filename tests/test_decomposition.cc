@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "chem/builder.h"
+#include "core/decomposition_study.h"
+
+namespace anton::core {
+namespace {
+
+arch::MachineConfig machine(int n, double cutoff) {
+  auto cfg = arch::MachineConfig::anton2(n, n, n);
+  cfg.machine_cutoff = cutoff;
+  return cfg;
+}
+
+TEST(DecompositionStudy, SchemesCoverIdenticalPairSets) {
+  const System sys = build_water_box(729, 401, -1);
+  const auto cfg = machine(3, 6.0);
+  const auto hs =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kHalfShell);
+  const auto nt =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kNeutralTerritory);
+  EXPECT_EQ(hs.total_pairs, nt.total_pairs);
+  EXPECT_GT(hs.total_pairs, 0);
+}
+
+TEST(DecompositionStudy, SingleNodeNeedsNoImports) {
+  const System sys = build_water_box(216, 402, -1);
+  const auto cfg = machine(1, 6.0);
+  const auto hs =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kHalfShell);
+  EXPECT_DOUBLE_EQ(hs.mean_import_per_node(), 0.0);
+  EXPECT_DOUBLE_EQ(hs.total_import_bytes, 0.0);
+}
+
+TEST(DecompositionStudy, ImportExportBalance) {
+  // Total copies exported must equal total copies imported.
+  const System sys = build_water_box(729, 403, -1);
+  const auto cfg = machine(3, 6.0);
+  for (auto scheme : {DecompositionScheme::kHalfShell,
+                      DecompositionScheme::kNeutralTerritory}) {
+    const auto s = analyze_decomposition(sys, cfg, scheme);
+    EXPECT_NEAR(s.imported_atoms.sum(), s.exported_copies.sum(), 1e-9);
+  }
+}
+
+TEST(DecompositionStudy, NtWinsAtFineDecomposition) {
+  // Home boxes much smaller than the cutoff: the NT tower+plate import
+  // volume beats the half-shell import.
+  BuilderOptions o;
+  o.total_atoms = 12000;
+  o.solute_fraction = 0;
+  o.temperature_k = -1;
+  o.seed = 404;
+  const System sys = build_solvated_system(o);  // box ~49 Å
+  const auto cfg = machine(6, 9.0);             // home boxes ~8.2 Å < cutoff
+  const auto hs =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kHalfShell);
+  const auto nt =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kNeutralTerritory);
+  EXPECT_LT(nt.mean_import_per_node(), hs.mean_import_per_node());
+}
+
+TEST(DecompositionStudy, HalfShellWinsAtCoarseDecomposition) {
+  const System sys = build_water_box(1000, 405, -1);  // box ~31 Å
+  const auto cfg = machine(2, 6.0);  // home boxes 15.5 Å >> cutoff
+  const auto hs =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kHalfShell);
+  const auto nt =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kNeutralTerritory);
+  EXPECT_LE(hs.mean_import_per_node(), nt.mean_import_per_node());
+}
+
+TEST(DecompositionStudy, ImportBytesScaleWithPositionSize) {
+  const System sys = build_water_box(729, 406, -1);
+  auto cfg = machine(3, 6.0);
+  cfg.bytes_per_position = 8.0;
+  const auto a =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kHalfShell);
+  cfg.bytes_per_position = 16.0;
+  const auto b =
+      analyze_decomposition(sys, cfg, DecompositionScheme::kHalfShell);
+  EXPECT_NEAR(b.total_import_bytes, 2.0 * a.total_import_bytes, 1e-6);
+}
+
+}  // namespace
+}  // namespace anton::core

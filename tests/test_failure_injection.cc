@@ -1,0 +1,141 @@
+// Failure injection: degraded links, overload behaviour, and the
+// calibration lock that pins the headline reproduction numbers.
+#include <gtest/gtest.h>
+
+#include "chem/builder.h"
+#include "core/machine.h"
+#include "noc/torus.h"
+
+namespace anton {
+namespace {
+
+noc::TorusConfig small_noc() {
+  noc::TorusConfig c;
+  c.nx = c.ny = c.nz = 4;
+  c.link_bandwidth_gbs = 10.0;
+  c.hop_latency_ns = 20.0;
+  c.injection_overhead_ns = 5.0;
+  c.packet_overhead_bytes = 0.0;
+  return c;
+}
+
+TEST(FailureInjection, DeratedLinkSlowsTraffic) {
+  sim::EventQueue q;
+  noc::Torus t(small_noc(), &q);
+  t.derate_link(t.rank(0, 0, 0), 0, 4.0);  // +x link of origin runs at 1/4
+
+  double slow_at = 0, fast_at = 0;
+  t.unicast(t.rank(0, 0, 0), t.rank(1, 0, 0), 1000.0,
+            [&] { slow_at = q.now(); });
+  t.unicast(t.rank(0, 1, 0), t.rank(1, 1, 0), 1000.0,
+            [&] { fast_at = q.now(); });
+  q.run();
+  // Healthy: 5 + 20 + 100 = 125.  Derated: 5 + 20 + 400 = 425.
+  EXPECT_NEAR(fast_at, 125.0, 1e-9);
+  EXPECT_NEAR(slow_at, 425.0, 1e-9);
+}
+
+TEST(FailureInjection, ConfiguredDeratingAppliesAtConstruction) {
+  auto cfg = small_noc();
+  cfg.derated_links.push_back({0, 0, 8.0});
+  sim::EventQueue q;
+  noc::Torus t(cfg, &q);
+  double at = 0;
+  t.unicast(0, 1, 1000.0, [&] { at = q.now(); });
+  q.run();
+  EXPECT_NEAR(at, 5 + 20 + 800, 1e-9);
+}
+
+TEST(FailureInjection, RejectsInvalidDerating) {
+  sim::EventQueue q;
+  noc::Torus t(small_noc(), &q);
+  EXPECT_THROW(t.derate_link(-1, 0, 2.0), Error);
+  EXPECT_THROW(t.derate_link(0, 6, 2.0), Error);
+  EXPECT_THROW(t.derate_link(0, 0, 0.5), Error);  // speedup not allowed
+}
+
+TEST(FailureInjection, MulticastRoutesThroughDeratedLinkSlowly) {
+  sim::EventQueue q;
+  noc::Torus t(small_noc(), &q);
+  t.derate_link(t.rank(0, 0, 0), 0, 10.0);
+  std::map<int, double> deliver;
+  const std::vector<int> dsts{t.rank(1, 0, 0), t.rank(0, 1, 0)};
+  t.multicast(t.rank(0, 0, 0), dsts, 1000.0,
+              [&](int node) { deliver[node] = q.now(); });
+  q.run();
+  // The +x branch crawls; the +y branch is unaffected.
+  EXPECT_GT(deliver[t.rank(1, 0, 0)], 5 * deliver[t.rank(0, 1, 0)]);
+}
+
+TEST(FailureInjection, SlowLinkDegradesWholeTimestep) {
+  // A single marginal link on the 64-node machine measurably stretches the
+  // step: the event-driven schedule routes around nothing (routing is
+  // deterministic), so a victim link becomes a straggler.
+  BuilderOptions o;
+  o.total_atoms = 6000;
+  o.solute_fraction = 0.1;
+  o.temperature_k = -1;
+  o.seed = 501;
+  const System sys = build_solvated_system(o);
+
+  auto healthy = arch::MachineConfig::anton2(4, 4, 4);
+  const double t_healthy =
+      core::simulate_step(core::Workload::build(sys, healthy), healthy, {})
+          .step_ns;
+
+  auto degraded = healthy;
+  degraded.noc.derated_links.push_back({0, 0, 50.0});
+  degraded.noc.derated_links.push_back({0, 2, 50.0});
+  const double t_degraded =
+      core::simulate_step(core::Workload::build(sys, degraded), degraded, {})
+          .step_ns;
+  EXPECT_GT(t_degraded, 1.05 * t_healthy);
+}
+
+// --- calibration lock --------------------------------------------------------
+// Pins the headline reproduction numbers so future changes to the machine
+// model cannot silently drift away from the paper's claims.  Bands are
+// deliberately loose (±20%); the claims under test are factors and shapes.
+
+TEST(CalibrationLock, Dhfr512LandsNearPaperRate) {
+  const System sys = build_benchmark_system(dhfr_spec());
+  const auto r = core::AntonMachine(arch::MachineConfig::anton2())
+                     .estimate(sys, 2.5, 2);
+  EXPECT_GT(r.us_per_day(), 65.0);   // paper: 85 us/day
+  EXPECT_LT(r.us_per_day(), 100.0);
+}
+
+TEST(CalibrationLock, Anton2OverAnton1NearTenX) {
+  const System sys = build_benchmark_system(dhfr_spec());
+  const double a2 = core::AntonMachine(arch::MachineConfig::anton2())
+                        .estimate(sys, 2.5, 2)
+                        .us_per_day();
+  const double a1 = core::AntonMachine(arch::MachineConfig::anton1())
+                        .estimate(sys, 2.5, 2)
+                        .us_per_day();
+  EXPECT_GT(a2 / a1, 7.0);   // paper: "up to ten times"
+  EXPECT_LT(a2 / a1, 14.0);
+}
+
+TEST(CalibrationLock, EventDrivenAdvantageGrowsWithScale) {
+  const System sys = build_benchmark_system(dhfr_spec());
+  auto ratio_at = [&](int nodes) {
+    int nx, ny, nz;
+    core::torus_dims(nodes, &nx, &ny, &nz);
+    const double ev = core::AntonMachine(arch::MachineConfig::anton2(nx, ny, nz))
+                          .estimate(sys, 2.5, 2)
+                          .us_per_day();
+    const double bs =
+        core::AntonMachine(arch::MachineConfig::anton2_bsp(nx, ny, nz))
+            .estimate(sys, 2.5, 2)
+            .us_per_day();
+    return ev / bs;
+  };
+  const double small = ratio_at(8);
+  const double large = ratio_at(512);
+  EXPECT_GT(small, 1.0);
+  EXPECT_GT(large, 1.5 * small);
+}
+
+}  // namespace
+}  // namespace anton

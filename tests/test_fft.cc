@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace anton {
+namespace {
+
+std::vector<Complex> random_signal(size_t n, uint64_t seed) {
+  Rng rng(seed, 0);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+TEST(FftPlan, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(next_power_of_two(1), 1);
+  EXPECT_EQ(next_power_of_two(33), 64);
+  EXPECT_EQ(next_power_of_two(64), 64);
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftPlan(12), Error);
+}
+
+TEST(FftPlan, MatchesReferenceDft) {
+  for (int n : {2, 4, 8, 16, 64, 256}) {
+    auto sig = random_signal(static_cast<size_t>(n), 42 + n);
+    const auto ref = dft_reference(sig, false);
+    FftPlan plan(n);
+    plan.transform(sig, false);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(sig[static_cast<size_t>(i)].real(),
+                  ref[static_cast<size_t>(i)].real(), 1e-9);
+      EXPECT_NEAR(sig[static_cast<size_t>(i)].imag(),
+                  ref[static_cast<size_t>(i)].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FftPlan, InverseMatchesReference) {
+  auto sig = random_signal(32, 7);
+  const auto ref = dft_reference(sig, true);
+  FftPlan plan(32);
+  plan.transform(sig, true);
+  for (size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_NEAR(sig[i].real(), ref[i].real(), 1e-10);
+    EXPECT_NEAR(sig[i].imag(), ref[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftPlan, RoundTripIsIdentity) {
+  for (int n : {8, 128, 1024}) {
+    auto sig = random_signal(static_cast<size_t>(n), 11);
+    const auto orig = sig;
+    FftPlan plan(n);
+    plan.transform(sig, false);
+    plan.transform(sig, true);
+    for (size_t i = 0; i < sig.size(); ++i) {
+      EXPECT_NEAR(sig[i].real(), orig[i].real(), 1e-10);
+      EXPECT_NEAR(sig[i].imag(), orig[i].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(FftPlan, ParsevalEnergyConservation) {
+  const int n = 256;
+  auto sig = random_signal(n, 3);
+  double time_energy = 0;
+  for (const auto& v : sig) time_energy += std::norm(v);
+  FftPlan plan(n);
+  plan.transform(sig, false);
+  double freq_energy = 0;
+  for (const auto& v : sig) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-8);
+}
+
+TEST(FftPlan, DeltaTransformsToConstant) {
+  std::vector<Complex> sig(16, Complex{0, 0});
+  sig[0] = {1, 0};
+  FftPlan plan(16);
+  plan.transform(sig, false);
+  for (const auto& v : sig) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftPlan, SingleToneLandsInOneBin) {
+  const int n = 64, f = 5;
+  std::vector<Complex> sig(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double theta = 2 * M_PI * f * j / n;
+    sig[static_cast<size_t>(j)] = {std::cos(theta), std::sin(theta)};
+  }
+  FftPlan plan(n);
+  plan.transform(sig, false);
+  for (int k = 0; k < n; ++k) {
+    const double mag = std::abs(sig[static_cast<size_t>(k)]);
+    if (k == f) {
+      EXPECT_NEAR(mag, n, 1e-8);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Fft3D, RoundTrip) {
+  Fft3D fft(8, 4, 16);
+  std::vector<Complex> data(fft.num_points());
+  Rng rng(9, 0);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto orig = data;
+  fft.forward(data);
+  fft.inverse(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft3D, SeparablePlaneWave) {
+  // A single 3D plane wave should land in exactly one bin.
+  const int nx = 8, ny = 8, nz = 8;
+  const int fx = 2, fy = 3, fz = 5;
+  Fft3D fft(nx, ny, nz);
+  std::vector<Complex> data(fft.num_points());
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const double theta =
+            2 * M_PI * (double(fx * x) / nx + double(fy * y) / ny +
+                        double(fz * z) / nz);
+        data[fft.index(x, y, z)] = {std::cos(theta), std::sin(theta)};
+      }
+    }
+  }
+  fft.forward(data);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const double mag = std::abs(data[fft.index(x, y, z)]);
+        if (x == fx && y == fy && z == fz) {
+          EXPECT_NEAR(mag, double(nx) * ny * nz, 1e-7);
+        } else {
+          EXPECT_NEAR(mag, 0.0, 1e-7);
+        }
+      }
+    }
+  }
+}
+
+TEST(Fft3D, LinearityProperty) {
+  Fft3D fft(8, 8, 8);
+  auto a = random_signal(fft.num_points(), 21);
+  auto b = random_signal(fft.num_points(), 22);
+  std::vector<Complex> sum(fft.num_points());
+  for (size_t i = 0; i < sum.size(); ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  fft.forward(a);
+  fft.forward(b);
+  fft.forward(sum);
+  for (size_t i = 0; i < sum.size(); ++i) {
+    const Complex expect = 2.0 * a[i] + 3.0 * b[i];
+    EXPECT_NEAR(sum[i].real(), expect.real(), 1e-8);
+    EXPECT_NEAR(sum[i].imag(), expect.imag(), 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace anton

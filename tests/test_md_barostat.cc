@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/builder.h"
+#include "md/constraints.h"
+#include "md/engine.h"
+#include "md/pressure.h"
+
+namespace anton::md {
+namespace {
+
+MdParams npt_params() {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.dt_fs = 1.5;
+  p.respa_k = 2;
+  p.long_range = LongRangeMethod::kMesh;
+  p.thermostat = ThermostatKind::kBerendsen;
+  p.temperature_k = 300.0;
+  p.thermostat_tau_fs = 100.0;
+  p.barostat = BarostatKind::kBerendsen;
+  p.pressure_bar = 1.0;
+  p.barostat_tau_fs = 400.0;
+  p.barostat_interval = 5;
+  return p;
+}
+
+TEST(Barostat, OverpressurisedBoxExpands) {
+  // Compress a water box by 5% in volume: pressure is strongly positive, so
+  // NPT must expand it back toward (and past) nothing — strictly larger
+  // than the compressed start.
+  System sys = build_water_box(216, 701);
+  const double v_relaxed = sys.box().volume();
+  const double squeeze = std::cbrt(0.95);
+  auto pos = sys.positions();
+  for (auto& p : pos) p *= squeeze;
+  sys.set_box(Box(squeeze * sys.box().lengths()));
+  const double v0 = sys.box().volume();
+  ASSERT_LT(v0, v_relaxed);
+
+  Simulation sim(std::move(sys), npt_params());
+  sim.step(300);
+  EXPECT_GT(sim.system().box().volume(), v0 * 1.005);
+}
+
+TEST(Barostat, DifferentStartingVolumesConverge) {
+  // The truncated-shifted water model has its own equilibrium density (the
+  // missing LJ tail makes it lower than experiment), so the meaningful
+  // invariant is convergence: compressed and stretched starting boxes must
+  // move toward each other under NPT.
+  auto volume_after = [](double scale, uint64_t seed) {
+    System sys = build_water_box(216, seed);
+    const double mu = std::cbrt(scale);
+    for (auto& p : sys.positions()) p *= mu;
+    sys.set_box(Box(mu * sys.box().lengths()));
+    Simulation sim(std::move(sys), npt_params());
+    sim.step(400);
+    return sim.system().box().volume();
+  };
+  const double v_small = volume_after(0.92, 702);
+  const double v_big = volume_after(1.12, 702);
+  const double initial_gap = (1.12 - 0.92) / 0.92;  // ~22%
+  const double final_gap = std::abs(v_big - v_small) / v_small;
+  EXPECT_LT(final_gap, 0.6 * initial_gap);
+}
+
+TEST(Barostat, ConstraintsSurviveRescaling) {
+  System sys = build_water_box(125, 703);
+  Simulation sim(std::move(sys), npt_params());
+  sim.step(100);
+  EXPECT_LT(max_constraint_violation(sim.system().box(),
+                                     sim.system().topology(),
+                                     sim.system().positions()),
+            1e-6);
+}
+
+TEST(Barostat, DisabledLeavesBoxUntouched) {
+  System sys = build_water_box(125, 704);
+  const Vec3 l0 = sys.box().lengths();
+  MdParams p = npt_params();
+  p.barostat = BarostatKind::kNone;
+  Simulation sim(std::move(sys), p);
+  sim.step(50);
+  EXPECT_EQ(sim.system().box().lengths(), l0);
+}
+
+TEST(Barostat, VolumeChangeIsClamped) {
+  // Even under absurd initial pressure the per-event volume change is
+  // capped at 2%, so 300 steps with interval 5 can move volume by at most
+  // (1.02)^60 ≈ 3.3x; verify we stay well inside that envelope and nothing
+  // explodes.
+  System sys = build_water_box(125, 705);
+  const double squeeze = std::cbrt(0.80);  // brutal 20% compression
+  auto pos = sys.positions();
+  for (auto& p : pos) p *= squeeze;
+  sys.set_box(Box(squeeze * sys.box().lengths()));
+  const double v0 = sys.box().volume();
+  MdParams p = npt_params();
+  p.barostat_tau_fs = 100.0;  // aggressive coupling
+  Simulation sim(std::move(sys), p);
+  EXPECT_NO_THROW(sim.step(300));
+  const double ratio = sim.system().box().volume() / v0;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 3.5);
+}
+
+}  // namespace
+}  // namespace anton::md

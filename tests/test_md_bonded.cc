@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "chem/builder.h"
+#include "chem/topology.h"
+#include "common/rng.h"
+#include "md/bonded.h"
+#include "md/params.h"
+
+namespace anton::md {
+namespace {
+
+using EnergyFn = std::function<double(std::span<const Vec3>)>;
+
+// Central-difference force check: F = -dE/dr.
+void expect_forces_match_gradient(const EnergyFn& energy,
+                                  std::span<const Vec3> pos,
+                                  std::span<const Vec3> analytic,
+                                  double h = 1e-6, double tol = 1e-5) {
+  std::vector<Vec3> p(pos.begin(), pos.end());
+  for (size_t i = 0; i < p.size(); ++i) {
+    for (int ax = 0; ax < 3; ++ax) {
+      const double orig = p[i][ax];
+      p[i][ax] = orig + h;
+      const double ep = energy(p);
+      p[i][ax] = orig - h;
+      const double em = energy(p);
+      p[i][ax] = orig;
+      const double fd = -(ep - em) / (2 * h);
+      EXPECT_NEAR(analytic[i][ax], fd, tol)
+          << "atom " << i << " axis " << ax;
+    }
+  }
+}
+
+struct BondedFixture {
+  Box box = Box::cube(50.0);
+  ForceField ff = ForceField::standard();
+};
+
+TEST(Bonds, EnergyAtEquilibriumIsZero) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_bond({0, 1, 310.0, 1.53});
+  top.finalize();
+  std::vector<Vec3> pos{{10, 10, 10}, {11.53, 10, 10}};
+  std::vector<Vec3> f(2);
+  EnergyReport e;
+  compute_bonds(fx.box, top, pos, f, e);
+  EXPECT_NEAR(e.bond, 0.0, 1e-12);
+  EXPECT_NEAR(norm(f[0]), 0.0, 1e-9);
+}
+
+TEST(Bonds, HarmonicEnergyAndRestoring) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_bond({0, 1, 100.0, 1.5});
+  top.finalize();
+  std::vector<Vec3> pos{{0, 0, 0}, {1.7, 0, 0}};  // stretched by 0.2
+  std::vector<Vec3> f(2);
+  EnergyReport e;
+  compute_bonds(fx.box, top, pos, f, e);
+  EXPECT_NEAR(e.bond, 100.0 * 0.04, 1e-10);
+  // Atom 1 is at larger x and the bond is stretched -> restoring force -x.
+  EXPECT_LT(f[1].x, 0.0);
+  EXPECT_NEAR(f[0].x, -f[1].x, 1e-12);  // Newton's third law
+}
+
+TEST(Bonds, ForcesMatchFiniteDifference) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 3; ++i) top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_bond({0, 1, 310.0, 1.53});
+  top.add_bond({1, 2, 200.0, 1.40});
+  top.finalize();
+  std::vector<Vec3> pos{{10, 10, 10}, {11.1, 10.5, 9.8}, {12.0, 11.2, 10.4}};
+  std::vector<Vec3> f(3);
+  EnergyReport e;
+  compute_bonds(fx.box, top, pos, f, e);
+  expect_forces_match_gradient(
+      [&](std::span<const Vec3> p) {
+        EnergyReport er;
+        std::vector<Vec3> tmp(3);
+        compute_bonds(fx.box, top, p, tmp, er);
+        return er.bond;
+      },
+      pos, f);
+}
+
+TEST(Bonds, MinimumImageAcrossBoundary) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_bond({0, 1, 310.0, 1.53});
+  top.finalize();
+  // Straddles the periodic boundary: true separation is 1.53.
+  std::vector<Vec3> pos{{49.5, 10, 10}, {1.03, 10, 10}};
+  std::vector<Vec3> f(2);
+  EnergyReport e;
+  compute_bonds(fx.box, top, pos, f, e);
+  EXPECT_NEAR(e.bond, 0.0, 1e-9);
+}
+
+TEST(Angles, EnergyAtEquilibriumIsZero) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 3; ++i) top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_angle({0, 1, 2, 58.0, M_PI / 2});
+  top.finalize();
+  std::vector<Vec3> pos{{1, 0, 0}, {0, 0, 0}, {0, 1, 0}};  // 90 degrees
+  std::vector<Vec3> f(3);
+  EnergyReport e;
+  compute_angles(fx.box, top, pos, f, e);
+  EXPECT_NEAR(e.angle, 0.0, 1e-12);
+  for (const auto& fi : f) EXPECT_NEAR(norm(fi), 0.0, 1e-9);
+}
+
+TEST(Angles, ForcesMatchFiniteDifference) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 3; ++i) top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_angle({0, 1, 2, 58.0, 111.0 * M_PI / 180});
+  top.finalize();
+  std::vector<Vec3> pos{{1.4, 0.2, -0.1}, {0, 0, 0}, {-0.5, 1.3, 0.4}};
+  std::vector<Vec3> f(3);
+  EnergyReport e;
+  compute_angles(fx.box, top, pos, f, e);
+  expect_forces_match_gradient(
+      [&](std::span<const Vec3> p) {
+        EnergyReport er;
+        std::vector<Vec3> tmp(3);
+        compute_angles(fx.box, top, p, tmp, er);
+        return er.angle;
+      },
+      pos, f);
+}
+
+TEST(Angles, NetForceAndTorqueFree) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 3; ++i) top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_angle({0, 1, 2, 58.0, 1.9});
+  top.finalize();
+  std::vector<Vec3> pos{{1.5, 0.1, 0.3}, {0, 0, 0}, {-0.4, 1.2, -0.7}};
+  std::vector<Vec3> f(3);
+  EnergyReport e;
+  compute_angles(fx.box, top, pos, f, e);
+  Vec3 net{}, torque{};
+  for (int i = 0; i < 3; ++i) {
+    net += f[static_cast<size_t>(i)];
+    torque += cross(pos[static_cast<size_t>(i)], f[static_cast<size_t>(i)]);
+  }
+  EXPECT_NEAR(norm(net), 0.0, 1e-10);
+  EXPECT_NEAR(norm(torque), 0.0, 1e-10);
+}
+
+TEST(Dihedrals, AngleConvention) {
+  const Box box = Box::cube(50);
+  // cis (phi = 0): all four atoms planar, i and l on the same side.
+  EXPECT_NEAR(dihedral_angle(box, {1, 1, 0}, {1, 0, 0}, {2, 0, 0}, {2, 1, 0}),
+              0.0, 1e-12);
+  // trans (phi = pi).
+  EXPECT_NEAR(std::abs(dihedral_angle(box, {1, 1, 0}, {1, 0, 0}, {2, 0, 0},
+                                      {2, -1, 0})),
+              M_PI, 1e-12);
+  // right angle.
+  EXPECT_NEAR(std::abs(dihedral_angle(box, {1, 1, 0}, {1, 0, 0}, {2, 0, 0},
+                                      {2, 0, 1})),
+              M_PI / 2, 1e-12);
+}
+
+TEST(Dihedrals, ForcesMatchFiniteDifference) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 4; ++i) top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_dihedral({0, 1, 2, 3, 1.4, 3, 0.0});
+  top.finalize();
+  std::vector<Vec3> pos{
+      {0.1, 1.2, 0.3}, {0, 0, 0}, {1.5, 0.2, -0.1}, {2.0, 1.1, 0.8}};
+  std::vector<Vec3> f(4);
+  EnergyReport e;
+  compute_dihedrals(fx.box, top, pos, f, e);
+  expect_forces_match_gradient(
+      [&](std::span<const Vec3> p) {
+        EnergyReport er;
+        std::vector<Vec3> tmp(4);
+        compute_dihedrals(fx.box, top, p, tmp, er);
+        return er.dihedral;
+      },
+      pos, f);
+}
+
+TEST(Dihedrals, PhaseAndMultiplicity) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 4; ++i) top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_dihedral({0, 1, 2, 3, 2.0, 2, M_PI});
+  top.finalize();
+  // trans configuration: phi = pi -> E = k (1 + cos(2 pi - pi)) = k(1-1)=0.
+  std::vector<Vec3> pos{{1, 1, 0}, {1, 0, 0}, {2, 0, 0}, {2, -1, 0}};
+  std::vector<Vec3> f(4);
+  EnergyReport e;
+  compute_dihedrals(fx.box, top, pos, f, e);
+  EXPECT_NEAR(e.dihedral, 0.0, 1e-10);
+}
+
+TEST(Dihedrals, CollinearGeometrySkippedGracefully) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 4; ++i) top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_dihedral({0, 1, 2, 3, 1.4, 3, 0.0});
+  top.finalize();
+  std::vector<Vec3> pos{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+  std::vector<Vec3> f(4);
+  EnergyReport e;
+  EXPECT_NO_THROW(compute_dihedrals(fx.box, top, pos, f, e));
+  for (const auto& fi : f) EXPECT_NEAR(norm(fi), 0.0, 1e-12);
+}
+
+TEST(Pairs14, ForcesMatchFiniteDifference) {
+  BondedFixture fx;
+  Topology top(fx.ff);
+  for (int i = 0; i < 4; ++i) {
+    top.add_atom(ForceField::Std::kCB, i % 2 ? 0.3 : -0.3);
+  }
+  for (int i = 0; i < 3; ++i) top.add_bond({i, i + 1, 310.0, 1.53});
+  top.finalize();
+  ASSERT_EQ(top.pairs14().size(), 1u);
+  std::vector<Vec3> pos{
+      {0.2, 1.3, 0.1}, {0, 0, 0}, {1.5, 0.1, -0.2}, {2.1, 1.2, 0.7}};
+  std::vector<Vec3> f(4);
+  EnergyReport e;
+  compute_pairs14(fx.box, top, pos, f, e);
+  EXPECT_NE(e.pair14, 0.0);
+  expect_forces_match_gradient(
+      [&](std::span<const Vec3> p) {
+        EnergyReport er;
+        std::vector<Vec3> tmp(4);
+        compute_pairs14(fx.box, top, p, tmp, er);
+        return er.pair14;
+      },
+      pos, f, 1e-6, 1e-4);
+}
+
+TEST(AllBonded, TestMoleculeGradientConsistency) {
+  const System sys = build_test_molecule(3);
+  const Topology& top = sys.topology();
+  std::vector<Vec3> pos(sys.positions().begin(), sys.positions().end());
+  std::vector<Vec3> f(pos.size());
+  EnergyReport e;
+  compute_all_bonded(sys.box(), top, pos, f, e);
+  expect_forces_match_gradient(
+      [&](std::span<const Vec3> p) {
+        EnergyReport er;
+        std::vector<Vec3> tmp(p.size());
+        compute_all_bonded(sys.box(), top, p, tmp, er);
+        return er.bond + er.angle + er.dihedral + er.pair14;
+      },
+      pos, f, 1e-6, 2e-4);
+}
+
+}  // namespace
+}  // namespace anton::md

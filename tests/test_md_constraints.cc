@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/builder.h"
+#include "common/rng.h"
+#include "md/constraints.h"
+
+namespace anton::md {
+namespace {
+
+TEST(Shake, RestoresSingleBondLength) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_constraint({0, 1, 1.5});
+  top.finalize();
+  const Box box = Box::cube(20.0);
+
+  std::vector<Vec3> ref{{5, 5, 5}, {6.5, 5, 5}};   // satisfied
+  std::vector<Vec3> pos{{5, 5, 5}, {6.9, 5.2, 5}};  // violated after a step
+  std::vector<Vec3> vel(2);
+  const auto stats = shake(box, top, ref, pos, vel, 0.01, 1e-10, 100);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_NEAR(box.distance(pos[0], pos[1]), 1.5, 1e-7);
+}
+
+TEST(Shake, PreservesCenterOfMass) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  const int a = top.add_atom(ForceField::Std::kOW, 0.0);  // mass 16
+  const int b = top.add_atom(ForceField::Std::kHW, 0.0);  // mass 1
+  top.add_constraint({a, b, 1.0});
+  top.finalize();
+  const Box box = Box::cube(20.0);
+
+  std::vector<Vec3> ref{{5, 5, 5}, {6, 5, 5}};
+  std::vector<Vec3> pos{{5, 5, 5}, {6.4, 5, 5}};
+  const double m_o = top.mass(a), m_h = top.mass(b);
+  const Vec3 com_before =
+      (m_o * pos[0] + m_h * pos[1]) / (m_o + m_h);
+  std::vector<Vec3> vel(2);
+  shake(box, top, ref, pos, vel, 0.01, 1e-10, 100);
+  const Vec3 com_after = (m_o * pos[0] + m_h * pos[1]) / (m_o + m_h);
+  EXPECT_NEAR(norm(com_after - com_before), 0.0, 1e-10);
+  // The light atom moves far more than the heavy one.
+  EXPECT_GT(norm(pos[1] - Vec3{6.4, 5, 5}), 10 * norm(pos[0] - Vec3{5, 5, 5}));
+}
+
+TEST(Shake, WaterTriangleConverges) {
+  // Distort a rigid water and let SHAKE restore all three constraints.
+  const System sys = build_water_box(1, 40, -1);
+  const Topology& top = sys.topology();
+  std::vector<Vec3> ref(sys.positions().begin(), sys.positions().end());
+  std::vector<Vec3> pos = ref;
+  Rng rng(13, 0);
+  for (auto& p : pos) p += 0.08 * rng.gaussian_vec3();
+  std::vector<Vec3> vel(pos.size());
+  const auto stats =
+      shake(sys.box(), top, ref, pos, vel, 0.01, 1e-10, 500);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(max_constraint_violation(sys.box(), top, pos), 1e-9);
+}
+
+TEST(Shake, VelocityCorrectionApplied) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_constraint({0, 1, 1.5});
+  top.finalize();
+  const Box box = Box::cube(20.0);
+  const double dt = 0.01;
+
+  std::vector<Vec3> ref{{5, 5, 5}, {6.5, 5, 5}};
+  std::vector<Vec3> pos{{5, 5, 5}, {6.8, 5, 5}};
+  std::vector<Vec3> pos_copy = pos;
+  std::vector<Vec3> vel{{0, 0, 0}, {0, 0, 0}};
+  shake(box, top, ref, pos, vel, dt, 1e-10, 100);
+  // Δv = Δp/dt for each atom.
+  for (int i = 0; i < 2; ++i) {
+    const Vec3 dp = pos[static_cast<size_t>(i)] - pos_copy[static_cast<size_t>(i)];
+    EXPECT_NEAR(vel[static_cast<size_t>(i)].x, dp.x / dt, 1e-9);
+  }
+}
+
+TEST(Rattle, RemovesRadialVelocity) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_constraint({0, 1, 2.0});
+  top.finalize();
+  const Box box = Box::cube(20.0);
+
+  std::vector<Vec3> pos{{5, 5, 5}, {7, 5, 5}};
+  // Velocity with both radial (x) and tangential (y) components.
+  std::vector<Vec3> vel{{1.0, 0.5, 0}, {-1.0, -0.5, 0}};
+  const auto stats = rattle(box, top, pos, vel, 1e-12, 100);
+  EXPECT_TRUE(stats.converged);
+  const Vec3 r = pos[0] - pos[1];
+  EXPECT_NEAR(dot(vel[0] - vel[1], r), 0.0, 1e-9);
+  // Tangential motion preserved.
+  EXPECT_NEAR(vel[0].y, 0.5, 1e-9);
+}
+
+TEST(Rattle, ConservesMomentum) {
+  const System sys = build_water_box(8, 40, -1);
+  std::vector<Vec3> pos(sys.positions().begin(), sys.positions().end());
+  std::vector<Vec3> vel(pos.size());
+  Rng rng(14, 0);
+  for (auto& v : vel) v = rng.gaussian_vec3();
+  const auto m = sys.topology().masses();
+  Vec3 p_before{};
+  for (size_t i = 0; i < vel.size(); ++i) p_before += m[i] * vel[i];
+  rattle(sys.box(), sys.topology(), pos, vel, 1e-10, 200);
+  Vec3 p_after{};
+  for (size_t i = 0; i < vel.size(); ++i) p_after += m[i] * vel[i];
+  EXPECT_NEAR(norm(p_after - p_before), 0.0, 1e-9);
+}
+
+TEST(Constraints, NoConstraintsIsNoOp) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.finalize();
+  const Box box = Box::cube(10.0);
+  std::vector<Vec3> pos{{1, 1, 1}};
+  std::vector<Vec3> vel{{2, 2, 2}};
+  const auto s1 = shake(box, top, pos, pos, vel, 0.01, 1e-10, 10);
+  const auto s2 = rattle(box, top, pos, vel, 1e-10, 10);
+  EXPECT_TRUE(s1.converged);
+  EXPECT_TRUE(s2.converged);
+  EXPECT_EQ(vel[0], Vec3(2, 2, 2));
+}
+
+TEST(Constraints, ViolationMetric) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_constraint({0, 1, 2.0});
+  top.finalize();
+  const Box box = Box::cube(20.0);
+  std::vector<Vec3> ok{{0, 0, 0}, {2, 0, 0}};
+  EXPECT_NEAR(max_constraint_violation(box, top, ok), 0.0, 1e-12);
+  std::vector<Vec3> bad{{0, 0, 0}, {2.2, 0, 0}};
+  // |r² - d²|/d² = |4.84-4|/4 = 0.21.
+  EXPECT_NEAR(max_constraint_violation(box, top, bad), 0.21, 1e-10);
+}
+
+}  // namespace
+}  // namespace anton::md

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/builder.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "md/ewald.h"
+#include "md/gse.h"
+#include "md/neighborlist.h"
+#include "md/nonbonded.h"
+
+namespace anton::md {
+namespace {
+
+// Builds a random neutral point-charge gas (ions only, no LJ relevance).
+struct ChargeGas {
+  Box box;
+  std::shared_ptr<Topology> top;
+  std::vector<Vec3> pos;
+
+  ChargeGas(int n_pairs, double box_len, uint64_t seed) : box(Box::cube(box_len)) {
+    ForceField ff = ForceField::standard();
+    top = std::make_shared<Topology>(ff);
+    Rng rng(seed, 0);
+    for (int i = 0; i < n_pairs; ++i) {
+      top->add_atom(ForceField::Std::kION, 1.0);
+      top->add_atom(ForceField::Std::kION, -1.0);
+      pos.push_back(rng.uniform_in_box(box.lengths()));
+      pos.push_back(rng.uniform_in_box(box.lengths()));
+    }
+    top->finalize();
+  }
+};
+
+// Total Coulomb energy from the three Ewald pieces (no LJ: ION atoms do have
+// LJ but we read only the Coulomb terms).
+double total_coulomb_direct(const ChargeGas& g, double alpha, int nmax,
+                            double cutoff) {
+  NeighborList nlist(cutoff, 0.0);
+  nlist.build(g.box, g.pos, *g.top);
+  std::vector<Vec3> f(g.pos.size());
+  EnergyReport e;
+  compute_nonbonded(g.box, *g.top, nlist, g.pos, alpha, f, e);
+  EwaldDirect ewald(g.box, alpha, nmax);
+  ewald.compute(*g.top, g.pos, f, e);
+  e.coulomb_self += ewald_self_energy(*g.top, alpha);
+  compute_excluded_correction(g.box, *g.top, g.pos, alpha, f, e);
+  return e.coulomb_real + e.coulomb_kspace + e.coulomb_self + e.coulomb_excl;
+}
+
+TEST(EwaldDirect, AlphaIndependence) {
+  // The physical energy must not depend on the splitting parameter.
+  ChargeGas g(8, 14.0, 31);
+  const double e1 = total_coulomb_direct(g, 0.45, 12, 6.9);
+  const double e2 = total_coulomb_direct(g, 0.60, 14, 6.9);
+  EXPECT_NEAR(e1, e2, std::abs(e1) * 1e-4 + 1e-4);
+}
+
+TEST(EwaldDirect, MadelungConstantRockSalt) {
+  // 4x4x4 NaCl lattice (64 ions), spacing a = 2.82 Å.  Madelung constant
+  // for rock salt: E per ion pair = -1.747565 * C / a.
+  const double a = 2.82;
+  const int n = 4;
+  Box box = Box::cube(n * a);
+  ForceField ff = ForceField::standard();
+  auto top = std::make_shared<Topology>(ff);
+  std::vector<Vec3> pos;
+  for (int z = 0; z < n; ++z) {
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        top->add_atom(ForceField::Std::kION,
+                      ((x + y + z) % 2 == 0) ? 1.0 : -1.0);
+        pos.push_back({x * a, y * a, z * a});
+      }
+    }
+  }
+  top->finalize();
+
+  const double alpha = 0.8;
+  NeighborList nlist(0.49 * n * a, 0.0);
+  nlist.build(box, pos, *top);
+  std::vector<Vec3> f(pos.size());
+  EnergyReport e;
+  compute_nonbonded(box, *top, nlist, pos, alpha, f, e);
+  EwaldDirect ewald(box, alpha, 14);
+  ewald.compute(*top, pos, f, e);
+  e.coulomb_self += ewald_self_energy(*top, alpha);
+  const double total =
+      e.coulomb_real + e.coulomb_kspace + e.coulomb_self;
+  // Madelung convention: lattice energy per *ion pair* = -M C / a.
+  const double per_pair = total / (n * n * n / 2);
+  const double madelung = -per_pair * a / units::kCoulomb;
+  EXPECT_NEAR(madelung, 1.747565, 2e-4);
+
+  // Perfect lattice: forces vanish by symmetry.
+  for (const auto& fi : f) EXPECT_NEAR(norm(fi), 0.0, 1e-6);
+}
+
+TEST(EwaldDirect, ForcesMatchFiniteDifference) {
+  ChargeGas g(4, 12.0, 33);
+  const double alpha = 0.5;
+  EwaldDirect ewald(g.box, alpha, 8);
+  std::vector<Vec3> f(g.pos.size());
+  EnergyReport e;
+  ewald.compute(*g.top, g.pos, f, e);
+
+  const double h = 1e-5;
+  for (size_t i = 0; i < std::min<size_t>(3, g.pos.size()); ++i) {
+    for (int ax = 0; ax < 3; ++ax) {
+      auto at = [&](double d) {
+        std::vector<Vec3> p = g.pos;
+        p[i][ax] += d;
+        return ewald.energy_only(*g.top, p);
+      };
+      const double fd = -(at(h) - at(-h)) / (2 * h);
+      EXPECT_NEAR(f[i][ax], fd, std::abs(fd) * 1e-5 + 1e-6)
+          << "atom " << i << " axis " << ax;
+    }
+  }
+}
+
+TEST(EwaldDirect, EnergyOnlyMatchesCompute) {
+  ChargeGas g(6, 13.0, 34);
+  EwaldDirect ewald(g.box, 0.5, 8);
+  std::vector<Vec3> f(g.pos.size());
+  EnergyReport e;
+  ewald.compute(*g.top, g.pos, f, e);
+  EXPECT_NEAR(e.coulomb_kspace, ewald.energy_only(*g.top, g.pos), 1e-10);
+}
+
+TEST(GseMesh, EnergyMatchesDirectEwald) {
+  ChargeGas g(12, 16.0, 35);
+  const double alpha = 0.35;
+
+  EwaldDirect direct(g.box, alpha, 12);
+  std::vector<Vec3> fd(g.pos.size());
+  EnergyReport ed;
+  direct.compute(*g.top, g.pos, fd, ed);
+
+  GseMesh gse(g.box, alpha, 0.8, 1.1);
+  std::vector<Vec3> fg(g.pos.size());
+  EnergyReport eg;
+  gse.compute(*g.top, g.pos, fg, eg);
+
+  EXPECT_NEAR(eg.coulomb_kspace, ed.coulomb_kspace,
+              std::abs(ed.coulomb_kspace) * 2e-3 + 1e-3);
+}
+
+TEST(GseMesh, ForcesMatchDirectEwald) {
+  ChargeGas g(12, 16.0, 36);
+  const double alpha = 0.35;
+
+  EwaldDirect direct(g.box, alpha, 12);
+  std::vector<Vec3> fd(g.pos.size());
+  EnergyReport ed;
+  direct.compute(*g.top, g.pos, fd, ed);
+
+  GseMesh gse(g.box, alpha, 0.8, 1.1);
+  std::vector<Vec3> fg(g.pos.size());
+  EnergyReport eg;
+  gse.compute(*g.top, g.pos, fg, eg);
+
+  // RMS force of the direct sum sets the scale.
+  double rms = 0;
+  for (const auto& f : fd) rms += norm2(f);
+  rms = std::sqrt(rms / static_cast<double>(fd.size()));
+  for (size_t i = 0; i < fd.size(); ++i) {
+    EXPECT_NEAR(fg[i].x, fd[i].x, 0.02 * rms + 1e-4);
+    EXPECT_NEAR(fg[i].y, fd[i].y, 0.02 * rms + 1e-4);
+    EXPECT_NEAR(fg[i].z, fd[i].z, 0.02 * rms + 1e-4);
+  }
+}
+
+TEST(GseMesh, RefinementConverges) {
+  ChargeGas g(10, 15.0, 37);
+  const double alpha = 0.35;
+  EwaldDirect direct(g.box, alpha, 12);
+  std::vector<Vec3> f(g.pos.size());
+  EnergyReport ed;
+  direct.compute(*g.top, g.pos, f, ed);
+
+  // A very coarse mesh aliases badly; a fine mesh converges to a small
+  // plateau set by the truncated spreading Gaussian (~1e-3 relative).
+  auto gse_error = [&](double spacing) {
+    GseMesh gse(g.box, alpha, spacing, 1.1);
+    std::vector<Vec3> fg(g.pos.size());
+    EnergyReport eg;
+    gse.compute(*g.top, g.pos, fg, eg);
+    return std::abs(eg.coulomb_kspace - ed.coulomb_kspace);
+  };
+  const double scale = std::abs(ed.coulomb_kspace);
+  const double coarse = gse_error(3.6);
+  const double fine = gse_error(0.9);
+  EXPECT_GT(coarse, 4.0 * fine);
+  EXPECT_LT(fine, scale * 5e-3 + 5e-3);
+}
+
+TEST(GseMesh, RejectsUnstableParameters) {
+  Box box = Box::cube(20.0);
+  EXPECT_THROW(GseMesh(box, 0.5, 1.0, 1.2), Error);  // sigma*alpha = 0.6
+}
+
+TEST(GseMesh, NewtonsThirdLaw) {
+  ChargeGas g(16, 18.0, 38);
+  GseMesh gse(g.box, 0.35, 0.9, 1.1);
+  std::vector<Vec3> f(g.pos.size());
+  EnergyReport e;
+  gse.compute(*g.top, g.pos, f, e);
+  Vec3 net{};
+  for (const auto& fi : f) net += fi;
+  // Mesh methods conserve momentum only approximately; tolerance scales
+  // with the force magnitude.
+  double rms = 0;
+  for (const auto& fi : f) rms += norm2(fi);
+  rms = std::sqrt(rms / static_cast<double>(f.size()));
+  EXPECT_LT(norm(net), 0.05 * rms * std::sqrt(double(f.size())));
+}
+
+TEST(GseMesh, SupportPointsReported) {
+  Box box = Box::cube(32.0);
+  GseMesh gse(box, 0.35, 1.0, 1.2);
+  EXPECT_GT(gse.support_points(), 26);
+  EXPECT_EQ(gse.nx(), 32);
+}
+
+}  // namespace
+}  // namespace anton::md

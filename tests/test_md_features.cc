@@ -1,0 +1,176 @@
+// Tests for the extended engine features: thermostat family, restraints,
+// salt ions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/builder.h"
+#include "md/bonded.h"
+#include "md/engine.h"
+#include "md/minimize.h"
+
+namespace anton::md {
+namespace {
+
+MdParams base_params() {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.dt_fs = 1.0;
+  p.respa_k = 2;
+  p.long_range = LongRangeMethod::kMesh;
+  return p;
+}
+
+class ThermostatFamily
+    : public ::testing::TestWithParam<ThermostatKind> {};
+
+TEST_P(ThermostatFamily, DrivesColdSystemToTarget) {
+  System sys = build_water_box(125, 301);
+  sys.assign_velocities(120.0, 1);  // cold start
+  MdParams p = base_params();
+  p.thermostat = GetParam();
+  p.temperature_k = 300.0;
+  p.langevin_gamma_per_fs = 0.05;
+  p.thermostat_tau_fs = 50.0;
+  Simulation sim(std::move(sys), p);
+  sim.step(400);
+  double t_acc = 0;
+  for (int i = 0; i < 40; ++i) {
+    sim.step(2);
+    t_acc += sim.system().temperature();
+  }
+  const double t_mean = t_acc / 40;
+  EXPECT_GT(t_mean, 240.0);
+  EXPECT_LT(t_mean, 360.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ThermostatFamily,
+                         ::testing::Values(ThermostatKind::kLangevin,
+                                           ThermostatKind::kBerendsen,
+                                           ThermostatKind::kVelocityRescale));
+
+TEST(Thermostat, NoneLeavesEnergyAlone) {
+  System sys = build_water_box(125, 302);
+  MdParams p = base_params();
+  p.thermostat = ThermostatKind::kNone;
+  Simulation sim(std::move(sys), p);
+  sim.step(50);
+  const double e0 = sim.energies().total();
+  sim.step(100);
+  const double e1 = sim.energies().total();
+  EXPECT_LT(std::abs(e1 - e0), 0.01 * sim.system().kinetic_energy());
+}
+
+TEST(Thermostat, BerendsenAndRescaleAreDeterministic) {
+  auto run = [](ThermostatKind kind) {
+    System sys = build_water_box(64, 303, -1);
+    sys.assign_velocities(250.0, 9);
+    MdParams p = base_params();
+    p.cutoff = 5.0;
+    p.skin = 0.5;
+    p.thermostat = kind;
+    Simulation sim(std::move(sys), p);
+    sim.step(20);
+    return sim.system().positions()[10];
+  };
+  EXPECT_EQ(run(ThermostatKind::kBerendsen),
+            run(ThermostatKind::kBerendsen));
+  EXPECT_EQ(run(ThermostatKind::kVelocityRescale),
+            run(ThermostatKind::kVelocityRescale));
+}
+
+TEST(Restraints, PositionRestraintForceAndEnergy) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.finalize();
+  top.add_position_restraint({0, 10.0, Vec3{5, 5, 5}});
+  const Box box = Box::cube(20);
+  std::vector<Vec3> pos{{6, 5, 5}};  // 1 Å off target
+  std::vector<Vec3> f(1);
+  EnergyReport e;
+  compute_restraints(box, top, pos, f, e);
+  EXPECT_NEAR(e.restraint, 10.0, 1e-12);
+  EXPECT_NEAR(f[0].x, -20.0, 1e-12);  // -2k dx
+  EXPECT_NEAR(f[0].y, 0.0, 1e-12);
+}
+
+TEST(Restraints, DistanceRestraintMatchesFiniteDifference) {
+  ForceField ff = ForceField::standard();
+  Topology top(ff);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.add_atom(ForceField::Std::kCB, 0.0);
+  top.finalize();
+  top.add_distance_restraint({0, 1, 5.0, 3.0});
+  const Box box = Box::cube(20);
+  std::vector<Vec3> pos{{5, 5, 5}, {8.5, 6, 4.3}};
+  std::vector<Vec3> f(2);
+  EnergyReport e;
+  compute_restraints(box, top, pos, f, e);
+  const double h = 1e-6;
+  for (int ax = 0; ax < 3; ++ax) {
+    auto at = [&](double d) {
+      std::vector<Vec3> p = pos;
+      p[1][ax] += d;
+      EnergyReport er;
+      std::vector<Vec3> tmp(2);
+      compute_restraints(box, top, p, tmp, er);
+      return er.restraint;
+    };
+    EXPECT_NEAR(f[1][ax], -(at(h) - at(-h)) / (2 * h), 1e-5);
+  }
+}
+
+TEST(Restraints, PinnedAtomStaysPut) {
+  // Pin one water oxygen hard; after dynamics it should remain near the
+  // target while unpinned atoms diffuse.
+  System sys = build_water_box(125, 304);
+  const Vec3 target = sys.positions()[0];
+  auto top = std::make_shared<Topology>(sys.topology());
+  top->add_position_restraint({0, 200.0, target});
+  System pinned(top, sys.box(),
+                std::vector<Vec3>(sys.positions().begin(),
+                                  sys.positions().end()));
+  pinned.assign_velocities(300.0, 5);
+  MdParams p = base_params();
+  p.thermostat = ThermostatKind::kLangevin;
+  p.langevin_gamma_per_fs = 0.02;
+  Simulation sim(std::move(pinned), p);
+  sim.step(300);
+  EXPECT_LT(norm(sim.system().positions()[0] - target), 1.0);
+}
+
+TEST(Ions, BuilderAddsNeutralSaltPairs) {
+  BuilderOptions o;
+  o.total_atoms = 3000;
+  o.solute_fraction = 0.05;
+  o.ion_pairs = 10;
+  o.temperature_k = -1;
+  o.seed = 305;
+  const System sys = build_solvated_system(o);
+  EXPECT_EQ(sys.num_atoms(), 3000);
+  EXPECT_NEAR(sys.topology().total_charge(), 0.0, 1e-9);
+  int n_ions = 0;
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    if (sys.topology().type(i) == ForceField::Std::kION) ++n_ions;
+  }
+  EXPECT_EQ(n_ions, 20);
+}
+
+TEST(Ions, SaltSystemRunsStably) {
+  BuilderOptions o;
+  o.total_atoms = 1500;
+  o.solute_fraction = 0.0;
+  o.ion_pairs = 6;
+  o.seed = 306;
+  System sys = build_solvated_system(o);
+  MdParams p = base_params();
+  md::minimize_energy(sys, p, 100);
+  sys.assign_velocities(300.0, 306);
+  Simulation sim(std::move(sys), p);
+  EXPECT_NO_THROW(sim.step(50));
+}
+
+}  // namespace
+}  // namespace anton::md

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "chem/builder.h"
+#include "md/constraints.h"
+#include "md/engine.h"
+#include "md/minimize.h"
+
+namespace anton::md {
+namespace {
+
+MdParams min_params() {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.long_range = LongRangeMethod::kNone;
+  return p;
+}
+
+TEST(Minimize, ReducesEnergy) {
+  BuilderOptions o;
+  o.total_atoms = 1200;
+  o.solute_fraction = 0.15;
+  o.seed = 55;
+  o.temperature_k = -1;
+  System sys = build_solvated_system(o);
+  const auto r = minimize_energy(sys, min_params(), 150);
+  EXPECT_LT(r.final_energy, r.initial_energy);
+  EXPECT_GT(r.steps, 0);
+}
+
+TEST(Minimize, PreservesConstraints) {
+  System sys = build_water_box(125, 56, -1);
+  const auto r = minimize_energy(sys, min_params(), 100);
+  (void)r;
+  EXPECT_LT(max_constraint_violation(sys.box(), sys.topology(),
+                                     sys.positions()),
+            1e-6);
+}
+
+TEST(Minimize, ConvergesOnRelaxedSystem) {
+  // Minimise once hard, then a second call should terminate quickly because
+  // forces are already below tolerance.
+  System sys = build_water_box(216, 57, -1);
+  minimize_energy(sys, min_params(), 400, 0.1, 5.0);
+  const auto again = minimize_energy(sys, min_params(), 400, 0.1, 50.0);
+  EXPECT_LE(again.steps, 5);
+  EXPECT_LT(again.max_force, 50.0);
+}
+
+TEST(Minimize, EnablesStableDynamicsOnClashedSystem) {
+  BuilderOptions o;
+  o.total_atoms = 2000;
+  o.solute_fraction = 0.15;  // lots of chain, lots of clashes
+  o.seed = 58;
+  System sys = build_solvated_system(o);
+  MdParams p = min_params();
+  p.long_range = LongRangeMethod::kMesh;
+  p.dt_fs = 1.0;
+  minimize_energy(sys, p, 300);
+  sys.assign_velocities(300.0, 58);
+  Simulation sim(std::move(sys), p);
+  EXPECT_NO_THROW(sim.step(50));  // would explode unminimised
+}
+
+TEST(Minimize, ZeroStepsIsNoOp) {
+  System sys = build_water_box(216, 59, -1);
+  const std::vector<Vec3> before(sys.positions().begin(),
+                                 sys.positions().end());
+  const auto r = minimize_energy(sys, min_params(), 0);
+  EXPECT_EQ(r.steps, 0);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(sys.positions()[i], before[i]);
+  }
+}
+
+TEST(Minimize, ThreadedMatchesSerialEnergy) {
+  BuilderOptions o;
+  o.total_atoms = 1200;
+  o.solute_fraction = 0.1;
+  o.seed = 60;
+  o.temperature_k = -1;
+  System a = build_solvated_system(o);
+  System b = a;
+  ThreadPool pool(3);
+  const auto ra = minimize_energy(a, min_params(), 80);
+  const auto rb = minimize_energy(b, min_params(), 80, 0.1, 10.0, &pool);
+  EXPECT_NEAR(ra.final_energy, rb.final_energy,
+              std::abs(ra.final_energy) * 1e-9 + 1e-6);
+}
+
+}  // namespace
+}  // namespace anton::md

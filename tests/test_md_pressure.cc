@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/builder.h"
+#include "common/rng.h"
+#include "md/bonded.h"
+#include "md/forces.h"
+#include "md/pressure.h"
+
+namespace anton::md {
+namespace {
+
+// Random neutral LJ+charge gas with no constraints (so the Clausius virial
+// is complete) in a cubic box.
+struct Gas {
+  Box box;
+  std::shared_ptr<Topology> top;
+  std::vector<Vec3> pos;
+
+  Gas(int n_pairs, double box_len, uint64_t seed) : box(Box::cube(box_len)) {
+    ForceField ff = ForceField::standard();
+    top = std::make_shared<Topology>(ff);
+    Rng rng(seed, 0);
+    for (int i = 0; i < n_pairs; ++i) {
+      top->add_atom(ForceField::Std::kION, 1.0);
+      top->add_atom(ForceField::Std::kION, -1.0);
+      pos.push_back(rng.uniform_in_box(box.lengths()));
+      pos.push_back(rng.uniform_in_box(box.lengths()));
+    }
+    top->finalize();
+  }
+
+  // Potential energy at a uniform scaling λ of coordinates and box.
+  double energy_scaled(const MdParams& params, double lambda) const {
+    const Box scaled_box(lambda * box.lengths());
+    std::vector<Vec3> scaled(pos.size());
+    for (size_t i = 0; i < pos.size(); ++i) scaled[i] = lambda * pos[i];
+    ForceCompute fc(top, scaled_box, params);
+    std::vector<Vec3> f(pos.size());
+    return fc.compute_all(scaled, f).potential();
+  }
+
+  EnergyReport report(const MdParams& params) const {
+    ForceCompute fc(top, box, params);
+    std::vector<Vec3> f(pos.size());
+    return fc.compute_all(pos, f);
+  }
+};
+
+MdParams gas_params(LongRangeMethod lr) {
+  MdParams p;
+  p.cutoff = 5.5;
+  p.skin = 0.0;
+  p.shift_at_cutoff = false;  // exact energies for the FD check
+  p.ewald_alpha = 0.55;
+  p.kspace_nmax = 12;
+  p.mesh_spacing = 0.7;
+  p.gse_sigma = 0.8;
+  p.long_range = lr;
+  return p;
+}
+
+// W = -dE/dλ at λ=1 (uniform scaling); P_pot = W / (3V).
+double virial_from_finite_difference(const Gas& gas, const MdParams& p) {
+  const double h = 1e-5;
+  const double ep = gas.energy_scaled(p, 1.0 + h);
+  const double em = gas.energy_scaled(p, 1.0 - h);
+  return -(ep - em) / (2.0 * h);
+}
+
+TEST(Pressure, VirialMatchesFiniteDifferenceCutoffOnly) {
+  const Gas gas(14, 14.0, 201);
+  const MdParams p = gas_params(LongRangeMethod::kNone);
+  const EnergyReport e = gas.report(p);
+  const double w_fd = virial_from_finite_difference(gas, p);
+  EXPECT_NEAR(e.virial, w_fd, std::abs(w_fd) * 1e-4 + 1e-3);
+}
+
+TEST(Pressure, VirialMatchesFiniteDifferenceDirectEwald) {
+  const Gas gas(10, 13.0, 202);
+  const MdParams p = gas_params(LongRangeMethod::kDirect);
+  const EnergyReport e = gas.report(p);
+  const double w_fd = virial_from_finite_difference(gas, p);
+  EXPECT_NEAR(e.virial, w_fd, std::abs(w_fd) * 1e-3 + 5e-2);
+}
+
+TEST(Pressure, GseVirialTracksDirectEwald) {
+  const Gas gas(12, 14.0, 203);
+  const EnergyReport e_direct =
+      gas.report(gas_params(LongRangeMethod::kDirect));
+  const EnergyReport e_mesh = gas.report(gas_params(LongRangeMethod::kMesh));
+  // Mesh solver approximates the reciprocal sum; the virial should agree to
+  // the method's accuracy.
+  EXPECT_NEAR(e_mesh.virial, e_direct.virial,
+              std::abs(e_direct.virial) * 0.05 + 0.5);
+}
+
+TEST(Pressure, InstantaneousPressureFormula) {
+  const Gas gas(8, 12.0, 204);
+  auto top = gas.top;
+  System sys(top, gas.box, gas.pos);
+  sys.assign_velocities(300.0, 1);
+  EnergyReport e;
+  e.virial = 42.0;
+  const double expected =
+      (2.0 * sys.kinetic_energy() + 42.0) / (3.0 * gas.box.volume());
+  EXPECT_NEAR(instantaneous_pressure(sys, e), expected, 1e-12);
+  EXPECT_NEAR(instantaneous_pressure_bar(sys, e), expected * kPressureBar,
+              1e-9);
+}
+
+TEST(Pressure, IdealGasLimit) {
+  // Charges off, LJ weak at low density: P ≈ rho kB T.
+  Box box = Box::cube(60.0);
+  ForceField ff = ForceField::standard();
+  auto top = std::make_shared<Topology>(ff);
+  std::vector<Vec3> pos;
+  Rng rng(205, 0);
+  // Jittered lattice: dilute *and* overlap-free (random placement would put
+  // occasional pairs deep inside the LJ core and wreck the comparison).
+  for (int i = 0; i < 200; ++i) {
+    top->add_atom(ForceField::Std::kHS, 0.0);  // tiny epsilon
+    const int x = i % 6, y = (i / 6) % 6, z = i / 36;
+    pos.push_back(box.wrap(Vec3{10.0 * x + 5, 10.0 * y + 5, 10.0 * z + 5} +
+                           0.8 * rng.gaussian_vec3()));
+  }
+  top->finalize();
+  System sys(top, box, pos);
+  sys.assign_velocities(300.0, 2);
+
+  MdParams p = gas_params(LongRangeMethod::kNone);
+  ForceCompute fc(top, box, p);
+  std::vector<Vec3> f(pos.size());
+  const EnergyReport e = fc.compute_all(pos, f);
+  const double p_ideal =
+      200.0 / box.volume() * units::kBoltzmann * sys.temperature();
+  EXPECT_NEAR(instantaneous_pressure(sys, e), p_ideal,
+              0.1 * p_ideal + 1e-6);
+}
+
+TEST(Pressure, BondedVirialConsistency) {
+  // A strained molecule in a box; scale coordinates+box and compare the
+  // bonded virial against -dE/dλ.
+  const System mol = build_test_molecule(206);
+  const Topology& top = mol.topology();
+  std::vector<Vec3> pos(mol.positions().begin(), mol.positions().end());
+
+  auto energy_at = [&](double lambda) {
+    const Box b(lambda * mol.box().lengths());
+    std::vector<Vec3> scaled(pos.size());
+    for (size_t i = 0; i < pos.size(); ++i) scaled[i] = lambda * pos[i];
+    EnergyReport er;
+    std::vector<Vec3> f(pos.size());
+    compute_all_bonded(b, top, scaled, f, er);
+    return er.bond + er.angle + er.dihedral + er.pair14;
+  };
+  EnergyReport e;
+  std::vector<Vec3> f(pos.size());
+  compute_all_bonded(mol.box(), top, pos, f, e);
+  const double h = 1e-6;
+  const double w_fd = -(energy_at(1 + h) - energy_at(1 - h)) / (2 * h);
+  EXPECT_NEAR(e.virial, w_fd, std::abs(w_fd) * 1e-4 + 1e-4);
+}
+
+}  // namespace
+}  // namespace anton::md

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/torus.h"
+
+namespace anton::noc {
+namespace {
+
+TorusConfig small_config() {
+  TorusConfig c;
+  c.nx = 4;
+  c.ny = 4;
+  c.nz = 4;
+  c.link_bandwidth_gbs = 10.0;
+  c.hop_latency_ns = 20.0;
+  c.injection_overhead_ns = 5.0;
+  c.packet_overhead_bytes = 0.0;
+  return c;
+}
+
+TEST(Torus, HopCountsShortestWay) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  EXPECT_EQ(t.hop_count(t.rank(0, 0, 0), t.rank(0, 0, 0)), 0);
+  EXPECT_EQ(t.hop_count(t.rank(0, 0, 0), t.rank(1, 0, 0)), 1);
+  EXPECT_EQ(t.hop_count(t.rank(0, 0, 0), t.rank(3, 0, 0)), 1);  // wraps
+  EXPECT_EQ(t.hop_count(t.rank(0, 0, 0), t.rank(2, 0, 0)), 2);
+  EXPECT_EQ(t.hop_count(t.rank(0, 0, 0), t.rank(2, 2, 2)), 6);  // diameter
+}
+
+TEST(Torus, RouteIsDimensionOrdered) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  const auto links = t.route(t.rank(0, 0, 0), t.rank(2, 1, 0));
+  ASSERT_EQ(links.size(), 3u);
+  // Two x-hops first, then one y-hop.
+  EXPECT_EQ(links[0].dir, 0);  // +x
+  EXPECT_EQ(links[1].dir, 0);
+  EXPECT_EQ(links[2].dir, 2);  // +y
+}
+
+TEST(Torus, RouteWrapsBackwards) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  const auto links = t.route(t.rank(0, 0, 0), t.rank(3, 0, 0));
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].dir, 1);  // -x is shorter
+}
+
+TEST(Torus, UnicastLatencyComponents) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  double delivered_at = -1;
+  // 1000 B over 2 hops: 5 (inject) + 2*20 (hops) + 100 (1000B @ 10 GB/s).
+  t.unicast(t.rank(0, 0, 0), t.rank(2, 0, 0), 1000.0,
+            [&] { delivered_at = q.now(); });
+  q.run();
+  EXPECT_NEAR(delivered_at, 5 + 40 + 100, 1e-9);
+}
+
+TEST(Torus, SelfSendIsLocal) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  double delivered_at = -1;
+  t.unicast(3, 3, 1e6, [&] { delivered_at = q.now(); });
+  q.run();
+  EXPECT_NEAR(delivered_at, 5.0, 1e-9);  // injection overhead only
+}
+
+TEST(Torus, ContentionSerializesSharedLink) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  // Two messages over the same single link, injected simultaneously.
+  std::vector<double> times;
+  t.unicast(t.rank(0, 0, 0), t.rank(1, 0, 0), 1000.0,
+            [&] { times.push_back(q.now()); });
+  t.unicast(t.rank(0, 0, 0), t.rank(1, 0, 0), 1000.0,
+            [&] { times.push_back(q.now()); });
+  q.run();
+  ASSERT_EQ(times.size(), 2u);
+  // First: 5 + 20 + 100 = 125.  Second waits 100 ns for the link.
+  EXPECT_NEAR(times[0], 125.0, 1e-9);
+  EXPECT_NEAR(times[1], 225.0, 1e-9);
+}
+
+TEST(Torus, DisjointPathsDoNotContend) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  std::vector<double> times;
+  t.unicast(t.rank(0, 0, 0), t.rank(1, 0, 0), 1000.0,
+            [&] { times.push_back(q.now()); });
+  t.unicast(t.rank(0, 1, 0), t.rank(1, 1, 0), 1000.0,
+            [&] { times.push_back(q.now()); });
+  q.run();
+  EXPECT_NEAR(times[0], 125.0, 1e-9);
+  EXPECT_NEAR(times[1], 125.0, 1e-9);
+}
+
+TEST(Torus, MulticastDeliversToAll) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  std::vector<int> got;
+  const std::vector<int> dsts{1, 2, 3, 17, 33};
+  t.multicast(0, dsts, 500.0, [&](int node) { got.push_back(node); });
+  q.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, dsts);
+}
+
+TEST(Torus, MulticastSharesTreeLinks) {
+  sim::EventQueue q1, q2;
+  Torus t1(small_config(), &q1);
+  Torus t2(small_config(), &q2);
+  // Unicasts to two nodes sharing a route prefix vs multicast.
+  const int src = t1.rank(0, 0, 0);
+  const int a = t1.rank(2, 0, 0);
+  const int b = t1.rank(2, 1, 0);
+  t1.unicast(src, a, 1000.0, [] {});
+  t1.unicast(src, b, 1000.0, [] {});
+  q1.run();
+  t2.multicast(src, std::vector<int>{a, b}, 1000.0, [](int) {});
+  q2.run();
+  // The multicast should move fewer bytes (shared prefix counted once).
+  EXPECT_LT(t2.stats().total_bytes, t1.stats().total_bytes);
+}
+
+TEST(Torus, StatsAccumulate) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  t.unicast(0, 5, 100.0, [] {});  // (1,1,0): 2 hops
+  t.unicast(0, 9, 200.0, [] {});  // (1,2,0): 3 hops
+  q.run();
+  const auto& s = t.stats();
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_NEAR(s.total_bytes, 100.0 * 2 + 200.0 * 3, 1e-9);
+  EXPECT_GT(s.latency_ns.mean(), 0);
+  EXPECT_GT(t.busiest_link_ns(), 0);
+}
+
+TEST(Torus, ResetStatsKeepsOccupancy) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  t.unicast(0, 1, 1e5, [] {});
+  q.run();
+  t.reset_stats();
+  EXPECT_EQ(t.stats().messages, 0u);
+  EXPECT_DOUBLE_EQ(t.busiest_link_ns(), 0.0);
+}
+
+TEST(Torus, SingleNodeDegenerate) {
+  TorusConfig c = small_config();
+  c.nx = c.ny = c.nz = 1;
+  sim::EventQueue q;
+  Torus t(c, &q);
+  double at = -1;
+  t.unicast(0, 0, 100, [&] { at = q.now(); });
+  q.run();
+  EXPECT_GE(at, 0);
+}
+
+TEST(Torus, CoordsRoundTrip) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  for (int r = 0; r < t.num_nodes(); ++r) {
+    int x, y, z;
+    t.coords(r, &x, &y, &z);
+    EXPECT_EQ(t.rank(x, y, z), r);
+  }
+}
+
+}  // namespace
+}  // namespace anton::noc

@@ -1,0 +1,80 @@
+// PerfReport arithmetic and estimate/run consistency on non-cubic and
+// non-power-of-two machines.
+#include <gtest/gtest.h>
+
+#include "chem/builder.h"
+#include "core/machine.h"
+
+namespace anton::core {
+namespace {
+
+TEST(PerfReport, RespaWeightedAverage) {
+  PerfReport r;
+  r.respa_k = 3;
+  r.full_step.step_ns = 3000;
+  r.short_step.step_ns = 1500;
+  EXPECT_NEAR(r.avg_step_ns(), (3000 + 2 * 1500) / 3.0, 1e-9);
+  r.respa_k = 1;
+  EXPECT_NEAR(r.avg_step_ns(), 3000.0, 1e-9);
+}
+
+TEST(PerfReport, NsPerDayIsThousandTimesUs) {
+  PerfReport r;
+  r.dt_fs = 2.0;
+  r.respa_k = 1;
+  r.full_step.step_ns = 5000;
+  r.short_step.step_ns = 5000;
+  EXPECT_NEAR(r.ns_per_day(), 1000.0 * r.us_per_day(), 1e-9);
+}
+
+TEST(Machine, NonCubicTorusWorks) {
+  BuilderOptions o;
+  o.total_atoms = 4000;
+  o.solute_fraction = 0.1;
+  o.temperature_k = -1;
+  o.seed = 801;
+  const System sys = build_solvated_system(o);
+  const AntonMachine m(arch::MachineConfig::anton2(4, 2, 1));
+  const PerfReport r = m.estimate(sys);
+  EXPECT_EQ(r.nodes, 8);
+  EXPECT_GT(r.us_per_day(), 0);
+}
+
+TEST(Machine, SingleNodeMachineWorks) {
+  const System sys = build_water_box(512, 802, -1);
+  const AntonMachine m(arch::MachineConfig::anton2(1, 1, 1));
+  const PerfReport r = m.estimate(sys);
+  EXPECT_GT(r.us_per_day(), 0);
+  // No cross-node traffic: all pairwise work is one internal task.
+  EXPECT_EQ(r.full_step.phase_ns("pair_tile"), 0.0);
+}
+
+TEST(Machine, EstimateMonotonicInMachineSpeed) {
+  // Doubling the PPIM count can only help (or leave unchanged).
+  BuilderOptions o;
+  o.total_atoms = 6000;
+  o.solute_fraction = 0.1;
+  o.temperature_k = -1;
+  o.seed = 803;
+  const System sys = build_solvated_system(o);
+  auto slow = arch::MachineConfig::anton2(2, 2, 2);
+  auto fast = slow;
+  fast.ppims_per_node *= 2;
+  const double v_slow =
+      AntonMachine(slow).estimate(sys).us_per_day();
+  const double v_fast =
+      AntonMachine(fast).estimate(sys).us_per_day();
+  EXPECT_GE(v_fast, v_slow * 0.999);
+}
+
+TEST(Machine, MoreNodesHelpThisWorkload) {
+  const System sys = build_benchmark_system(dhfr_spec());
+  const double v8 =
+      AntonMachine(arch::MachineConfig::anton2(2, 2, 2)).estimate(sys).us_per_day();
+  const double v64 =
+      AntonMachine(arch::MachineConfig::anton2(4, 4, 4)).estimate(sys).us_per_day();
+  EXPECT_GT(v64, v8);
+}
+
+}  // namespace
+}  // namespace anton::core

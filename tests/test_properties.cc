@@ -1,0 +1,234 @@
+// Parameterised property tests: invariants that must hold across whole
+// families of inputs (TEST_P sweeps), complementing the example-based suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/builder.h"
+#include "common/rng.h"
+#include "core/machine.h"
+#include "fft/fft.h"
+#include "geom/box.h"
+#include "md/ewald.h"
+#include "md/neighborlist.h"
+#include "md/nonbonded.h"
+
+namespace anton {
+namespace {
+
+// --- Box / minimum image over many box shapes ------------------------------
+
+class BoxProperty : public ::testing::TestWithParam<Vec3> {};
+
+TEST_P(BoxProperty, MinImageIsShortestOverImages) {
+  const Box box(GetParam());
+  Rng rng(101, 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 a = rng.uniform_in_box(box.lengths());
+    const Vec3 b = rng.uniform_in_box(box.lengths());
+    const double d = box.distance(a, b);
+    // No periodic image of b may be closer than the minimum image.
+    for (int ix = -1; ix <= 1; ++ix) {
+      for (int iy = -1; iy <= 1; ++iy) {
+        for (int iz = -1; iz <= 1; ++iz) {
+          const Vec3 image = b + Vec3{ix * box.lengths().x,
+                                      iy * box.lengths().y,
+                                      iz * box.lengths().z};
+          EXPECT_LE(d, norm(a - image) + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BoxProperty, WrapPreservesImageClass) {
+  const Box box(GetParam());
+  Rng rng(102, 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 p{rng.uniform(-40, 40), rng.uniform(-40, 40),
+                 rng.uniform(-40, 40)};
+    // Wrapping must not change distances to any fixed point.
+    const Vec3 q = rng.uniform_in_box(box.lengths());
+    EXPECT_NEAR(box.distance(p, q), box.distance(box.wrap(p), q), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BoxProperty,
+                         ::testing::Values(Vec3{10, 10, 10},
+                                           Vec3{8, 16, 32},
+                                           Vec3{21.3, 9.7, 14.1},
+                                           Vec3{5, 50, 5}));
+
+// --- FFT across sizes -------------------------------------------------------
+
+class FftProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftProperty, RoundTripAndParseval) {
+  const int n = GetParam();
+  FftPlan plan(n);
+  Rng rng(103, static_cast<uint64_t>(n));
+  std::vector<Complex> sig(static_cast<size_t>(n));
+  for (auto& v : sig) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto orig = sig;
+  double e_time = 0;
+  for (const auto& v : sig) e_time += std::norm(v);
+
+  plan.transform(sig, false);
+  double e_freq = 0;
+  for (const auto& v : sig) e_freq += std::norm(v);
+  EXPECT_NEAR(e_freq / n, e_time, 1e-7 * std::max(1.0, e_time));
+
+  plan.transform(sig, true);
+  for (size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_NEAR(sig[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(sig[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftProperty,
+                         ::testing::Values(2, 4, 8, 32, 128, 512, 2048));
+
+// --- Ewald alpha-independence across splitting parameters -------------------
+
+class EwaldAlphaProperty : public ::testing::TestWithParam<double> {};
+
+double total_coulomb_at_alpha(const Box& box,
+                              const std::shared_ptr<Topology>& top,
+                              const std::vector<Vec3>& pos, double alpha) {
+  NeighborList nlist(5.8, 0.0);
+  nlist.build(box, pos, *top);
+  std::vector<Vec3> f(pos.size());
+  EnergyReport e;
+  md::compute_nonbonded(box, *top, nlist, pos, alpha, f, e);
+  md::EwaldDirect ewald(box, alpha, 16);
+  ewald.compute(*top, pos, f, e);
+  e.coulomb_self += md::ewald_self_energy(*top, alpha);
+  return e.coulomb_real + e.coulomb_kspace + e.coulomb_self;
+}
+
+TEST_P(EwaldAlphaProperty, TotalCoulombIndependentOfSplit) {
+  const double alpha = GetParam();
+  // Fixed small neutral charge gas.
+  const Box box = Box::cube(12.0);
+  ForceField ff = ForceField::standard();
+  auto top = std::make_shared<Topology>(ff);
+  std::vector<Vec3> pos;
+  Rng rng(104, 0);
+  for (int i = 0; i < 6; ++i) {
+    top->add_atom(ForceField::Std::kION, i % 2 ? 1.0 : -1.0);
+    pos.push_back(rng.uniform_in_box(box.lengths()));
+  }
+  top->finalize();
+
+  const double total = total_coulomb_at_alpha(box, top, pos, alpha);
+  const double reference = total_coulomb_at_alpha(box, top, pos, 0.70);
+  EXPECT_NEAR(total, reference, std::abs(reference) * 5e-4 + 5e-3)
+      << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EwaldAlphaProperty,
+                         ::testing::Values(0.55, 0.65, 0.75, 0.85));
+
+// --- Neighbour list correctness across cutoffs -------------------------------
+
+class NeighborListProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(NeighborListProperty, PairCountMatchesBruteForce) {
+  const double cutoff = GetParam();
+  const System sys = build_water_box(216, 105, -1);
+  NeighborList nlist(cutoff, 0.5);
+  nlist.build(sys.box(), sys.positions(), sys.topology());
+  int64_t brute = 0;
+  const auto pos = sys.positions();
+  const double rl2 = (cutoff + 0.5) * (cutoff + 0.5);
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    for (int j = i + 1; j < sys.num_atoms(); ++j) {
+      if (sys.topology().excluded(i, j)) continue;
+      if (sys.box().distance2(pos[static_cast<size_t>(i)],
+                              pos[static_cast<size_t>(j)]) < rl2) {
+        ++brute;
+      }
+    }
+  }
+  EXPECT_EQ(nlist.num_pairs(), brute) << "cutoff=" << cutoff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, NeighborListProperty,
+                         ::testing::Values(3.0, 4.5, 6.0, 7.5));
+
+// --- Workload pair partition across node grids -------------------------------
+
+struct GridCase {
+  int nx, ny, nz;
+};
+
+class WorkloadGridProperty : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(WorkloadGridProperty, PairTotalInvariantUnderDecomposition) {
+  const auto [nx, ny, nz] = GetParam();
+  const System sys = build_water_box(729, 106, -1);
+  auto make = [&](int a, int b, int c) {
+    auto cfg = arch::MachineConfig::anton2(a, b, c);
+    cfg.machine_cutoff = 6.0;
+    return core::Workload::build(sys, cfg);
+  };
+  const auto reference = make(1, 1, 1);
+  const auto w = make(nx, ny, nz);
+  EXPECT_EQ(w.total_pairs(), reference.total_pairs());
+  int atoms = 0;
+  for (int v = 0; v < w.num_nodes(); ++v) atoms += w.node(v).atoms;
+  EXPECT_EQ(atoms, sys.num_atoms());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, WorkloadGridProperty,
+                         ::testing::Values(GridCase{2, 1, 1},
+                                           GridCase{2, 2, 1},
+                                           GridCase{2, 2, 2},
+                                           GridCase{3, 3, 3},
+                                           GridCase{4, 2, 3}));
+
+// --- Torus routing properties across random endpoints ------------------------
+
+class TorusRouteProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TorusRouteProperty, RouteLengthEqualsHopCountAndIsMinimal) {
+  const int dim = GetParam();
+  sim::EventQueue q;
+  noc::TorusConfig cfg;
+  cfg.nx = dim;
+  cfg.ny = dim;
+  cfg.nz = dim;
+  noc::Torus t(cfg, &q);
+  Rng rng(107, static_cast<uint64_t>(dim));
+  for (int trial = 0; trial < 100; ++trial) {
+    const int src = static_cast<int>(rng.uniform_u64(
+        static_cast<uint64_t>(t.num_nodes())));
+    const int dst = static_cast<int>(rng.uniform_u64(
+        static_cast<uint64_t>(t.num_nodes())));
+    const auto route = t.route(src, dst);
+    EXPECT_EQ(static_cast<int>(route.size()), t.hop_count(src, dst));
+    // Symmetric distance.
+    EXPECT_EQ(t.hop_count(src, dst), t.hop_count(dst, src));
+    // Bounded by the torus diameter.
+    EXPECT_LE(t.hop_count(src, dst), 3 * (dim / 2));
+    // Route actually ends at dst: walk it.
+    int cur = src;
+    int cx, cy, cz;
+    for (const auto& link : route) {
+      EXPECT_EQ(link.node, cur);
+      t.coords(cur, &cx, &cy, &cz);
+      const int axis = link.dir / 2;
+      const int step = (link.dir % 2 == 0) ? 1 : -1;
+      int coords[3] = {cx, cy, cz};
+      coords[axis] = (coords[axis] + step + dim) % dim;
+      cur = t.rank(coords[0], coords[1], coords[2]);
+    }
+    EXPECT_EQ(cur, dst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, TorusRouteProperty,
+                         ::testing::Values(2, 3, 4, 8));
+
+}  // namespace
+}  // namespace anton

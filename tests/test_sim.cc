@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace anton::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired;
+    if (depth < 5) {
+      q.schedule_after(1.0, [&chain, depth] { chain(depth + 1); });
+    }
+  };
+  q.schedule_at(0.0, [&chain] { chain(0); });
+  q.run();
+  EXPECT_EQ(fired, 6);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double t_inner = -1;
+  q.schedule_at(10.0, [&] {
+    q.schedule_after(2.5, [&] { t_inner = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(t_inner, 12.5);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.schedule_at(10.0, [&] {
+    EXPECT_THROW(q.schedule_at(5.0, [] {}), Error);
+  });
+  q.run();
+}
+
+TEST(EventQueue, CountsExecuted) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(i, [] {});
+  q.run();
+  EXPECT_EQ(q.executed(), 7u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ResetClearsClock) {
+  EventQueue q;
+  q.schedule_at(100.0, [] {});
+  q.run();
+  q.reset();
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, ResetWithPendingThrows) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  EXPECT_THROW(q.reset(), Error);
+  q.run();
+}
+
+TEST(EventQueue, StepExecutesExactlyOne) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  q.step();
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+  q.run();
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace anton::sim

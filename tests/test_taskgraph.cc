@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "core/taskgraph.h"
+
+namespace anton::core {
+namespace {
+
+arch::MachineConfig bare_machine() {
+  arch::MachineConfig c = arch::MachineConfig::anton2(2, 2, 2);
+  // Strip overheads so timing assertions are exact.
+  c.htis_task_overhead_ns = 0;
+  c.gc_task_overhead_ns = 0;
+  c.sync_trigger_ns = 0;
+  c.noc.hop_latency_ns = 10;
+  c.noc.injection_overhead_ns = 0;
+  c.noc.packet_overhead_bytes = 0;
+  c.noc.link_bandwidth_gbs = 1.0;  // 1 B/ns
+  return c;
+}
+
+ExecStats run_graph(TaskGraph& g, const arch::MachineConfig& c) {
+  sim::EventQueue q;
+  noc::Torus t(c.noc, &q);
+  return execute(g, c, t, q);
+}
+
+TEST(TaskGraph, SerialChainSumsBusyTimes) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  const int a = g.add_task(0, Unit::kGc, 100, "a");
+  const int b = g.add_task(0, Unit::kGc, 50, "b");
+  const int d = g.add_task(0, Unit::kGc, 25, "c");
+  g.add_local_dep(a, b);
+  g.add_local_dep(b, d);
+  const auto s = run_graph(g, c);
+  EXPECT_NEAR(s.makespan_ns, 175.0, 1e-9);
+  EXPECT_EQ(s.tasks_executed, 3u);
+}
+
+TEST(TaskGraph, IndependentTasksOnOneUnitSerialize) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  g.add_task(0, Unit::kHtis, 100, "x");
+  g.add_task(0, Unit::kHtis, 100, "x");
+  const auto s = run_graph(g, c);
+  EXPECT_NEAR(s.makespan_ns, 200.0, 1e-9);
+}
+
+TEST(TaskGraph, DifferentUnitsOverlap) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  g.add_task(0, Unit::kHtis, 100, "x");
+  g.add_task(0, Unit::kGc, 100, "y");
+  const auto s = run_graph(g, c);
+  EXPECT_NEAR(s.makespan_ns, 100.0, 1e-9);
+}
+
+TEST(TaskGraph, DifferentNodesOverlap) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  g.add_task(0, Unit::kGc, 100, "x");
+  g.add_task(1, Unit::kGc, 100, "x");
+  const auto s = run_graph(g, c);
+  EXPECT_NEAR(s.makespan_ns, 100.0, 1e-9);
+  EXPECT_NEAR(s.max_node_busy_ns, 100.0, 1e-9);
+  EXPECT_NEAR(s.mean_node_busy_ns, 200.0 / 8, 1e-9);
+}
+
+TEST(TaskGraph, MessageDependencyAddsNetworkLatency) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  const int a = g.add_task(0, Unit::kGc, 100, "a");  // node (0,0,0)
+  const int b = g.add_task(1, Unit::kGc, 50, "b");   // node (1,0,0): 1 hop
+  g.add_message(a, b, 200.0);  // 200 B at 1 B/ns = 200 ns
+  const auto s = run_graph(g, c);
+  // 100 (a) + 10 (hop) + 200 (wire) + 50 (b).
+  EXPECT_NEAR(s.makespan_ns, 360.0, 1e-9);
+}
+
+TEST(TaskGraph, MulticastReachesAllDependents) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  const int src = g.add_task(0, Unit::kGc, 10, "src");
+  std::vector<int> sinks;
+  for (int n = 1; n < 8; ++n) {
+    sinks.push_back(g.add_task(n, Unit::kGc, 5, "sink"));
+  }
+  g.add_multicast(src, sinks, 100.0);
+  const auto s = run_graph(g, c);
+  EXPECT_EQ(s.tasks_executed, 8u);
+  EXPECT_GT(s.makespan_ns, 10.0);
+}
+
+TEST(TaskGraph, EventDrivenBeatsBspOnSameGraphShape) {
+  // Two nodes each do compute A then exchange then compute B.  BSP inserts
+  // a barrier; event-driven doesn't.  BSP must be slower.
+  auto build = [](TaskGraph& g, bool bsp, double barrier_cost) {
+    const int a0 = g.add_task(0, Unit::kGc, 100, "a");
+    const int a1 = g.add_task(1, Unit::kGc, 150, "a");
+    const int b0 = g.add_task(0, Unit::kGc, 100, "b");
+    const int b1 = g.add_task(1, Unit::kGc, 100, "b");
+    g.add_message(a0, b1, 50.0);
+    g.add_message(a1, b0, 50.0);
+    if (bsp) {
+      const int bar = g.add_task(0, Unit::kSync, barrier_cost, "barrier");
+      g.add_barrier_dep(a0, bar);
+      g.add_barrier_dep(a1, bar);
+      g.add_barrier_dep(bar, b0);
+      g.add_barrier_dep(bar, b1);
+    }
+  };
+  const auto c = bare_machine();
+  TaskGraph ge, gb;
+  build(ge, false, 0);
+  build(gb, true, 200.0);
+  const double te = run_graph(ge, c).makespan_ns;
+  const double tb = run_graph(gb, c).makespan_ns;
+  EXPECT_LT(te, tb);
+}
+
+TEST(TaskGraph, DeadlockDetected) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  const int a = g.add_task(0, Unit::kGc, 10, "a");
+  const int b = g.add_task(0, Unit::kGc, 10, "b");
+  g.add_local_dep(a, b);
+  g.add_local_dep(b, a);  // cycle
+  TaskGraph g2 = g;
+  EXPECT_THROW(run_graph(g2, c), Error);
+}
+
+TEST(TaskGraph, PhaseAccounting) {
+  const auto c = bare_machine();
+  TaskGraph g;
+  g.add_task(0, Unit::kGc, 100, "alpha");
+  g.add_task(1, Unit::kGc, 60, "alpha");
+  g.add_task(2, Unit::kGc, 40, "beta");
+  const auto s = run_graph(g, c);
+  EXPECT_NEAR(s.phase_busy_ns.at("alpha"), 160.0, 1e-9);
+  EXPECT_NEAR(s.phase_busy_ns.at("beta"), 40.0, 1e-9);
+  EXPECT_NEAR(s.phase_end_ns.at("alpha"), 100.0, 1e-9);
+}
+
+TEST(TaskGraph, DispatchOverheadsCharged) {
+  auto c = bare_machine();
+  c.gc_task_overhead_ns = 7;
+  c.sync_trigger_ns = 3;  // event-driven: +3
+  TaskGraph g;
+  g.add_task(0, Unit::kGc, 100, "a");
+  const auto s = run_graph(g, c);
+  EXPECT_NEAR(s.makespan_ns, 110.0, 1e-9);
+}
+
+TEST(TaskGraph, LocalDepAcrossNodesRejected) {
+  TaskGraph g;
+  const int a = g.add_task(0, Unit::kGc, 1, "a");
+  const int b = g.add_task(1, Unit::kGc, 1, "b");
+  EXPECT_THROW(g.add_local_dep(a, b), Error);
+  EXPECT_NO_THROW(g.add_barrier_dep(a, b));
+}
+
+}  // namespace
+}  // namespace anton::core
