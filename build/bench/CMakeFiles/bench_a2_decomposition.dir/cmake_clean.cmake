@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_decomposition.dir/bench_a2_decomposition.cc.o"
+  "CMakeFiles/bench_a2_decomposition.dir/bench_a2_decomposition.cc.o.d"
+  "bench_a2_decomposition"
+  "bench_a2_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_eventdriven.dir/bench_f3_eventdriven.cc.o"
+  "CMakeFiles/bench_f3_eventdriven.dir/bench_f3_eventdriven.cc.o.d"
+  "bench_f3_eventdriven"
+  "bench_f3_eventdriven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_eventdriven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_commodity.dir/bench_f4_commodity.cc.o"
+  "CMakeFiles/bench_f4_commodity.dir/bench_f4_commodity.cc.o.d"
+  "bench_f4_commodity"
+  "bench_f4_commodity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_commodity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

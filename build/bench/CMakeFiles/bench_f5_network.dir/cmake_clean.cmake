@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_network.dir/bench_f5_network.cc.o"
+  "CMakeFiles/bench_f5_network.dir/bench_f5_network.cc.o.d"
+  "bench_f5_network"
+  "bench_f5_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

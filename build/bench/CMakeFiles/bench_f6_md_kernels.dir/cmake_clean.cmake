@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_md_kernels.dir/bench_f6_md_kernels.cc.o"
+  "CMakeFiles/bench_f6_md_kernels.dir/bench_f6_md_kernels.cc.o.d"
+  "bench_f6_md_kernels"
+  "bench_f6_md_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_md_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_breakdown.dir/bench_t3_breakdown.cc.o"
+  "CMakeFiles/bench_t3_breakdown.dir/bench_t3_breakdown.cc.o.d"
+  "bench_t3_breakdown"
+  "bench_t3_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

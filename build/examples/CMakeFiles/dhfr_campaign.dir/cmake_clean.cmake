@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhfr_campaign.dir/dhfr_campaign.cpp.o"
+  "CMakeFiles/dhfr_campaign.dir/dhfr_campaign.cpp.o.d"
+  "dhfr_campaign"
+  "dhfr_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhfr_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

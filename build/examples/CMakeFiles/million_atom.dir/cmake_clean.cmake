@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/million_atom.dir/million_atom.cpp.o"
+  "CMakeFiles/million_atom.dir/million_atom.cpp.o.d"
+  "million_atom"
+  "million_atom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/million_atom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for million_atom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for million_atom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/umbrella_window.dir/umbrella_window.cpp.o"
+  "CMakeFiles/umbrella_window.dir/umbrella_window.cpp.o.d"
+  "umbrella_window"
+  "umbrella_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/umbrella_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

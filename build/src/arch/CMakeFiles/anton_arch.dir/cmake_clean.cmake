@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_arch.dir/presets.cc.o"
+  "CMakeFiles/anton_arch.dir/presets.cc.o.d"
+  "libanton_arch.a"
+  "libanton_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/builder.cc" "src/chem/CMakeFiles/anton_chem.dir/builder.cc.o" "gcc" "src/chem/CMakeFiles/anton_chem.dir/builder.cc.o.d"
+  "/root/repo/src/chem/forcefield.cc" "src/chem/CMakeFiles/anton_chem.dir/forcefield.cc.o" "gcc" "src/chem/CMakeFiles/anton_chem.dir/forcefield.cc.o.d"
+  "/root/repo/src/chem/system.cc" "src/chem/CMakeFiles/anton_chem.dir/system.cc.o" "gcc" "src/chem/CMakeFiles/anton_chem.dir/system.cc.o.d"
+  "/root/repo/src/chem/topology.cc" "src/chem/CMakeFiles/anton_chem.dir/topology.cc.o" "gcc" "src/chem/CMakeFiles/anton_chem.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/anton_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/anton_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

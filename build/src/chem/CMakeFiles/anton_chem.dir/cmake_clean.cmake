@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_chem.dir/builder.cc.o"
+  "CMakeFiles/anton_chem.dir/builder.cc.o.d"
+  "CMakeFiles/anton_chem.dir/forcefield.cc.o"
+  "CMakeFiles/anton_chem.dir/forcefield.cc.o.d"
+  "CMakeFiles/anton_chem.dir/system.cc.o"
+  "CMakeFiles/anton_chem.dir/system.cc.o.d"
+  "CMakeFiles/anton_chem.dir/topology.cc.o"
+  "CMakeFiles/anton_chem.dir/topology.cc.o.d"
+  "libanton_chem.a"
+  "libanton_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

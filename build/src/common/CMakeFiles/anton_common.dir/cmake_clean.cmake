@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_common.dir/config.cc.o"
+  "CMakeFiles/anton_common.dir/config.cc.o.d"
+  "CMakeFiles/anton_common.dir/hilbert.cc.o"
+  "CMakeFiles/anton_common.dir/hilbert.cc.o.d"
+  "CMakeFiles/anton_common.dir/threadpool.cc.o"
+  "CMakeFiles/anton_common.dir/threadpool.cc.o.d"
+  "libanton_common.a"
+  "libanton_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

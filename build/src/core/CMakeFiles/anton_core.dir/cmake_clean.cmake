@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_core.dir/decomposition_study.cc.o"
+  "CMakeFiles/anton_core.dir/decomposition_study.cc.o.d"
+  "CMakeFiles/anton_core.dir/machine.cc.o"
+  "CMakeFiles/anton_core.dir/machine.cc.o.d"
+  "CMakeFiles/anton_core.dir/taskgraph.cc.o"
+  "CMakeFiles/anton_core.dir/taskgraph.cc.o.d"
+  "CMakeFiles/anton_core.dir/timestep.cc.o"
+  "CMakeFiles/anton_core.dir/timestep.cc.o.d"
+  "CMakeFiles/anton_core.dir/workload.cc.o"
+  "CMakeFiles/anton_core.dir/workload.cc.o.d"
+  "libanton_core.a"
+  "libanton_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_fft.dir/fft.cc.o"
+  "CMakeFiles/anton_fft.dir/fft.cc.o.d"
+  "libanton_fft.a"
+  "libanton_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

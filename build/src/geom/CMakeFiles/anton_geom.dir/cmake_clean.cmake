@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_geom.dir/cells.cc.o"
+  "CMakeFiles/anton_geom.dir/cells.cc.o.d"
+  "CMakeFiles/anton_geom.dir/decomp.cc.o"
+  "CMakeFiles/anton_geom.dir/decomp.cc.o.d"
+  "libanton_geom.a"
+  "libanton_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

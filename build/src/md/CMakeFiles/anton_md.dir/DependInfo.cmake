@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cc" "src/md/CMakeFiles/anton_md.dir/analysis.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/analysis.cc.o.d"
+  "/root/repo/src/md/bonded.cc" "src/md/CMakeFiles/anton_md.dir/bonded.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/bonded.cc.o.d"
+  "/root/repo/src/md/checkpoint.cc" "src/md/CMakeFiles/anton_md.dir/checkpoint.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/checkpoint.cc.o.d"
+  "/root/repo/src/md/constraints.cc" "src/md/CMakeFiles/anton_md.dir/constraints.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/constraints.cc.o.d"
+  "/root/repo/src/md/engine.cc" "src/md/CMakeFiles/anton_md.dir/engine.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/engine.cc.o.d"
+  "/root/repo/src/md/ewald.cc" "src/md/CMakeFiles/anton_md.dir/ewald.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/ewald.cc.o.d"
+  "/root/repo/src/md/forces.cc" "src/md/CMakeFiles/anton_md.dir/forces.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/forces.cc.o.d"
+  "/root/repo/src/md/gse.cc" "src/md/CMakeFiles/anton_md.dir/gse.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/gse.cc.o.d"
+  "/root/repo/src/md/minimize.cc" "src/md/CMakeFiles/anton_md.dir/minimize.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/minimize.cc.o.d"
+  "/root/repo/src/md/neighborlist.cc" "src/md/CMakeFiles/anton_md.dir/neighborlist.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/neighborlist.cc.o.d"
+  "/root/repo/src/md/nonbonded.cc" "src/md/CMakeFiles/anton_md.dir/nonbonded.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/nonbonded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chem/CMakeFiles/anton_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/anton_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/anton_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anton_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

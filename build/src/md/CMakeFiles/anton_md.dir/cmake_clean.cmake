@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_md.dir/analysis.cc.o"
+  "CMakeFiles/anton_md.dir/analysis.cc.o.d"
+  "CMakeFiles/anton_md.dir/bonded.cc.o"
+  "CMakeFiles/anton_md.dir/bonded.cc.o.d"
+  "CMakeFiles/anton_md.dir/checkpoint.cc.o"
+  "CMakeFiles/anton_md.dir/checkpoint.cc.o.d"
+  "CMakeFiles/anton_md.dir/constraints.cc.o"
+  "CMakeFiles/anton_md.dir/constraints.cc.o.d"
+  "CMakeFiles/anton_md.dir/engine.cc.o"
+  "CMakeFiles/anton_md.dir/engine.cc.o.d"
+  "CMakeFiles/anton_md.dir/ewald.cc.o"
+  "CMakeFiles/anton_md.dir/ewald.cc.o.d"
+  "CMakeFiles/anton_md.dir/forces.cc.o"
+  "CMakeFiles/anton_md.dir/forces.cc.o.d"
+  "CMakeFiles/anton_md.dir/gse.cc.o"
+  "CMakeFiles/anton_md.dir/gse.cc.o.d"
+  "CMakeFiles/anton_md.dir/minimize.cc.o"
+  "CMakeFiles/anton_md.dir/minimize.cc.o.d"
+  "CMakeFiles/anton_md.dir/neighborlist.cc.o"
+  "CMakeFiles/anton_md.dir/neighborlist.cc.o.d"
+  "CMakeFiles/anton_md.dir/nonbonded.cc.o"
+  "CMakeFiles/anton_md.dir/nonbonded.cc.o.d"
+  "libanton_md.a"
+  "libanton_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

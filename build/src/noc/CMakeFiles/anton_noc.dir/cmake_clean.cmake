@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anton_noc.dir/torus.cc.o"
+  "CMakeFiles/anton_noc.dir/torus.cc.o.d"
+  "libanton_noc.a"
+  "libanton_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anton_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hilbert_routing.dir/test_hilbert_routing.cc.o"
+  "CMakeFiles/test_hilbert_routing.dir/test_hilbert_routing.cc.o.d"
+  "test_hilbert_routing"
+  "test_hilbert_routing.pdb"
+  "test_hilbert_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hilbert_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_analysis.dir/test_md_analysis.cc.o"
+  "CMakeFiles/test_md_analysis.dir/test_md_analysis.cc.o.d"
+  "test_md_analysis"
+  "test_md_analysis.pdb"
+  "test_md_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

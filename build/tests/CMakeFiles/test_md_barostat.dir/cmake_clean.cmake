@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_barostat.dir/test_md_barostat.cc.o"
+  "CMakeFiles/test_md_barostat.dir/test_md_barostat.cc.o.d"
+  "test_md_barostat"
+  "test_md_barostat.pdb"
+  "test_md_barostat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_barostat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

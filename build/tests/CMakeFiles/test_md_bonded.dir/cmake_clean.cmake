@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_bonded.dir/test_md_bonded.cc.o"
+  "CMakeFiles/test_md_bonded.dir/test_md_bonded.cc.o.d"
+  "test_md_bonded"
+  "test_md_bonded.pdb"
+  "test_md_bonded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_bonded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

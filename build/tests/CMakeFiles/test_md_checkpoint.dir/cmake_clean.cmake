@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_checkpoint.dir/test_md_checkpoint.cc.o"
+  "CMakeFiles/test_md_checkpoint.dir/test_md_checkpoint.cc.o.d"
+  "test_md_checkpoint"
+  "test_md_checkpoint.pdb"
+  "test_md_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

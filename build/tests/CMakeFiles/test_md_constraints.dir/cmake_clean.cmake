@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_constraints.dir/test_md_constraints.cc.o"
+  "CMakeFiles/test_md_constraints.dir/test_md_constraints.cc.o.d"
+  "test_md_constraints"
+  "test_md_constraints.pdb"
+  "test_md_constraints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_engine.dir/test_md_engine.cc.o"
+  "CMakeFiles/test_md_engine.dir/test_md_engine.cc.o.d"
+  "test_md_engine"
+  "test_md_engine.pdb"
+  "test_md_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_ewald.dir/test_md_ewald.cc.o"
+  "CMakeFiles/test_md_ewald.dir/test_md_ewald.cc.o.d"
+  "test_md_ewald"
+  "test_md_ewald.pdb"
+  "test_md_ewald[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_ewald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

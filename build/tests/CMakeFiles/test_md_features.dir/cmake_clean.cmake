@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_features.dir/test_md_features.cc.o"
+  "CMakeFiles/test_md_features.dir/test_md_features.cc.o.d"
+  "test_md_features"
+  "test_md_features.pdb"
+  "test_md_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_minimize.dir/test_md_minimize.cc.o"
+  "CMakeFiles/test_md_minimize.dir/test_md_minimize.cc.o.d"
+  "test_md_minimize"
+  "test_md_minimize.pdb"
+  "test_md_minimize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_nonbonded.dir/test_md_nonbonded.cc.o"
+  "CMakeFiles/test_md_nonbonded.dir/test_md_nonbonded.cc.o.d"
+  "test_md_nonbonded"
+  "test_md_nonbonded.pdb"
+  "test_md_nonbonded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_nonbonded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

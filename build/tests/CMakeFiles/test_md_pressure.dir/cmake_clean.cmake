@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_pressure.dir/test_md_pressure.cc.o"
+  "CMakeFiles/test_md_pressure.dir/test_md_pressure.cc.o.d"
+  "test_md_pressure"
+  "test_md_pressure.pdb"
+  "test_md_pressure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_report.dir/test_perf_report.cc.o"
+  "CMakeFiles/test_perf_report.dir/test_perf_report.cc.o.d"
+  "test_perf_report"
+  "test_perf_report.pdb"
+  "test_perf_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_geom[1]_include.cmake")
+include("/root/repo/build/tests/test_chem[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_md_bonded[1]_include.cmake")
+include("/root/repo/build/tests/test_md_nonbonded[1]_include.cmake")
+include("/root/repo/build/tests/test_md_ewald[1]_include.cmake")
+include("/root/repo/build/tests/test_md_constraints[1]_include.cmake")
+include("/root/repo/build/tests/test_md_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_noc[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_taskgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_md_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_md_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_md_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_md_pressure[1]_include.cmake")
+include("/root/repo/build/tests/test_md_features[1]_include.cmake")
+include("/root/repo/build/tests/test_decomposition[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_hilbert_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_md_barostat[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_report[1]_include.cmake")
