@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "chem/builder.h"
+#include "common/threadpool.h"
 #include "fft/fft.h"
 #include "md/constraints.h"
 #include "md/engine.h"
@@ -19,33 +20,61 @@ const System& water4k() {
   return sys;
 }
 
+// Arg(0) = the number of worker threads; 1 runs the serial path.  The
+// parallel build produces bit-identical CSR output for every thread count.
 void BM_NeighborListBuild(benchmark::State& state) {
   const System& sys = water4k();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  ThreadPool pool(threads);
+  ThreadPool* p = threads > 1 ? &pool : nullptr;
   NeighborList nlist(9.0, 1.0);
   for (auto _ : state) {
-    nlist.build(sys.box(), sys.positions(), sys.topology());
+    nlist.build(sys.box(), sys.positions(), sys.topology(), p);
     benchmark::DoNotOptimize(nlist.num_pairs());
   }
   state.counters["pairs"] = static_cast<double>(nlist.num_pairs());
 }
-BENCHMARK(BM_NeighborListBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NeighborListBuild)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
+// Steady-state short-range pair evaluation: persistent workspace (premixed
+// LJ table, prescaled charges, fused erfc tables) and per-thread force
+// buffers, so iterations after the first perform zero heap allocation.
 void BM_NonbondedPairs(benchmark::State& state) {
   const System& sys = water4k();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  ThreadPool pool(threads);
+  ThreadPool* p = threads > 1 ? &pool : nullptr;
   NeighborList nlist(9.0, 1.0);
-  nlist.build(sys.box(), sys.positions(), sys.topology());
+  nlist.build(sys.box(), sys.positions(), sys.topology(), p);
   std::vector<Vec3> f(static_cast<size_t>(sys.num_atoms()));
+  ForceWorkspace ws;
+  {
+    // Untimed warm-up: builds the erfc tables and sizes all scratch so the
+    // loop below measures the allocation-free steady state only.
+    EnergyReport e;
+    compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(), 0.35,
+                      f, e, p, false, &ws, true);
+  }
   for (auto _ : state) {
     EnergyReport e;
     std::fill(f.begin(), f.end(), Vec3{});
-    compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(),
-                      0.35, f, e);
+    compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(), 0.35,
+                      f, e, p, /*shift_at_cutoff=*/false, &ws,
+                      /*tabulate_erfc=*/true);
     benchmark::DoNotOptimize(e.lj);
   }
   state.counters["pairs/s"] = benchmark::Counter(
       static_cast<double>(nlist.num_pairs()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_NonbondedPairs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NonbondedPairs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GseMesh(benchmark::State& state) {
   const System& sys = water4k();
@@ -102,11 +131,14 @@ void BM_FullStep(benchmark::State& state) {
   System sys = water4k();
   Simulation sim(std::move(sys), p);
   sim.step(2);
+  // One full RESPA cycle (respa_k inner steps) per iteration, so every
+  // iteration does the same work regardless of step parity.
   for (auto _ : state) {
-    sim.step(1);
+    sim.step(p.respa_k);
     benchmark::DoNotOptimize(sim.step_count());
   }
   state.counters["atoms"] = static_cast<double>(sim.system().num_atoms());
+  state.counters["steps_per_iter"] = static_cast<double>(p.respa_k);
 }
 BENCHMARK(BM_FullStep)->Unit(benchmark::kMillisecond);
 

@@ -277,4 +277,5 @@ bench/CMakeFiles/bench_f4_commodity.dir/bench_f4_commodity.cc.o: \
  /root/repo/src/md/constraints.h /root/repo/src/md/forces.h \
  /root/repo/src/md/ewald.h /root/repo/src/md/gse.h \
  /usr/include/c++/12/complex /root/repo/src/fft/fft.h \
- /root/repo/src/md/neighborlist.h /root/repo/src/md/minimize.h
+ /root/repo/src/md/neighborlist.h /root/repo/src/md/workspace.h \
+ /root/repo/src/md/minimize.h

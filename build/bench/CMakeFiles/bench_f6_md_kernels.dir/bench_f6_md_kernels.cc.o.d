@@ -241,8 +241,6 @@ bench/CMakeFiles/bench_f6_md_kernels.dir/bench_f6_md_kernels.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/rng.h \
  /root/repo/src/common/units.h /root/repo/src/geom/box.h \
- /root/repo/src/fft/fft.h /usr/include/c++/12/complex \
- /root/repo/src/md/constraints.h /root/repo/src/md/engine.h \
  /root/repo/src/common/threadpool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
@@ -253,13 +251,18 @@ bench/CMakeFiles/bench_f6_md_kernels.dir/bench_f6_md_kernels.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/md/forces.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/fft/fft.h \
+ /usr/include/c++/12/complex /root/repo/src/md/constraints.h \
+ /root/repo/src/md/engine.h /root/repo/src/md/forces.h \
  /root/repo/src/md/ewald.h /root/repo/src/md/params.h \
  /root/repo/src/md/gse.h /root/repo/src/md/neighborlist.h \
- /root/repo/src/md/nonbonded.h
+ /root/repo/src/md/workspace.h /root/repo/src/common/table.h \
+ /usr/include/c++/12/iomanip /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
+ /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/c++/12/bits/locale_conv.h \
+ /usr/include/c++/12/bits/quoted_string.h /root/repo/src/md/nonbonded.h

@@ -271,4 +271,11 @@ examples/CMakeFiles/umbrella_window.dir/umbrella_window.cpp.o: \
  /root/repo/src/md/forces.h /root/repo/src/md/ewald.h \
  /root/repo/src/md/gse.h /usr/include/c++/12/complex \
  /root/repo/src/fft/fft.h /root/repo/src/md/neighborlist.h \
- /root/repo/src/md/minimize.h
+ /root/repo/src/md/workspace.h /root/repo/src/common/table.h \
+ /usr/include/c++/12/iomanip /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
+ /usr/include/libintl.h /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/c++/12/bits/locale_conv.h \
+ /usr/include/c++/12/bits/quoted_string.h /root/repo/src/md/minimize.h

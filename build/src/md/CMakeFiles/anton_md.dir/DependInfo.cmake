@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/md/minimize.cc" "src/md/CMakeFiles/anton_md.dir/minimize.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/minimize.cc.o.d"
   "/root/repo/src/md/neighborlist.cc" "src/md/CMakeFiles/anton_md.dir/neighborlist.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/neighborlist.cc.o.d"
   "/root/repo/src/md/nonbonded.cc" "src/md/CMakeFiles/anton_md.dir/nonbonded.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/nonbonded.cc.o.d"
+  "/root/repo/src/md/workspace.cc" "src/md/CMakeFiles/anton_md.dir/workspace.cc.o" "gcc" "src/md/CMakeFiles/anton_md.dir/workspace.cc.o.d"
   )
 
 # Targets to which this target links.

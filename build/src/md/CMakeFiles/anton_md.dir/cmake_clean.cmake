@@ -21,6 +21,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/anton_md.dir/neighborlist.cc.o.d"
   "CMakeFiles/anton_md.dir/nonbonded.cc.o"
   "CMakeFiles/anton_md.dir/nonbonded.cc.o.d"
+  "CMakeFiles/anton_md.dir/workspace.cc.o"
+  "CMakeFiles/anton_md.dir/workspace.cc.o.d"
   "libanton_md.a"
   "libanton_md.pdb"
 )

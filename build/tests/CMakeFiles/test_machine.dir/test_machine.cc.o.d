@@ -342,4 +342,5 @@ tests/CMakeFiles/test_machine.dir/test_machine.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/md/constraints.h \
  /root/repo/src/md/forces.h /root/repo/src/md/ewald.h \
  /root/repo/src/md/gse.h /usr/include/c++/12/complex \
- /root/repo/src/fft/fft.h /root/repo/src/md/neighborlist.h
+ /root/repo/src/fft/fft.h /root/repo/src/md/neighborlist.h \
+ /root/repo/src/md/workspace.h /root/repo/src/common/table.h

@@ -337,4 +337,5 @@ tests/CMakeFiles/test_md_analysis.dir/test_md_analysis.cc.o: \
  /root/repo/src/md/forces.h /root/repo/src/md/ewald.h \
  /root/repo/src/md/params.h /root/repo/src/md/gse.h \
  /usr/include/c++/12/complex /root/repo/src/fft/fft.h \
- /root/repo/src/md/neighborlist.h
+ /root/repo/src/md/neighborlist.h /root/repo/src/md/workspace.h \
+ /root/repo/src/common/table.h

@@ -320,7 +320,10 @@ tests/CMakeFiles/test_md_nonbonded.dir/test_md_nonbonded.cc.o: \
  /root/repo/src/common/error.h /root/repo/src/common/vec3.h \
  /root/repo/src/common/rng.h /root/repo/src/common/units.h \
  /root/repo/src/geom/box.h /root/repo/src/md/neighborlist.h \
- /root/repo/src/md/nonbonded.h /root/repo/src/common/threadpool.h \
+ /root/repo/src/common/threadpool.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -329,4 +332,6 @@ tests/CMakeFiles/test_md_nonbonded.dir/test_md_nonbonded.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/md/params.h
+ /usr/include/c++/12/thread /root/repo/src/md/nonbonded.h \
+ /root/repo/src/md/params.h /root/repo/src/md/workspace.h \
+ /root/repo/src/common/table.h

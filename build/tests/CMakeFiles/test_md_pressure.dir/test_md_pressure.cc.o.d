@@ -321,7 +321,10 @@ tests/CMakeFiles/test_md_pressure.dir/test_md_pressure.cc.o: \
  /root/repo/src/common/rng.h /root/repo/src/common/units.h \
  /root/repo/src/geom/box.h /root/repo/src/md/bonded.h \
  /root/repo/src/md/params.h /root/repo/src/md/forces.h \
- /root/repo/src/common/threadpool.h \
+ /root/repo/src/common/threadpool.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -333,4 +336,5 @@ tests/CMakeFiles/test_md_pressure.dir/test_md_pressure.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/md/ewald.h \
  /root/repo/src/md/gse.h /usr/include/c++/12/complex \
  /root/repo/src/fft/fft.h /root/repo/src/md/neighborlist.h \
+ /root/repo/src/md/workspace.h /root/repo/src/common/table.h \
  /root/repo/src/md/pressure.h

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_md_tables.cc" "tests/CMakeFiles/test_md_tables.dir/test_md_tables.cc.o" "gcc" "tests/CMakeFiles/test_md_tables.dir/test_md_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/md/CMakeFiles/anton_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/anton_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/anton_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/anton_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/anton_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_tables.dir/test_md_tables.cc.o"
+  "CMakeFiles/test_md_tables.dir/test_md_tables.cc.o.d"
+  "test_md_tables"
+  "test_md_tables.pdb"
+  "test_md_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_md_threaded.dir/test_md_threaded.cc.o"
+  "CMakeFiles/test_md_threaded.dir/test_md_threaded.cc.o.d"
+  "test_md_threaded"
+  "test_md_threaded.pdb"
+  "test_md_threaded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_md_threaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -332,8 +332,7 @@ tests/CMakeFiles/test_properties.dir/test_properties.cc.o: \
  /root/repo/src/core/workload.h /root/repo/src/geom/decomp.h \
  /root/repo/src/md/params.h /root/repo/src/fft/fft.h \
  /usr/include/c++/12/complex /root/repo/src/md/ewald.h \
- /root/repo/src/md/neighborlist.h /root/repo/src/md/nonbonded.h \
- /root/repo/src/common/threadpool.h \
+ /root/repo/src/md/neighborlist.h /root/repo/src/common/threadpool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
@@ -342,4 +341,5 @@ tests/CMakeFiles/test_properties.dir/test_properties.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/md/nonbonded.h \
+ /root/repo/src/md/workspace.h /root/repo/src/common/table.h

@@ -331,4 +331,14 @@ tests/CMakeFiles/test_workload.dir/test_workload.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/timestep.h /root/repo/src/core/taskgraph.h \
  /root/repo/src/core/workload.h /root/repo/src/geom/decomp.h \
- /root/repo/src/md/params.h /root/repo/src/md/neighborlist.h
+ /root/repo/src/md/params.h /root/repo/src/md/neighborlist.h \
+ /root/repo/src/common/threadpool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread

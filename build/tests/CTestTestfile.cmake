@@ -30,3 +30,5 @@ include("/root/repo/build/tests/test_hilbert_routing[1]_include.cmake")
 include("/root/repo/build/tests/test_arch[1]_include.cmake")
 include("/root/repo/build/tests/test_md_barostat[1]_include.cmake")
 include("/root/repo/build/tests/test_perf_report[1]_include.cmake")
+include("/root/repo/build/tests/test_md_threaded[1]_include.cmake")
+include("/root/repo/build/tests/test_md_tables[1]_include.cmake")

@@ -1,5 +1,7 @@
-// Plain-text table formatter for the bench harness: every experiment prints
-// rows the way the paper's tables/figures report them.
+// Plain-text table formatter for the bench harness, plus the uniform cubic
+// interpolation table the MD pair kernels use to replace transcendental
+// calls (Anton's PPIMs evaluate pairwise functionals from on-chip tables the
+// same way).
 #pragma once
 
 #include <iomanip>
@@ -11,6 +13,59 @@
 #include "common/error.h"
 
 namespace anton {
+
+// Uniformly-spaced cubic Hermite interpolation of a smooth f(x) on
+// [x0, x1].  Nodes store the exact value and derivative, so the
+// interpolant is C¹ and the max error is O(h⁴ max|f⁗|) — a few thousand
+// nodes bound erfc-kernel errors far below integrator noise.
+class CubicTable {
+ public:
+  CubicTable() = default;
+
+  // Samples f and its derivative df at n_nodes equispaced points.
+  template <class F, class DF>
+  void build(double x0, double x1, int n_nodes, F&& f, DF&& df) {
+    ANTON_CHECK_MSG(n_nodes >= 2 && x1 > x0, "bad interpolation table domain");
+    x0_ = x0;
+    n_ = n_nodes;
+    h_ = (x1 - x0) / (n_nodes - 1);
+    inv_h_ = 1.0 / h_;
+    nodes_.resize(static_cast<size_t>(n_nodes));
+    for (int k = 0; k < n_nodes; ++k) {
+      const double x = x0 + k * h_;
+      nodes_[static_cast<size_t>(k)] = {f(x), df(x)};
+    }
+  }
+
+  bool built() const { return !nodes_.empty(); }
+  double min_x() const { return x0_; }
+  double max_x() const { return x0_ + (n_ - 1) * h_; }
+  int num_nodes() const { return n_; }
+
+  // Evaluates the interpolant; x is clamped to the table domain.
+  double operator()(double x) const {
+    double s = (x - x0_) * inv_h_;
+    if (s < 0) s = 0;
+    if (s > n_ - 1) s = n_ - 1;
+    int k = static_cast<int>(s);
+    if (k > n_ - 2) k = n_ - 2;
+    const double t = s - k;
+    const Node& a = nodes_[static_cast<size_t>(k)];
+    const Node& b = nodes_[static_cast<size_t>(k) + 1];
+    const double t2 = t * t;
+    const double t3 = t2 * t;
+    return (2 * t3 - 3 * t2 + 1) * a.v + (t3 - 2 * t2 + t) * h_ * a.d +
+           (-2 * t3 + 3 * t2) * b.v + (t3 - t2) * h_ * b.d;
+  }
+
+ private:
+  struct Node {
+    double v, d;
+  };
+  std::vector<Node> nodes_;
+  double x0_ = 0, h_ = 1, inv_h_ = 1;
+  int n_ = 0;
+};
 
 class TextTable {
  public:

@@ -1,16 +1,16 @@
 #include "common/threadpool.h"
 
-#include <algorithm>
-
 namespace anton {
 
 ThreadPool::ThreadPool(unsigned n_threads) {
   if (n_threads == 0) {
     n_threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  // The calling thread participates in parallel_for, so spawn one fewer.
+  // The calling thread participates in every dispatch as index 0, so spawn
+  // one fewer worker; worker i services index i + 1.
+  workers_.reserve(n_threads - 1);
   for (unsigned i = 1; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -23,68 +23,43 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  uint64_t seen = 0;
   for (;;) {
-    std::function<void()> task;
+    void (*fn)(void*, unsigned);
+    void* ctx;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.back());
-      queue_.pop_back();
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      ctx = ctx_;
     }
-    task();
+    fn(ctx, index);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--outstanding_ == 0) done_cv_.notify_all();
+      if (--remaining_ == 0) done_cv_.notify_all();
     }
   }
 }
 
-void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
-  if (tasks.empty()) return;
-  // Keep one task for the calling thread.
-  std::function<void()> mine = std::move(tasks.back());
-  tasks.pop_back();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    outstanding_ += tasks.size();
-    for (auto& t : tasks) queue_.push_back(std::move(t));
-  }
-  cv_.notify_all();
-  mine();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
-}
-
-void ThreadPool::parallel_for(size_t n,
-                              const std::function<void(size_t, size_t)>& fn) {
-  if (n == 0) return;
-  const size_t threads = std::min<size_t>(size(), n);
-  if (threads <= 1) {
-    fn(0, n);
+void ThreadPool::dispatch(void (*fn)(void*, unsigned), void* ctx) {
+  if (workers_.empty()) {
+    fn(ctx, 0);
     return;
   }
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(threads);
-  const size_t chunk = (n + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    const size_t begin = t * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    tasks.push_back([&fn, begin, end] { fn(begin, end); });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = fn;
+    ctx_ = ctx;
+    remaining_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
   }
-  run_batch(std::move(tasks));
-}
-
-void ThreadPool::for_each_thread(const std::function<void(unsigned)>& fn) {
-  std::vector<std::function<void()>> tasks;
-  const unsigned threads = size();
-  tasks.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    tasks.push_back([&fn, t] { fn(t); });
-  }
-  run_batch(std::move(tasks));
+  cv_.notify_all();
+  fn(ctx, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
 }
 
 }  // namespace anton

@@ -4,13 +4,20 @@
 // host cores; the machine simulator itself is single-threaded and
 // deterministic.  Static chunking keeps the force decomposition reproducible
 // for a fixed thread count.
+//
+// Dispatch is allocation-free: work is handed to the workers as a plain
+// (function pointer, context pointer) pair — no std::function, no per-call
+// task vector — so steady-state force evaluation performs zero heap
+// allocation (see DESIGN.md, "Commodity-baseline performance model").
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace anton {
@@ -28,26 +35,46 @@ class ThreadPool {
 
   // Runs fn(begin, end) over [0, n) split into contiguous chunks, one per
   // thread (including the calling thread). Blocks until all chunks finish.
-  void parallel_for(size_t n, const std::function<void(size_t, size_t)>& fn);
+  template <class F>
+  void parallel_for(size_t n, F&& fn) {
+    if (n == 0) return;
+    const size_t threads = std::min<size_t>(size(), n);
+    if (threads <= 1) {
+      fn(size_t{0}, n);
+      return;
+    }
+    const size_t chunk = (n + threads - 1) / threads;
+    for_each_thread([&fn, n, chunk](unsigned t) {
+      const size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
+      const size_t end = std::min(n, begin + chunk);
+      if (begin < end) fn(begin, end);
+    });
+  }
 
-  // Runs fn(thread_index) on every thread; useful for thread-local reduction
-  // buffers.
-  void for_each_thread(const std::function<void(unsigned)>& fn);
+  // Runs fn(thread_index) on every thread (the caller runs index 0); useful
+  // for thread-local reduction buffers.
+  template <class F>
+  void for_each_thread(F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    dispatch([](void* ctx, unsigned t) { (*static_cast<Fn*>(ctx))(t); },
+             const_cast<void*>(
+                 static_cast<const void*>(std::addressof(fn))));
+  }
 
  private:
-  struct Task {
-    std::function<void()> fn;
-  };
-
-  void worker_loop();
-  void run_batch(std::vector<std::function<void()>> tasks);
+  // Runs fn(ctx, t) on every thread index t in [0, size()); the calling
+  // thread executes t == 0.  Not reentrant (no nested dispatch).
+  void dispatch(void (*fn)(void*, unsigned), void* ctx);
+  void worker_loop(unsigned index);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  std::vector<std::function<void()>> queue_;
-  size_t outstanding_ = 0;
+  void (*fn_)(void*, unsigned) = nullptr;
+  void* ctx_ = nullptr;
+  uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
   bool stop_ = false;
 };
 

@@ -20,6 +20,10 @@ class CellGrid {
   // Builds a grid with cell side >= min_cell along each axis.
   CellGrid(const Box& box, double min_cell);
 
+  // Re-targets the grid to a new box/cell size without releasing any of the
+  // binning storage, so a persistent grid can be rebuilt allocation-free.
+  void reset(const Box& box, double min_cell);
+
   int nx() const { return nx_; }
   int ny() const { return ny_; }
   int nz() const { return nz_; }
@@ -71,6 +75,12 @@ class CellGrid {
     return {atoms_.data() + begin, atoms_.data() + end};
   }
 
+  // CSR offset of `cell` into the binned atom array — the number of atoms in
+  // all lower-indexed cells.  Valid after bin().
+  int cell_start(int cell) const {
+    return starts_[static_cast<size_t>(cell)];
+  }
+
   // The 27-cell stencil (self + 26 neighbours) may alias itself on very
   // small grids; returns unique cells only.
   std::vector<int> stencil(int cell) const;
@@ -79,11 +89,24 @@ class CellGrid {
   // neighbours.  Aliasing on small grids is removed.
   std::vector<int> half_stencil(int cell) const;
 
+  // Non-allocating half stencil that also reports the periodic image shift
+  // of each neighbour cell: for atom a in `cell` (wrapped position wa) and
+  // atom b in neighbour entry k (wrapped position wb), the cell-image
+  // displacement is wa - wb - shifts[k], which equals the minimum-image
+  // displacement for any pair within the cell side length.  Writes up to 14
+  // entries into cells/shifts and returns the count.  Precondition: at least
+  // 3 cells along every axis (no stencil aliasing) — callers fall back to
+  // O(N²) otherwise.
+  int half_stencil_shifts(int cell, int* cells, Vec3* shifts) const;
+
  private:
   Box box_;
   int nx_, ny_, nz_;
   std::vector<int> atoms_;    // atom indices sorted by cell
   std::vector<int> starts_;   // CSR offsets, size num_cells()+1
+  // bin() scratch, persistent so rebinning does not allocate.
+  std::vector<int> bin_cell_of_atom_;
+  std::vector<int> bin_cursor_;
 };
 
 }  // namespace anton

@@ -22,6 +22,9 @@ Simulation::Simulation(System system, MdParams params, ThreadPool* pool)
       dt_(units::fs_to_internal(params.dt_fs)) {
   ANTON_CHECK_MSG(params_.respa_k >= 1, "respa_k must be >= 1");
   ANTON_CHECK_MSG(params_.dt_fs > 0, "timestep must be positive");
+  // Build the neighbour list and size all workspace scratch now, so stepping
+  // starts allocation-free from the first call.
+  force_->warm(system_.positions());
 }
 
 void Simulation::apply_langevin(double dt) {
@@ -195,6 +198,7 @@ void Simulation::apply_barostat() {
   // Box-dependent state (GSE mesh, neighbour grid) must be rebuilt.
   force_ = std::make_unique<ForceCompute>(system_.topology_ptr(),
                                           system_.box(), params_, pool_);
+  force_->warm(system_.positions());
   forces_fresh_ = false;
 }
 

@@ -33,11 +33,23 @@ ForceCompute::ForceCompute(std::shared_ptr<const Topology> top, Box box,
                     "Ewald requires a neutral system; net charge = "
                         << top_->total_charge());
   }
+  // Build the persistent caches up front so steady-state stepping never
+  // touches the allocator: premixed LJ table, prescaled charges, optional
+  // erfc tables, per-thread force buffers, and the compute_all scratch.
+  const double alpha =
+      params_.long_range == LongRangeMethod::kNone ? 0.0 : params_.ewald_alpha;
+  ws_.build_cache(*top_, alpha, params_.cutoff, params_.shift_at_cutoff,
+                  params_.tabulate_erfc, params_.erfc_table_target_err);
+  const size_t n = static_cast<size_t>(top_->num_atoms());
+  ws_.ensure_threads(pool_ != nullptr ? pool_->size() : 1, n);
+  ws_.f_long().assign(n, Vec3{});
 }
 
+void ForceCompute::warm(std::span<const Vec3> pos) { maybe_rebuild(pos); }
+
 void ForceCompute::maybe_rebuild(std::span<const Vec3> pos) {
-  if (!nlist_.built() || nlist_.needs_rebuild(box_, pos)) {
-    nlist_.build(box_, pos, *top_);
+  if (!nlist_.built() || nlist_.needs_rebuild(box_, pos, pool_)) {
+    nlist_.build(box_, pos, *top_, pool_);
     ++nlist_builds_;
   }
 }
@@ -51,10 +63,10 @@ EnergyReport ForceCompute::compute_short(std::span<const Vec3> pos,
   const double alpha =
       params_.long_range == LongRangeMethod::kNone ? 0.0 : params_.ewald_alpha;
   compute_nonbonded(box_, *top_, nlist_, pos, alpha, forces, e, pool_,
-                    params_.shift_at_cutoff);
+                    params_.shift_at_cutoff, &ws_, params_.tabulate_erfc);
   if (params_.long_range != LongRangeMethod::kNone) {
     compute_excluded_correction(box_, *top_, pos, params_.ewald_alpha, forces,
-                                e);
+                                e, pool_, &ws_);
   }
   return e;
 }
@@ -81,7 +93,10 @@ EnergyReport ForceCompute::compute_long(std::span<const Vec3> pos,
 EnergyReport ForceCompute::compute_all(std::span<const Vec3> pos,
                                        std::span<Vec3> forces) {
   EnergyReport e = compute_short(pos, forces);
-  std::vector<Vec3> f_long(forces.size());
+  // Long-range scratch lives in the workspace: compute_long overwrites it,
+  // so a fill suffices and no per-call vector is allocated.
+  std::vector<Vec3>& f_long = ws_.f_long();
+  f_long.resize(forces.size());
   const EnergyReport e_long = compute_long(pos, f_long);
   for (size_t i = 0; i < forces.size(); ++i) forces[i] += f_long[i];
   e.coulomb_kspace += e_long.coulomb_kspace;

@@ -12,6 +12,7 @@
 #include "md/gse.h"
 #include "md/neighborlist.h"
 #include "md/params.h"
+#include "md/workspace.h"
 
 namespace anton::md {
 
@@ -21,6 +22,13 @@ class ForceCompute {
                ThreadPool* pool = nullptr);
 
   const MdParams& params() const { return params_; }
+
+  // Pre-sizes all persistent scratch and builds the neighbour list for the
+  // given configuration, so subsequent compute_short calls perform no heap
+  // allocation in steady state.
+  void warm(std::span<const Vec3> pos);
+
+  ForceWorkspace& workspace() { return ws_; }
 
   // Short-range ("fast") forces: bonded terms, LJ + real-space Coulomb,
   // excluded-pair correction.  Rebuilds the neighbour list when stale.
@@ -46,6 +54,7 @@ class ForceCompute {
   Box box_;
   MdParams params_;
   ThreadPool* pool_;
+  ForceWorkspace ws_;
   NeighborList nlist_;
   std::unique_ptr<EwaldDirect> ewald_;
   std::unique_ptr<GseMesh> gse_;

@@ -1,19 +1,106 @@
 #include "md/neighborlist.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.h"
 #include "geom/cells.h"
 
 namespace anton {
 
+namespace {
+// Below this, threading a build or a rebuild check costs more than it saves.
+constexpr size_t kSerialThreshold = 2048;
+}  // namespace
+
 NeighborList::NeighborList(double cutoff, double skin)
     : cutoff_(cutoff), skin_(skin) {
   ANTON_CHECK_MSG(cutoff > 0 && skin >= 0, "bad neighbour-list parameters");
 }
 
+NeighborList::~NeighborList() = default;
+
+// Enumerates candidate pairs for cells [cell_begin, cell_end) into `shard`.
+// Distances use the cell-image displacement wa - wb - shift, which avoids
+// the per-candidate divisions of Box::min_image and is exact for every pair
+// inside the list radius (see CellGrid::half_stencil_shifts).
+void NeighborList::collect_cells(const CellGrid& grid, const Topology& top,
+                                 double rl2, int cell_begin, int cell_end,
+                                 BuildShard& shard) const {
+  int sten_cells[14];
+  Vec3 sten_shifts[14];
+  const Vec3* wp = wrapped_.data();
+  for (int c = cell_begin; c < cell_end; ++c) {
+    const auto atoms_c = grid.cell_atoms(c);
+    if (atoms_c.empty()) continue;
+    const int ns = grid.half_stencil_shifts(c, sten_cells, sten_shifts);
+    for (int k = 0; k < ns; ++k) {
+      const int nc = sten_cells[k];
+      const Vec3 s = sten_shifts[k];
+      const auto atoms_n = grid.cell_atoms(nc);
+      for (int a : atoms_c) {
+        const Vec3 pa = wp[a] - s;
+        for (int b : atoms_n) {
+          if (nc == c && b <= a) continue;
+          const Vec3 d = pa - wp[b];
+          if (norm2(d) >= rl2) continue;
+          const int i = std::min(a, b);
+          const int j = std::max(a, b);
+          if (top.excluded(i, j)) continue;
+          shard.pair_i.push_back(i);
+          shard.pair_j.push_back(j);
+          ++shard.counts[static_cast<size_t>(i)];
+        }
+      }
+    }
+  }
+}
+
+// Counting pass: per-atom totals -> CSR starts_, shard counts -> scatter
+// cursors (disjoint slots per shard), then race-free scatter and a per-atom
+// sort so the layout matches the serial build exactly.
+void NeighborList::merge_shards(int n, unsigned nshards, ThreadPool* pool) {
+  starts_.assign(static_cast<size_t>(n) + 1, 0);
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    int64_t cursor = total;
+    for (unsigned t = 0; t < nshards; ++t) {
+      auto& counts = shards_[t].counts;
+      const int c = counts[static_cast<size_t>(i)];
+      counts[static_cast<size_t>(i)] = static_cast<int>(cursor);
+      cursor += c;
+    }
+    total = cursor;
+    starts_[static_cast<size_t>(i) + 1] = total;
+  }
+  list_.resize(static_cast<size_t>(total));
+
+  auto scatter = [&](unsigned t) {
+    if (t >= nshards) return;
+    BuildShard& shard = shards_[t];
+    auto& cursors = shard.counts;
+    const size_t npairs = shard.pair_i.size();
+    for (size_t k = 0; k < npairs; ++k) {
+      list_[static_cast<size_t>(
+          cursors[static_cast<size_t>(shard.pair_i[k])]++)] = shard.pair_j[k];
+    }
+  };
+  auto sort_range = [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      std::sort(list_.begin() + starts_[i], list_.begin() + starts_[i + 1]);
+    }
+  };
+  if (pool != nullptr && nshards > 1) {
+    pool->for_each_thread(scatter);
+    pool->parallel_for(static_cast<size_t>(n), sort_range);
+  } else {
+    for (unsigned t = 0; t < nshards; ++t) scatter(t);
+    sort_range(0, static_cast<size_t>(n));
+  }
+}
+
 void NeighborList::build(const Box& box, std::span<const Vec3> positions,
-                         const Topology& top) {
+                         const Topology& top, ThreadPool* pool) {
   const double rl = list_radius();
   ANTON_CHECK_MSG(rl <= box.max_cutoff(),
                   "list radius " << rl << " exceeds minimum-image limit "
@@ -21,76 +108,121 @@ void NeighborList::build(const Box& box, std::span<const Vec3> positions,
   const int n = static_cast<int>(positions.size());
   ANTON_CHECK(n == top.num_atoms());
 
-  CellGrid grid(box, rl);
+  if (grid_ == nullptr) {
+    grid_ = std::make_unique<CellGrid>(box, rl);
+  } else {
+    grid_->reset(box, rl);
+  }
+  CellGrid& grid = *grid_;
   grid.bin(positions);
 
   const double rl2 = rl * rl;
-  std::vector<std::vector<int>> per_atom(static_cast<size_t>(n));
-
   const bool tiny_grid =
       grid.nx() < 3 || grid.ny() < 3 || grid.nz() < 3;
+  const unsigned nshards =
+      (pool == nullptr || tiny_grid ||
+       positions.size() < kSerialThreshold)
+          ? 1
+          : std::min(pool->size(),
+                     static_cast<unsigned>(grid.num_cells()));
+
+  if (shards_.size() < nshards) shards_.resize(nshards);
+  for (unsigned t = 0; t < nshards; ++t) {
+    shards_[t].pair_i.clear();
+    shards_[t].pair_j.clear();
+    shards_[t].counts.assign(static_cast<size_t>(n), 0);
+  }
 
   if (tiny_grid) {
     // Stencils alias on tiny grids; fall back to O(N²) which is only hit by
     // very small test systems.
+    BuildShard& shard = shards_[0];
     for (int i = 0; i < n; ++i) {
       for (int j = i + 1; j < n; ++j) {
         if (box.distance2(positions[static_cast<size_t>(i)],
                           positions[static_cast<size_t>(j)]) < rl2 &&
             !top.excluded(i, j)) {
-          per_atom[static_cast<size_t>(i)].push_back(j);
+          shard.pair_i.push_back(i);
+          shard.pair_j.push_back(j);
+          ++shard.counts[static_cast<size_t>(i)];
         }
       }
     }
+    merge_shards(n, 1, nullptr);
   } else {
-    for (int c = 0; c < grid.num_cells(); ++c) {
-      const auto atoms_c = grid.cell_atoms(c);
-      for (int nc : grid.half_stencil(c)) {
-        const auto atoms_n = grid.cell_atoms(nc);
-        for (int a : atoms_c) {
-          for (int b : atoms_n) {
-            if (nc == c && b <= a) continue;
-            const int i = std::min(a, b);
-            const int j = std::max(a, b);
-            if (box.distance2(positions[static_cast<size_t>(i)],
-                              positions[static_cast<size_t>(j)]) >= rl2) {
-              continue;
-            }
-            if (top.excluded(i, j)) continue;
-            per_atom[static_cast<size_t>(i)].push_back(j);
-          }
+    // Wrap once so the collection loop can use shift-based displacements
+    // (no divisions); for positions already in-box this is the identity.
+    wrapped_.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      wrapped_[static_cast<size_t>(i)] =
+          box.wrap(positions[static_cast<size_t>(i)]);
+    }
+
+    // Split cells so each shard owns a contiguous range with roughly equal
+    // atoms (cells are CSR-ordered, so grid starts give cumulative atoms).
+    const int ncells = grid.num_cells();
+    shard_cell_begin_.assign(nshards + 1, 0);
+    shard_cell_begin_[nshards] = ncells;
+    for (unsigned t = 1; t < nshards; ++t) {
+      const int target =
+          static_cast<int>(static_cast<int64_t>(n) * t / nshards);
+      int lo = shard_cell_begin_[t - 1], hi = ncells;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (grid.cell_start(mid) < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
         }
       }
+      shard_cell_begin_[t] = lo;
     }
+
+    if (nshards > 1) {
+      pool->for_each_thread([&](unsigned t) {
+        if (t < nshards) {
+          collect_cells(grid, top, rl2, shard_cell_begin_[t],
+                        shard_cell_begin_[t + 1], shards_[t]);
+        }
+      });
+    } else {
+      collect_cells(grid, top, rl2, 0, ncells, shards_[0]);
+    }
+    merge_shards(n, nshards, nshards > 1 ? pool : nullptr);
   }
 
-  starts_.assign(static_cast<size_t>(n) + 1, 0);
-  int64_t total = 0;
-  for (int i = 0; i < n; ++i) {
-    total += static_cast<int64_t>(per_atom[static_cast<size_t>(i)].size());
-    starts_[static_cast<size_t>(i) + 1] = total;
-  }
-  list_.clear();
-  list_.reserve(static_cast<size_t>(total));
-  for (int i = 0; i < n; ++i) {
-    auto& v = per_atom[static_cast<size_t>(i)];
-    std::sort(v.begin(), v.end());
-    list_.insert(list_.end(), v.begin(), v.end());
-  }
   ref_positions_.assign(positions.begin(), positions.end());
 }
 
 bool NeighborList::needs_rebuild(const Box& box,
-                                 std::span<const Vec3> positions) const {
+                                 std::span<const Vec3> positions,
+                                 ThreadPool* pool) const {
   if (ref_positions_.size() != positions.size()) return true;
   const double limit = 0.5 * skin_;
   const double limit2 = limit * limit;
-  for (size_t i = 0; i < positions.size(); ++i) {
-    if (norm2(box.min_image(positions[i], ref_positions_[i])) > limit2) {
-      return true;
+  const size_t n = positions.size();
+  if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
+    for (size_t i = 0; i < n; ++i) {
+      if (norm2(box.min_image(positions[i], ref_positions_[i])) > limit2) {
+        return true;
+      }
     }
+    return false;
   }
-  return false;
+  std::atomic<bool> moved{false};
+  pool->parallel_for(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end;) {
+      const size_t stop = std::min(end, i + 256);
+      for (; i < stop; ++i) {
+        if (norm2(box.min_image(positions[i], ref_positions_[i])) > limit2) {
+          moved.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (moved.load(std::memory_order_relaxed)) return;
+    }
+  });
+  return moved.load(std::memory_order_relaxed);
 }
 
 }  // namespace anton

@@ -1,53 +1,90 @@
 // Verlet neighbour list with skin, built from a cell grid in O(N).
 //
-// Pairs are stored half (each unordered pair once, j in the list of the
-// smaller partner is not guaranteed — we store by discovery order with
-// i < j enforced).  Topological exclusions are filtered at build time, so
+// Pairs are stored half (each unordered pair once, under the lower index,
+// sorted per atom).  Topological exclusions are filtered at build time, so
 // force loops never branch on exclusion.
+//
+// The build is parallelised over cells when a ThreadPool is supplied: each
+// thread collects pairs into a persistent shard buffer, a counting pass
+// merges the shards directly into the CSR arrays (disjoint slots, so the
+// scatter is race-free), and a parallel per-atom sort makes the result
+// identical to the serial build bit-for-bit.  All scratch persists across
+// builds, so steady-state rebuilds do not allocate once capacities settle.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "chem/topology.h"
+#include "common/threadpool.h"
 #include "common/vec3.h"
 #include "geom/box.h"
 
 namespace anton {
 
+class CellGrid;  // geom/cells.h; only the .cc needs the definition
+
 class NeighborList {
  public:
   NeighborList(double cutoff, double skin);
+  ~NeighborList();  // out of line: grid_ is incomplete here
 
   double cutoff() const { return cutoff_; }
   double skin() const { return skin_; }
   double list_radius() const { return cutoff_ + skin_; }
 
   // Rebuilds from scratch; remembers positions for displacement tracking.
+  // With a pool, collection/scatter/sort run threaded; the resulting CSR is
+  // identical to the serial build.
   void build(const Box& box, std::span<const Vec3> positions,
-             const Topology& top);
+             const Topology& top, ThreadPool* pool = nullptr);
 
   // True once any atom has moved more than skin/2 since the last build.
-  bool needs_rebuild(const Box& box, std::span<const Vec3> positions) const;
+  // With a pool the scan is parallelised and early-exits once any thread
+  // finds a displaced atom.
+  bool needs_rebuild(const Box& box, std::span<const Vec3> positions,
+                     ThreadPool* pool = nullptr) const;
 
   // CSR access: neighbours j (all with j != i; each pair appears exactly
-  // once, under the lower index).
+  // once, under the lower index, sorted ascending).
   std::span<const int> neighbors_of(int i) const {
     const auto b = starts_[static_cast<size_t>(i)];
     const auto e = starts_[static_cast<size_t>(i) + 1];
     return {list_.data() + b, list_.data() + e};
   }
+  // Raw CSR offsets (size num_atoms()+1); consumers use these to balance
+  // work by cumulative pair count.
+  std::span<const int64_t> starts() const { return starts_; }
   int num_atoms() const { return static_cast<int>(starts_.size()) - 1; }
   int64_t num_pairs() const { return static_cast<int64_t>(list_.size()); }
   bool built() const { return !starts_.empty(); }
 
  private:
+  // One per build thread: pairs found plus per-atom counts (reused as
+  // scatter cursors by the merge pass).
+  struct BuildShard {
+    std::vector<int> pair_i;
+    std::vector<int> pair_j;
+    std::vector<int> counts;
+  };
+
+  void collect_cells(const CellGrid& grid, const Topology& top, double rl2,
+                     int cell_begin, int cell_end, BuildShard& shard) const;
+  void merge_shards(int n, unsigned nshards, ThreadPool* pool);
+
   double cutoff_;
   double skin_;
   std::vector<int> list_;
   std::vector<int64_t> starts_;
   std::vector<Vec3> ref_positions_;
+  // Build scratch, persistent across builds.  The cell grid keeps its
+  // binning storage, so steady-state rebuilds touch no allocator.
+  std::unique_ptr<CellGrid> grid_;
+  std::vector<Vec3> wrapped_;
+  std::vector<BuildShard> shards_;
+  std::vector<int> shard_cell_begin_;
 };
 
 }  // namespace anton

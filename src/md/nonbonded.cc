@@ -1,7 +1,7 @@
 #include "md/nonbonded.h"
 
+#include <algorithm>
 #include <cmath>
-#include <vector>
 
 #include "common/units.h"
 
@@ -9,71 +9,113 @@ namespace anton::md {
 
 namespace {
 
-struct PartialEnergy {
-  double lj = 0;
-  double coul = 0;
-  double virial = 0;
-};
+constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+
+// Atom count below which threading overhead beats the parallel win.
+constexpr size_t kSerialThreshold = 2048;
 
 // Inner kernel over the i-range [begin, end); forces accumulated into `f`.
-PartialEnergy pair_kernel(const Box& box, const Topology& top,
-                          const NeighborList& nlist,
-                          std::span<const Vec3> pos, double alpha,
-                          double cutoff, size_t begin, size_t end,
-                          std::span<Vec3> f, bool shift) {
-  PartialEnergy e;
-  const ForceField& ff = top.forcefield();
-  const auto charges = top.charges();
-  const auto types = top.types();
-  constexpr double kTwoOverSqrtPi = 1.1283791670955126;
-  const double cutoff2 = cutoff * cutoff;
-  // Coulomb shift term per unit qq: value of the (screened) 1/r at cutoff.
-  const double coul_shift =
-      shift ? (alpha > 0 ? std::erfc(alpha * cutoff) / cutoff : 1.0 / cutoff)
-            : 0.0;
+// All per-pair parameters come from the workspace caches (premixed LJ table,
+// prescaled charges), so the loop reads flat SoA arrays only.  With kTable
+// the screened-Coulomb energy/force factors come from cubic-Hermite tables
+// in r² (no sqrt, no erfc/exp on the hot path).
+template <bool kTable>
+PairEnergyPartial pair_kernel(const Box& box, const ForceWorkspace& ws,
+                              const NeighborList& nlist,
+                              std::span<const Vec3> pos,
+                              std::span<const int> types,
+                              std::span<const double> charges, double alpha,
+                              double cutoff2, size_t begin, size_t end,
+                              std::span<Vec3> f) {
+  PairEnergyPartial e;
+  const auto q_scaled = ws.scaled_charges();
+  const double coul_shift = ws.coul_shift();
+  const int ntypes = ws.num_types();
+  const LjMixed* lj_table = &ws.lj(0, 0);
+  // Minimum-image applied inline with precomputed reciprocal box lengths:
+  // nearbyint(d * 1/L) instead of nearbyint(d / L) removes three double
+  // divisions per candidate pair, which -O2 cannot do on its own.
+  const Vec3 box_l = box.lengths();
+  const Vec3 inv_l{1.0 / box_l.x, 1.0 / box_l.y, 1.0 / box_l.z};
+  [[maybe_unused]] const double table_r2_min =
+      kTable ? ws.table_r2_min() : 0.0;
+  [[maybe_unused]] const CoulTableView tab =
+      kTable ? ws.coul_ef() : CoulTableView{};
 
   for (size_t i = begin; i < end; ++i) {
     const Vec3 pi = pos[i];
-    const double qi = units::kCoulomb * charges[i];
-    const int ti = types[i];
+    const double qi = q_scaled[i];
+    const LjMixed* lj_row = lj_table + types[i] * ntypes;
     Vec3 fi{};
     for (int j : nlist.neighbors_of(static_cast<int>(i))) {
-      const Vec3 d = box.min_image(pi, pos[static_cast<size_t>(j)]);
+      Vec3 d = pi - pos[static_cast<size_t>(j)];
+      d.x -= box_l.x * std::nearbyint(d.x * inv_l.x);
+      d.y -= box_l.y * std::nearbyint(d.y * inv_l.y);
+      d.z -= box_l.z * std::nearbyint(d.z * inv_l.z);
       const double r2 = norm2(d);
       if (r2 >= cutoff2) continue;
-      const double r = std::sqrt(r2);
-      const double inv_r2 = 1.0 / r2;
       double f_pair = 0.0;
 
-      // Lennard-Jones.
-      const LjPair lj = ff.lj(ti, types[static_cast<size_t>(j)]);
+      // Lennard-Jones from the premixed type-pair table.
+      const LjMixed& lj = lj_row[types[static_cast<size_t>(j)]];
       if (lj.eps > 0) {
-        const double sr2 = lj.sigma * lj.sigma * inv_r2;
+        const double inv_r2 = 1.0 / r2;
+        const double sr2 = lj.sigma2 * inv_r2;
         const double sr6 = sr2 * sr2 * sr2;
-        double e_lj = 4.0 * lj.eps * (sr6 * sr6 - sr6);
-        if (shift) {
-          const double src2 = lj.sigma * lj.sigma / cutoff2;
-          const double src6 = src2 * src2 * src2;
-          e_lj -= 4.0 * lj.eps * (src6 * src6 - src6);
-        }
         f_pair += 24.0 * lj.eps * (2.0 * sr6 * sr6 - sr6) * inv_r2;
-        e.lj += e_lj;
+        e.lj += 4.0 * lj.eps * (sr6 * sr6 - sr6) - lj.e_shift;
       }
 
       // Coulomb (screened when alpha > 0).
       const double qq = qi * charges[static_cast<size_t>(j)];
       if (qq != 0.0) {
         double e_c, f_c;
-        if (alpha > 0) {
-          const double ar = alpha * r;
-          const double erfc_ar = std::erfc(ar);
-          e_c = qq * (erfc_ar / r - coul_shift);
-          f_c = qq *
-                (erfc_ar / r + kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) *
-                inv_r2;
+        if constexpr (kTable) {
+          if (r2 >= table_r2_min) {
+            // Fused cubic-Hermite lookup: one index computation and one
+            // basis evaluation feed both the energy and the force factor
+            // (which already folds in the 1/r², so no division here).
+            const double s = (r2 - tab.x0) * tab.inv_h;
+            int k = static_cast<int>(s);
+            if (k > tab.n - 2) k = tab.n - 2;
+            const double t = s - k;
+            const CoulNode& a = tab.nodes[k];
+            const CoulNode& b = tab.nodes[k + 1];
+            const double t2 = t * t;
+            const double t3 = t2 * t;
+            const double h00 = 2 * t3 - 3 * t2 + 1;
+            const double h10 = (t3 - 2 * t2 + t) * tab.h;
+            const double h01 = -2 * t3 + 3 * t2;
+            const double h11 = (t3 - t2) * tab.h;
+            e_c = qq * (h00 * a.ev + h10 * a.ed + h01 * b.ev + h11 * b.ed -
+                        coul_shift);
+            f_c = qq * (h00 * a.fv + h10 * a.fd + h01 * b.fv + h11 * b.fd);
+          } else {
+            const double inv_r2 = 1.0 / r2;
+            const double r = std::sqrt(r2);
+            const double ar = alpha * r;
+            const double erfc_ar = std::erfc(ar);
+            e_c = qq * (erfc_ar / r - coul_shift);
+            f_c = qq *
+                  (erfc_ar / r +
+                   kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) *
+                  inv_r2;
+          }
         } else {
-          e_c = qq * (1.0 / r - coul_shift);
-          f_c = qq / r * inv_r2;
+          const double inv_r2 = 1.0 / r2;
+          const double r = std::sqrt(r2);
+          if (alpha > 0) {
+            const double ar = alpha * r;
+            const double erfc_ar = std::erfc(ar);
+            e_c = qq * (erfc_ar / r - coul_shift);
+            f_c = qq *
+                  (erfc_ar / r +
+                   kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) *
+                  inv_r2;
+          } else {
+            e_c = qq * (1.0 / r - coul_shift);
+            f_c = qq / r * inv_r2;
+          }
         }
         e.coul += e_c;
         f_pair += f_c;
@@ -89,48 +131,129 @@ PartialEnergy pair_kernel(const Box& box, const Topology& top,
   return e;
 }
 
+// Excluded-pair correction kernel over the i-range [begin, end).
+PairEnergyPartial excluded_kernel(const Box& box, const Topology& top,
+                                  std::span<const Vec3> pos, double alpha,
+                                  size_t begin, size_t end,
+                                  std::span<Vec3> f) {
+  PairEnergyPartial e;
+  const Vec3 box_l = box.lengths();
+  const Vec3 inv_l{1.0 / box_l.x, 1.0 / box_l.y, 1.0 / box_l.z};
+  for (size_t i = begin; i < end; ++i) {
+    const double qi = units::kCoulomb * top.charge(static_cast<int>(i));
+    if (qi == 0.0) continue;
+    for (int j : top.exclusions_of(static_cast<int>(i))) {
+      const double qq = qi * top.charge(j);
+      if (qq == 0.0) continue;
+      Vec3 d = pos[i] - pos[static_cast<size_t>(j)];
+      d.x -= box_l.x * std::nearbyint(d.x * inv_l.x);
+      d.y -= box_l.y * std::nearbyint(d.y * inv_l.y);
+      d.z -= box_l.z * std::nearbyint(d.z * inv_l.z);
+      const double r2 = norm2(d);
+      const double r = std::sqrt(r2);
+      const double ar = alpha * r;
+      const double erf_ar = std::erf(ar);
+      // Subtract E = qq erf(ar)/r.
+      e.excl -= qq * erf_ar / r;
+      // F_i for energy -qq erf(ar)/r: gradient of erf/r is
+      // (2a/sqrt(pi) exp(-a²r²) r - erf(ar)) / r²  along r̂.
+      const double f_mag =
+          -qq *
+          (erf_ar / r - kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) / r2;
+      const Vec3 fv = f_mag * d;
+      e.virial += dot(d, fv);
+      f[i] += fv;
+      f[static_cast<size_t>(j)] -= fv;
+    }
+  }
+  return e;
+}
+
+// Zero-restoring reduction: folds every per-thread buffer into `forces` and
+// leaves the buffers zeroed for the next evaluation.  Summation order over t
+// is fixed, so results are deterministic for a fixed thread count.
+void reduce_thread_forces(ThreadPool* pool, ForceWorkspace* ws, unsigned T,
+                          std::span<Vec3> forces) {
+  pool->parallel_for(forces.size(), [&](size_t b, size_t e) {
+    for (unsigned t = 0; t < T; ++t) {
+      auto buf = ws->thread_force(t);
+      for (size_t i = b; i < e; ++i) {
+        forces[i] += buf[i];
+        buf[i] = Vec3{};
+      }
+    }
+  });
+}
+
 }  // namespace
 
 void compute_nonbonded(const Box& box, const Topology& top,
                        const NeighborList& nlist, std::span<const Vec3> pos,
                        double alpha, std::span<Vec3> forces,
                        EnergyReport& energy, ThreadPool* pool,
-                       bool shift_at_cutoff) {
+                       bool shift_at_cutoff, ForceWorkspace* ws,
+                       bool tabulate_erfc) {
   ANTON_CHECK(nlist.built());
   ANTON_CHECK(nlist.num_atoms() == top.num_atoms());
   const double cutoff = nlist.cutoff();
+  const double cutoff2 = cutoff * cutoff;
   const size_t n = pos.size();
 
-  if (pool == nullptr || pool->size() <= 1 || n < 2048) {
-    const PartialEnergy e = pair_kernel(box, top, nlist, pos, alpha, cutoff,
-                                        0, n, forces, shift_at_cutoff);
+  ForceWorkspace local;
+  if (ws == nullptr) ws = &local;
+  ws->build_cache(top, alpha, cutoff, shift_at_cutoff, tabulate_erfc);
+  const bool use_table = tabulate_erfc && alpha > 0 && ws->tables_ready();
+
+  const auto types = top.types();
+  const auto charges = top.charges();
+  auto run = [&](size_t begin, size_t end,
+                 std::span<Vec3> f) -> PairEnergyPartial {
+    return use_table
+               ? pair_kernel<true>(box, *ws, nlist, pos, types, charges,
+                                   alpha, cutoff2, begin, end, f)
+               : pair_kernel<false>(box, *ws, nlist, pos, types, charges,
+                                    alpha, cutoff2, begin, end, f);
+  };
+
+  if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
+    const PairEnergyPartial e = run(0, n, forces);
     energy.lj += e.lj;
     energy.coulomb_real += e.coul;
     energy.virial += e.virial;
     return;
   }
 
-  // Threaded path: per-thread force buffers, reduced afterwards.  The j-side
-  // scatter makes in-place accumulation racy otherwise.
-  const unsigned nthreads = pool->size();
-  std::vector<std::vector<Vec3>> buffers(nthreads,
-                                         std::vector<Vec3>(n, Vec3{}));
-  std::vector<PartialEnergy> partials(nthreads);
-  const size_t chunk = (n + nthreads - 1) / nthreads;
+  const unsigned T = pool->size();
+  ws->ensure_threads(T, n);
+
+  // Pair-balanced chunking: the half-list CSR front-loads neighbours onto
+  // low atom indices, so equal atom ranges starve the high threads.  Split
+  // atoms at equal cumulative-pair quantiles of starts_ instead.
+  auto& bounds = ws->chunk_bounds();
+  const auto starts = nlist.starts();
+  const int64_t total = nlist.num_pairs();
+  bounds[0] = 0;
+  for (unsigned t = 1; t < T; ++t) {
+    const int64_t target = total * static_cast<int64_t>(t) / T;
+    const size_t b = static_cast<size_t>(
+        std::lower_bound(starts.begin(), starts.end(), target) -
+        starts.begin());
+    bounds[t] = std::clamp(b, bounds[t - 1], n);
+  }
+  bounds[T] = n;
+
   pool->for_each_thread([&](unsigned t) {
-    const size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
-    const size_t end = std::min(n, begin + chunk);
-    if (begin < end) {
-      partials[t] = pair_kernel(box, top, nlist, pos, alpha, cutoff, begin,
-                                end, buffers[t], shift_at_cutoff);
-    }
+    ws->partial(t) = bounds[t] < bounds[t + 1]
+                         ? run(bounds[t], bounds[t + 1], ws->thread_force(t))
+                         : PairEnergyPartial{};
   });
-  for (unsigned t = 0; t < nthreads; ++t) {
-    energy.lj += partials[t].lj;
-    energy.coulomb_real += partials[t].coul;
-    energy.virial += partials[t].virial;
-    const auto& buf = buffers[t];
-    for (size_t i = 0; i < n; ++i) forces[i] += buf[i];
+
+  reduce_thread_forces(pool, ws, T, forces);
+
+  for (unsigned t = 0; t < T; ++t) {
+    energy.lj += ws->partial(t).lj;
+    energy.coulomb_real += ws->partial(t).coul;
+    energy.virial += ws->partial(t).virial;
   }
 }
 
@@ -142,33 +265,37 @@ double ewald_self_energy(const Topology& top, double alpha) {
 
 void compute_excluded_correction(const Box& box, const Topology& top,
                                  std::span<const Vec3> pos, double alpha,
-                                 std::span<Vec3> forces,
-                                 EnergyReport& energy) {
-  constexpr double kTwoOverSqrtPi = 1.1283791670955126;
-  for (int i = 0; i < top.num_atoms(); ++i) {
-    const double qi = units::kCoulomb * top.charge(i);
-    if (qi == 0.0) continue;
-    for (int j : top.exclusions_of(i)) {
-      const double qq = qi * top.charge(j);
-      if (qq == 0.0) continue;
-      const Vec3 d = box.min_image(pos[static_cast<size_t>(i)],
-                                   pos[static_cast<size_t>(j)]);
-      const double r2 = norm2(d);
-      const double r = std::sqrt(r2);
-      const double ar = alpha * r;
-      const double erf_ar = std::erf(ar);
-      // Subtract E = qq erf(ar)/r.
-      energy.coulomb_excl -= qq * erf_ar / r;
-      // F_i for energy -qq erf(ar)/r: gradient of erf/r is
-      // (2a/sqrt(pi) exp(-a²r²) r - erf(ar)) / r²  along r̂.
-      const double f_mag =
-          -qq *
-          (erf_ar / r - kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) / r2;
-      const Vec3 f = f_mag * d;
-      energy.virial += dot(d, f);
-      forces[static_cast<size_t>(i)] += f;
-      forces[static_cast<size_t>(j)] -= f;
-    }
+                                 std::span<Vec3> forces, EnergyReport& energy,
+                                 ThreadPool* pool, ForceWorkspace* ws) {
+  const size_t n = pos.size();
+  if (pool == nullptr || pool->size() <= 1 || ws == nullptr ||
+      n < kSerialThreshold) {
+    const PairEnergyPartial e =
+        excluded_kernel(box, top, pos, alpha, 0, n, forces);
+    energy.coulomb_excl += e.excl;
+    energy.virial += e.virial;
+    return;
+  }
+
+  const unsigned T = pool->size();
+  ws->ensure_threads(T, n);
+  // Exclusions are uniform across atoms (dominated by water), so static atom
+  // chunks balance fine here.
+  const size_t chunk = (n + T - 1) / T;
+  pool->for_each_thread([&](unsigned t) {
+    const size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
+    const size_t end = std::min(n, begin + chunk);
+    ws->partial(t) = begin < end
+                         ? excluded_kernel(box, top, pos, alpha, begin, end,
+                                           ws->thread_force(t))
+                         : PairEnergyPartial{};
+  });
+
+  reduce_thread_forces(pool, ws, T, forces);
+
+  for (unsigned t = 0; t < T; ++t) {
+    energy.coulomb_excl += ws->partial(t).excl;
+    energy.virial += ws->partial(t).virial;
   }
 }
 

@@ -12,12 +12,15 @@
 #include "geom/box.h"
 #include "md/neighborlist.h"
 #include "md/params.h"
+#include "md/workspace.h"
 
 namespace anton::md {
 
 // Accumulates LJ + real-space Coulomb forces/energies over the list.
 // If `pool` is non-null the pair loop is parallelised with per-thread force
-// buffers (deterministic for a fixed thread count).
+// buffers (deterministic for a fixed thread count); work is split at equal
+// cumulative-pair quantiles of the half-list CSR, and the cross-thread
+// reduction runs in parallel.
 //
 // Electrostatics mode:
 //   - alpha > 0: erfc(alpha r)/r screened Coulomb (Ewald real-space part)
@@ -26,11 +29,21 @@ namespace anton::md {
 // With shift_at_cutoff, each pair's LJ and Coulomb energies are shifted so
 // they vanish at the cutoff (forces unchanged) — the conserved quantity is
 // then continuous as pairs cross the cutoff.
+//
+// Passing a ForceWorkspace makes steady-state evaluation allocation-free:
+// the premixed LJ type-pair table, prescaled charges, per-thread buffers and
+// (optionally) the tabulated erfc kernel all persist in it.  Without one, a
+// temporary workspace is built per call (convenient for tests).  With
+// tabulate_erfc (and alpha > 0), per-pair std::erfc/std::exp are replaced by
+// cubic-Hermite table lookups in r²; accuracy is bounded by the workspace's
+// table build (see ForceWorkspace::build_cache).
 void compute_nonbonded(const Box& box, const Topology& top,
                        const NeighborList& nlist, std::span<const Vec3> pos,
                        double alpha, std::span<Vec3> forces,
                        EnergyReport& energy, ThreadPool* pool = nullptr,
-                       bool shift_at_cutoff = false);
+                       bool shift_at_cutoff = false,
+                       ForceWorkspace* ws = nullptr,
+                       bool tabulate_erfc = false);
 
 // Ewald self-energy: -C * alpha/sqrt(pi) * sum q_i^2.  Pure energy term.
 double ewald_self_energy(const Topology& top, double alpha);
@@ -38,8 +51,13 @@ double ewald_self_energy(const Topology& top, double alpha);
 // Excluded-pair correction: the reciprocal sum includes *all* pairs, so for
 // every topologically excluded pair we subtract the interaction of the
 // screening charges: E -= C q_i q_j erf(alpha r)/r, with matching forces.
+// With a pool and workspace the atom loop runs threaded over the same
+// per-thread buffers as compute_nonbonded (deterministic for a fixed thread
+// count).
 void compute_excluded_correction(const Box& box, const Topology& top,
                                  std::span<const Vec3> pos, double alpha,
-                                 std::span<Vec3> forces, EnergyReport& energy);
+                                 std::span<Vec3> forces, EnergyReport& energy,
+                                 ThreadPool* pool = nullptr,
+                                 ForceWorkspace* ws = nullptr);
 
 }  // namespace anton::md

@@ -1,0 +1,150 @@
+#include "md/workspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace anton::md {
+
+namespace {
+
+constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+
+// Screened-Coulomb energy per unit qq as a function of r²:
+//   E(r²) = erfc(alpha r) / r.
+double erfc_energy_r2(double alpha, double r2) {
+  const double r = std::sqrt(r2);
+  return std::erfc(alpha * r) / r;
+}
+
+// Force factor per unit qq as a function of r² (multiplies the displacement
+// vector): F(r²) = (erfc(ar)/r + 2a/√π e^{-a²r²}) / r².  Note dE/dr² = -F/2.
+double erfc_force_r2(double alpha, double r2) {
+  const double r = std::sqrt(r2);
+  const double ar = alpha * r;
+  return (std::erfc(ar) / r + kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) /
+         r2;
+}
+
+// dF/dr² for the Hermite nodes of the force table:
+//   dF/dr = -3 erfc/r⁴ - 2a/√π e^{-a²r²} (3/r³ + 2a²/r),  dF/dr² = dF/dr / 2r.
+double erfc_force_deriv_r2(double alpha, double r2) {
+  const double r = std::sqrt(r2);
+  const double ar = alpha * r;
+  const double g = kTwoOverSqrtPi * alpha * std::exp(-ar * ar);
+  const double df_dr = -3.0 * std::erfc(ar) / (r2 * r2) -
+                       g * (3.0 / (r2 * r) + 2.0 * alpha * alpha / r);
+  return df_dr / (2.0 * r);
+}
+
+}  // namespace
+
+void ForceWorkspace::build_cache(const Topology& top, double alpha,
+                                 double cutoff, bool shift_at_cutoff,
+                                 bool tabulate_erfc, double table_target_err) {
+  const ForceField& ff = top.forcefield();
+  const int ntypes = ff.num_types();
+  const size_t n = static_cast<size_t>(top.num_atoms());
+  const bool want_tables = tabulate_erfc && alpha > 0;
+  if (cache_ready_ && ntypes_ == ntypes && q_scaled_.size() == n &&
+      cache_alpha_ == alpha && cache_cutoff_ == cutoff &&
+      cache_shift_ == shift_at_cutoff && tables_ready_ == want_tables) {
+    return;
+  }
+
+  // Dense premixed LJ table: one Lorentz–Berthelot mix per type pair, done
+  // once instead of once per interacting pair, with the cutoff shift energy
+  // folded in.  The stored values are bitwise what ForceField::lj computes,
+  // so tabulated and on-the-fly paths agree exactly.
+  const double cutoff2 = cutoff * cutoff;
+  lj_.assign(static_cast<size_t>(ntypes) * static_cast<size_t>(ntypes), {});
+  for (int a = 0; a < ntypes; ++a) {
+    for (int b = 0; b < ntypes; ++b) {
+      const LjPair p = ff.lj(a, b);
+      LjMixed m;
+      m.eps = p.eps;
+      m.sigma2 = p.sigma * p.sigma;
+      if (shift_at_cutoff && p.eps > 0) {
+        const double src2 = p.sigma * p.sigma / cutoff2;
+        const double src6 = src2 * src2 * src2;
+        m.e_shift = 4.0 * p.eps * (src6 * src6 - src6);
+      }
+      lj_[static_cast<size_t>(a) * static_cast<size_t>(ntypes) +
+          static_cast<size_t>(b)] = m;
+    }
+  }
+
+  const auto charges = top.charges();
+  q_scaled_.resize(n);
+  for (size_t i = 0; i < n; ++i) q_scaled_[i] = units::kCoulomb * charges[i];
+
+  coul_shift_ = shift_at_cutoff
+                    ? (alpha > 0 ? std::erfc(alpha * cutoff) / cutoff
+                                 : 1.0 / cutoff)
+                    : 0.0;
+
+  tables_ready_ = false;
+  table_max_rel_err_ = 0;
+  if (want_tables) {
+    // Tabulate over r² so the kernel needs no sqrt.  Pairs can in principle
+    // approach closer than the table floor during bad initial geometry; the
+    // kernel falls back to the analytic form below table_r2_min().
+    table_r2_min_ = 0.25;  // r = 0.5 Å
+    const double x1 = cutoff2;
+    auto e_fn = [alpha](double x) { return erfc_energy_r2(alpha, x); };
+    auto e_dfn = [alpha](double x) { return -0.5 * erfc_force_r2(alpha, x); };
+    auto f_fn = [alpha](double x) { return erfc_force_r2(alpha, x); };
+    auto f_dfn = [alpha](double x) { return erfc_force_deriv_r2(alpha, x); };
+    // Refine by node doubling until the measured midpoint error meets the
+    // accuracy bound.
+    for (int nodes = 2048; nodes <= (1 << 17); nodes *= 2) {
+      coul_e_.build(table_r2_min_, x1, nodes, e_fn, e_dfn);
+      coul_f_.build(table_r2_min_, x1, nodes, f_fn, f_dfn);
+      double max_rel = 0;
+      const double h = (x1 - table_r2_min_) / (nodes - 1);
+      for (int k = 0; k + 1 < nodes; ++k) {
+        const double x = table_r2_min_ + (k + 0.5) * h;
+        const double ee = e_fn(x), fe = f_fn(x);
+        max_rel = std::max(max_rel, std::abs(coul_e_(x) - ee) /
+                                        std::max(std::abs(ee), 1e-300));
+        max_rel = std::max(max_rel, std::abs(coul_f_(x) - fe) /
+                                        std::max(std::abs(fe), 1e-300));
+      }
+      table_max_rel_err_ = max_rel;
+      if (max_rel <= table_target_err) break;
+    }
+    // Pack the converged node set into the fused interleaved layout used by
+    // the pair kernel.  Samples are recomputed with the exact expressions the
+    // CubicTable build used, so the node values are bitwise identical and the
+    // measured accuracy bound transfers.
+    const int n_nodes = coul_e_.num_nodes();
+    ef_h_ = (x1 - table_r2_min_) / (n_nodes - 1);
+    ef_inv_h_ = 1.0 / ef_h_;
+    ef_nodes_.resize(static_cast<size_t>(n_nodes));
+    for (int k = 0; k < n_nodes; ++k) {
+      const double x = table_r2_min_ + k * ef_h_;
+      ef_nodes_[static_cast<size_t>(k)] = {e_fn(x), e_dfn(x), f_fn(x),
+                                           f_dfn(x)};
+    }
+    tables_ready_ = true;
+  }
+
+  ntypes_ = ntypes;
+  cache_alpha_ = alpha;
+  cache_cutoff_ = cutoff;
+  cache_shift_ = shift_at_cutoff;
+  cache_ready_ = true;
+}
+
+void ForceWorkspace::ensure_threads(unsigned nthreads, size_t n_atoms) {
+  if (thread_f_.size() == nthreads && partials_.size() == nthreads &&
+      (nthreads == 0 || thread_f_[0].size() == n_atoms)) {
+    return;
+  }
+  thread_f_.assign(nthreads, std::vector<Vec3>(n_atoms, Vec3{}));
+  partials_.assign(nthreads, PairEnergyPartial{});
+  chunk_bounds_.assign(static_cast<size_t>(nthreads) + 1, 0);
+}
+
+}  // namespace anton::md

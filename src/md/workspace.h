@@ -1,0 +1,131 @@
+// Persistent per-ForceCompute scratch and parameter caches for the
+// short-range pipeline.
+//
+// Anton 2 keeps its pairwise point interaction pipelines saturated because
+// nothing on the hot path touches a memory allocator; the commodity baseline
+// mirrors that by hoisting every per-step buffer and every derived pair
+// parameter into this workspace, sized once at construction:
+//
+//   - per-thread force accumulation buffers (kept zeroed between uses by the
+//     zero-restoring reduction pass),
+//   - per-thread partial-energy slots and pair-balanced chunk boundaries,
+//   - the compute_all long-range force scratch,
+//   - a dense premixed Lennard-Jones type-pair table (Lorentz–Berthelot
+//     applied once, with the cutoff energy shift folded in),
+//   - the Coulomb-prescaled charge array,
+//   - optional cubic-Hermite tables for the erfc screened-Coulomb kernel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "chem/topology.h"
+#include "common/table.h"
+#include "common/vec3.h"
+
+namespace anton::md {
+
+// Per-thread partial sums from the pair and exclusion kernels.
+struct PairEnergyPartial {
+  double lj = 0;
+  double coul = 0;
+  double excl = 0;
+  double virial = 0;
+};
+
+// Premixed LJ parameters for one type pair. e_shift is the pair energy at
+// the cutoff (subtracted when shift_at_cutoff is on; zero otherwise).
+struct LjMixed {
+  double eps = 0;
+  double sigma2 = 0;
+  double e_shift = 0;
+};
+
+// One interleaved Hermite node of the fused screened-Coulomb table: energy
+// value/derivative and force-factor value/derivative at the same abscissa.
+// Interleaving lets the pair kernel fetch both interpolants with a single
+// index computation and one shared Hermite basis.
+struct CoulNode {
+  double ev, ed, fv, fd;
+};
+
+// Non-owning view of the fused table, sized for register-resident use in the
+// inner pair loop.  Node values are bitwise identical to the standalone
+// CubicTable pair (coul_e/coul_f), so the accuracy bound measured there
+// applies to this view too.
+struct CoulTableView {
+  const CoulNode* nodes = nullptr;
+  double x0 = 0, h = 1, inv_h = 1;
+  int n = 0;
+};
+
+class ForceWorkspace {
+ public:
+  // Builds the per-system caches (LJ table, scaled charges, erfc tables).
+  // Idempotent for identical (topology size, alpha, cutoff, shift, tabulate)
+  // inputs, so callers may invoke it on every evaluation.
+  //
+  // When tabulate_erfc is set (and alpha > 0), the erfc energy/force tables
+  // are refined by node doubling until their measured max relative error on
+  // interval midpoints is <= table_target_err (the accuracy bound).
+  void build_cache(const Topology& top, double alpha, double cutoff,
+                   bool shift_at_cutoff, bool tabulate_erfc,
+                   double table_target_err = 1e-9);
+
+  // Sizes the per-thread buffers; thread force buffers are zeroed whenever
+  // their geometry changes and are otherwise kept zeroed by the reduction.
+  void ensure_threads(unsigned nthreads, size_t n_atoms);
+
+  bool cache_ready() const { return cache_ready_; }
+  int num_types() const { return ntypes_; }
+  const LjMixed& lj(int ti, int tj) const {
+    return lj_[static_cast<size_t>(ti) * static_cast<size_t>(ntypes_) +
+               static_cast<size_t>(tj)];
+  }
+  std::span<const double> scaled_charges() const { return q_scaled_; }
+  double coul_shift() const { return coul_shift_; }
+
+  bool tables_ready() const { return tables_ready_; }
+  const CubicTable& coul_e() const { return coul_e_; }
+  const CubicTable& coul_f() const { return coul_f_; }
+  CoulTableView coul_ef() const {
+    return {ef_nodes_.data(), table_r2_min_, ef_h_, ef_inv_h_,
+            static_cast<int>(ef_nodes_.size())};
+  }
+  double table_r2_min() const { return table_r2_min_; }
+  // Max relative error of the erfc tables measured at build time.
+  double table_max_rel_err() const { return table_max_rel_err_; }
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(thread_f_.size());
+  }
+  std::span<Vec3> thread_force(unsigned t) { return thread_f_[t]; }
+  PairEnergyPartial& partial(unsigned t) { return partials_[t]; }
+  std::vector<size_t>& chunk_bounds() { return chunk_bounds_; }
+  std::vector<Vec3>& f_long() { return f_long_; }
+
+ private:
+  // Immutable per-system caches.
+  std::vector<LjMixed> lj_;
+  std::vector<double> q_scaled_;
+  int ntypes_ = 0;
+  double coul_shift_ = 0;
+  double cache_alpha_ = -1, cache_cutoff_ = -1;
+  bool cache_shift_ = false;
+  bool cache_ready_ = false;
+
+  CubicTable coul_e_, coul_f_;
+  std::vector<CoulNode> ef_nodes_;
+  double ef_h_ = 1, ef_inv_h_ = 1;
+  double table_r2_min_ = 0;
+  double table_max_rel_err_ = 0;
+  bool tables_ready_ = false;
+
+  // Steady-state scratch.
+  std::vector<std::vector<Vec3>> thread_f_;
+  std::vector<PairEnergyPartial> partials_;
+  std::vector<size_t> chunk_bounds_;
+  std::vector<Vec3> f_long_;
+};
+
+}  // namespace anton::md

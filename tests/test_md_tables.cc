@@ -1,0 +1,133 @@
+// Tabulated pair kernels: cubic-Hermite table machinery, the erfc table
+// accuracy bound, parity between tabulated and analytic short-range forces,
+// and NVE energy conservation with tables enabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "chem/builder.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "md/engine.h"
+#include "md/neighborlist.h"
+#include "md/nonbonded.h"
+
+namespace anton::md {
+namespace {
+
+constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+
+TEST(CubicTable, ReproducesSmoothFunction) {
+  CubicTable tab;
+  tab.build(
+      0.0, 5.0, 513, [](double x) { return std::exp(-x); },
+      [](double x) { return -std::exp(-x); });
+  ASSERT_TRUE(tab.built());
+  // Exact at the nodes.
+  EXPECT_DOUBLE_EQ(tab(0.0), 1.0);
+  // Hermite error scales like h^4 f'''' / 384; h ~ 1e-2 gives ~2.6e-11.
+  double max_err = 0;
+  for (int k = 0; k < 2000; ++k) {
+    const double x = 5.0 * k / 1999.0;
+    max_err = std::max(max_err, std::abs(tab(x) - std::exp(-x)));
+  }
+  EXPECT_LT(max_err, 1e-9);
+  // Clamped outside the domain.
+  EXPECT_DOUBLE_EQ(tab(-1.0), tab(0.0));
+  EXPECT_DOUBLE_EQ(tab(6.0), tab(5.0));
+}
+
+TEST(ErfcTables, MeetAccuracyBound) {
+  const System sys = build_water_box(8, 5);
+  const double alpha = 0.35;
+  const double cutoff = 9.0;
+  ForceWorkspace ws;
+  ws.build_cache(sys.topology(), alpha, cutoff, /*shift_at_cutoff=*/true,
+                 /*tabulate_erfc=*/true, /*table_target_err=*/1e-9);
+  ASSERT_TRUE(ws.tables_ready());
+  EXPECT_LE(ws.table_max_rel_err(), 1e-9);
+
+  // Independent dense sweep in r (not the build's midpoint grid): both the
+  // energy table E(r²) = erfc(ar)/r and the force-factor table stay within
+  // an order of magnitude of the advertised bound.
+  const CubicTable& etab = ws.coul_e();
+  const CubicTable& ftab = ws.coul_f();
+  double max_rel = 0;
+  for (int k = 0; k <= 20000; ++k) {
+    const double r = 0.6 + (cutoff - 0.01 - 0.6) * k / 20000.0;
+    const double r2 = r * r;
+    const double ar = alpha * r;
+    const double e_ref = std::erfc(ar) / r;
+    const double f_ref =
+        (std::erfc(ar) / r + kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) / r2;
+    max_rel = std::max(max_rel, std::abs(etab(r2) - e_ref) / std::abs(e_ref));
+    max_rel = std::max(max_rel, std::abs(ftab(r2) - f_ref) / std::abs(f_ref));
+  }
+  EXPECT_LT(max_rel, 1e-8);
+
+  // The fused interleaved view carries the same node data (the interpolant
+  // evaluated at a node abscissa reproduces the stored node value up to the
+  // rounding of the abscissa itself).
+  const CoulTableView view = ws.coul_ef();
+  ASSERT_EQ(view.n, etab.num_nodes());
+  EXPECT_EQ(view.x0, etab.min_x());
+  for (int k = 0; k < view.n; k += 97) {
+    const double x = view.x0 + k * view.h;
+    EXPECT_NEAR(view.nodes[k].ev, etab(x), 1e-12 * std::abs(view.nodes[k].ev))
+        << "node " << k;
+    EXPECT_NEAR(view.nodes[k].fv, ftab(x), 1e-12 * std::abs(view.nodes[k].fv))
+        << "node " << k;
+  }
+}
+
+TEST(ErfcTables, TabulatedNonbondedMatchesAnalytic) {
+  const System sys = build_water_box(216, 21);
+  NeighborList nlist(6.5, 0.7);
+  nlist.build(sys.box(), sys.positions(), sys.topology());
+  const size_t n = static_cast<size_t>(sys.num_atoms());
+
+  std::vector<Vec3> fa(n), ft(n);
+  EnergyReport ea, et;
+  ForceWorkspace wsa, wst;
+  compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(), 0.35,
+                    fa, ea, nullptr, true, &wsa, false);
+  compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(), 0.35,
+                    ft, et, nullptr, true, &wst, true);
+
+  EXPECT_NEAR(ea.lj, et.lj, 1e-9 * std::abs(ea.lj));
+  EXPECT_NEAR(ea.coulomb_real, et.coulomb_real,
+              1e-6 * std::abs(ea.coulomb_real));
+  EXPECT_NEAR(ea.virial, et.virial, 1e-6 * std::abs(ea.virial));
+  for (size_t i = 0; i < n; ++i) {
+    const double scale = std::max(1.0, std::sqrt(norm2(fa[i])));
+    EXPECT_NEAR(fa[i].x, ft[i].x, 1e-6 * scale) << "atom " << i;
+    EXPECT_NEAR(fa[i].y, ft[i].y, 1e-6 * scale) << "atom " << i;
+    EXPECT_NEAR(fa[i].z, ft[i].z, 1e-6 * scale) << "atom " << i;
+  }
+}
+
+TEST(ErfcTables, NveConservationWithTabulatedKernel) {
+  System sys = build_water_box(125, 101);
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.dt_fs = 1.0;
+  p.respa_k = 1;
+  p.long_range = LongRangeMethod::kMesh;
+  p.mesh_spacing = 1.1;
+  p.gse_sigma = 1.2;
+  p.ewald_alpha = 0.35;
+  p.tabulate_erfc = true;
+  Simulation sim(std::move(sys), p);
+  sim.step(50);  // relax the synthetic lattice before measuring
+  const double e0 = sim.energies().total();
+  sim.step(200);
+  const double e1 = sim.energies().total();
+  const double ke = sim.system().kinetic_energy();
+  EXPECT_LT(std::abs(e1 - e0), 0.01 * ke)
+      << "E0=" << e0 << " E1=" << e1 << " KE=" << ke;
+}
+
+}  // namespace
+}  // namespace anton::md
