@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Pre-PR gate: default build + full ctest + anton-lint + sanitizer passes.
+#
+# Usage:
+#   scripts/check.sh                  # build, ctest, lint, then ASan + UBSan
+#   ANTON_CHECK_SANITIZERS="address undefined thread" scripts/check.sh
+#   ANTON_CHECK_SANITIZERS="" scripts/check.sh   # skip sanitizer builds
+#
+# Each sanitizer preset builds into its own directory (build-<preset>) so the
+# instrumented trees never collide with the default build/.  TSan is not in
+# the default list because it is an order of magnitude slower; add it via
+# ANTON_CHECK_SANITIZERS before merging thread-pool or kernel changes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${ANTON_CHECK_JOBS:-$(nproc)}"
+SANITIZERS="${ANTON_CHECK_SANITIZERS-address undefined}"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "default build (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+
+step "ctest (default build)"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+step "anton-lint (src/ must be clean, fixtures must fail)"
+python3 tools/anton_lint.py src
+if python3 tools/anton_lint.py -q tools/lint_fixtures; then
+  echo "error: lint fixtures passed — anton_lint.py has rotted into a no-op" >&2
+  exit 1
+fi
+echo "lint fixtures correctly rejected"
+
+for san in $SANITIZERS; do
+  step "sanitizer pass: $san (build-$san/)"
+  cmake -B "build-$san" -S . -DANTON_SANITIZE="$san" >/dev/null
+  cmake --build "build-$san" -j"$JOBS"
+  ctest --test-dir "build-$san" --output-on-failure -j"$JOBS" \
+    -L "sanitize-$san"
+done
+
+step "all checks passed"

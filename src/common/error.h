@@ -50,3 +50,34 @@ namespace detail {
 #else
 #define ANTON_DCHECK(cond) ANTON_CHECK(cond)
 #endif
+
+// ---------------------------------------------------------------------------
+// Runtime invariant layer.
+//
+// ANTON_ASSERT / ANTON_CHECK_INVARIANT express structural invariants that are
+// too expensive for release builds (CSR well-formedness scans, net-zero force
+// sums, per-link packet conservation).  They compile to nothing unless
+// ANTON_ENABLE_INVARIANTS is 1, which is the default in debug builds and is
+// forced on by the sanitizer build matrix (ANTON_SANITIZE=... presets), so
+// every sanitizer run also exercises the invariant validators.
+#if !defined(ANTON_ENABLE_INVARIANTS)
+#ifdef NDEBUG
+#define ANTON_ENABLE_INVARIANTS 0
+#else
+#define ANTON_ENABLE_INVARIANTS 1
+#endif
+#endif
+
+namespace anton {
+// Compile-time flag for guarding whole validation passes:
+//   if constexpr (kInvariantsEnabled) { validate(); }
+inline constexpr bool kInvariantsEnabled = ANTON_ENABLE_INVARIANTS != 0;
+}  // namespace anton
+
+#if ANTON_ENABLE_INVARIANTS
+#define ANTON_ASSERT(cond) ANTON_CHECK(cond)
+#define ANTON_CHECK_INVARIANT(cond, msg) ANTON_CHECK_MSG(cond, msg)
+#else
+#define ANTON_ASSERT(cond) ((void)0)
+#define ANTON_CHECK_INVARIANT(cond, msg) ((void)0)
+#endif

@@ -24,9 +24,26 @@ class Fixed {
  public:
   constexpr Fixed() = default;
 
+  // Converts with round-half-away-from-zero, saturating at the int64 rails
+  // (casting an out-of-range double to int64_t is undefined behaviour; the
+  // hardware datapath this models clamps).  NaN maps to zero.
   static constexpr Fixed from_double(double v) {
     Fixed f;
-    f.raw_ = static_cast<int64_t>(v * kScale + (v >= 0 ? 0.5 : -0.5));
+    const double scaled =
+        v * kScale + (v >= 0 ? 0.5 : -0.5);  // anton-lint: allow(fixed-literal)
+    // 2^63 is exactly representable as a double; any scaled value >= it (or
+    // < -2^63) would overflow the cast.
+    constexpr double kRail =
+        static_cast<double>(std::numeric_limits<int64_t>::max());
+    if (!(scaled == scaled)) {
+      f.raw_ = 0;
+    } else if (scaled >= kRail) {
+      f.raw_ = std::numeric_limits<int64_t>::max();
+    } else if (scaled < -kRail) {
+      f.raw_ = std::numeric_limits<int64_t>::min();
+    } else {
+      f.raw_ = static_cast<int64_t>(scaled);
+    }
     return f;
   }
   static constexpr Fixed from_raw(int64_t raw) {
@@ -40,12 +57,17 @@ class Fixed {
   }
   constexpr int64_t raw() const { return raw_; }
 
+  // Addition wraps on overflow like the hardware adder would.  Signed
+  // overflow is undefined behaviour in C++, so the wrap is computed in
+  // unsigned arithmetic (well-defined mod 2^64) and cast back.
   constexpr Fixed& operator+=(const Fixed& o) {
-    raw_ += o.raw_;  // wraps on overflow like the hardware adder would
+    raw_ = static_cast<int64_t>(static_cast<uint64_t>(raw_) +
+                                static_cast<uint64_t>(o.raw_));
     return *this;
   }
   constexpr Fixed& operator-=(const Fixed& o) {
-    raw_ -= o.raw_;
+    raw_ = static_cast<int64_t>(static_cast<uint64_t>(raw_) -
+                                static_cast<uint64_t>(o.raw_));
     return *this;
   }
   friend constexpr Fixed operator+(Fixed a, const Fixed& b) { return a += b; }

@@ -37,9 +37,15 @@ void ThreadPool::worker_loop(unsigned index) {
       ctx = ctx_;
     }
     fn(ctx, index);
-    {
+    // acq_rel: the release half publishes everything this chunk wrote to the
+    // dispatcher's acquire load; the acquire half orders this thread against
+    // the other workers' decrements.  The final decrementer must take mu_
+    // before notifying: the dispatcher only blocks while holding mu_, so the
+    // lock ensures it is either not yet waiting (and will re-test the
+    // predicate) or parked (and receives the notify) — no lost wakeup.
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (--remaining_ == 0) done_cv_.notify_all();
+      done_cv_.notify_all();
     }
   }
 }
@@ -49,17 +55,21 @@ void ThreadPool::dispatch(void (*fn)(void*, unsigned), void* ctx) {
     fn(ctx, 0);
     return;
   }
+  std::lock_guard<std::mutex> serialize(dispatch_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = fn;
     ctx_ = ctx;
-    remaining_ = static_cast<unsigned>(workers_.size());
+    remaining_.store(static_cast<unsigned>(workers_.size()),
+                     std::memory_order_relaxed);
     ++generation_;
   }
   cv_.notify_all();
   fn(ctx, 0);
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  done_cv_.wait(lock, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 }  // namespace anton

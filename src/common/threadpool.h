@@ -9,9 +9,23 @@
 // (function pointer, context pointer) pair — no std::function, no per-call
 // task vector — so steady-state force evaluation performs zero heap
 // allocation (see DESIGN.md, "Commodity-baseline performance model").
+//
+// Memory model (audited under TSan; see tests/test_threadpool.cc):
+//   - The (fn_, ctx_, generation_) trampoline is published under mu_ and
+//     read by workers under mu_, so workers always observe a coherent
+//     (generation, fn, ctx) triple.
+//   - Completion is counted by the atomic remaining_: workers decrement with
+//     acq_rel after running their chunk, which makes every write performed
+//     inside the chunk happen-before the dispatcher's acquire load that
+//     observes remaining_ == 0.  The final decrementer takes mu_ before
+//     notifying so the wakeup cannot be lost.
+//   - Concurrent dispatchers are serialized by dispatch_mu_: parallel_for
+//     may be called from multiple threads, but nested dispatch from inside a
+//     worker chunk deadlocks by design (documented non-reentrancy).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -35,6 +49,7 @@ class ThreadPool {
 
   // Runs fn(begin, end) over [0, n) split into contiguous chunks, one per
   // thread (including the calling thread). Blocks until all chunks finish.
+  // ANTON_HOT_NOALLOC
   template <class F>
   void parallel_for(size_t n, F&& fn) {
     if (n == 0) return;
@@ -53,6 +68,7 @@ class ThreadPool {
 
   // Runs fn(thread_index) on every thread (the caller runs index 0); useful
   // for thread-local reduction buffers.
+  // ANTON_HOT_NOALLOC
   template <class F>
   void for_each_thread(F&& fn) {
     using Fn = std::remove_reference_t<F>;
@@ -63,18 +79,20 @@ class ThreadPool {
 
  private:
   // Runs fn(ctx, t) on every thread index t in [0, size()); the calling
-  // thread executes t == 0.  Not reentrant (no nested dispatch).
+  // thread executes t == 0.  Safe to call concurrently from multiple
+  // threads (calls serialize); not reentrant (no nested dispatch).
   void dispatch(void (*fn)(void*, unsigned), void* ctx);
   void worker_loop(unsigned index);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  std::mutex dispatch_mu_;  // serializes concurrent dispatchers
+  std::mutex mu_;           // guards the trampoline + wakeup/done cvs
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   void (*fn_)(void*, unsigned) = nullptr;
   void* ctx_ = nullptr;
   uint64_t generation_ = 0;
-  unsigned remaining_ = 0;
+  std::atomic<unsigned> remaining_{0};
   bool stop_ = false;
 };
 

@@ -107,6 +107,9 @@ ImportStats analyze_decomposition(const System& system,
   for (int v = 0; v < P; ++v) {
     stats.imported_atoms.add(
         static_cast<double>(imports[static_cast<size_t>(v)].size()));
+    // Iteration order is irrelevant here: integer increments commute
+    // exactly, so the unordered walk cannot perturb the result.
+    // anton-lint: allow(unordered-iter)
     for (int atom : imports[static_cast<size_t>(v)]) {
       exports[static_cast<size_t>(owner[static_cast<size_t>(atom)])]++;
     }

@@ -1,6 +1,7 @@
 #include "md/forces.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "md/bonded.h"
 #include "md/nonbonded.h"
@@ -63,10 +64,32 @@ EnergyReport ForceCompute::compute_short(std::span<const Vec3> pos,
   const double alpha =
       params_.long_range == LongRangeMethod::kNone ? 0.0 : params_.ewald_alpha;
   compute_nonbonded(box_, *top_, nlist_, pos, alpha, forces, e, pool_,
-                    params_.shift_at_cutoff, &ws_, params_.tabulate_erfc);
+                    params_.shift_at_cutoff, &ws_, params_.tabulate_erfc,
+                    params_.deterministic_forces);
   if (params_.long_range != LongRangeMethod::kNone) {
     compute_excluded_correction(box_, *top_, pos, params_.ewald_alpha, forces,
-                                e, pool_, &ws_);
+                                e, pool_, &ws_,
+                                params_.deterministic_forces);
+  }
+  // Net-zero invariant: every short-range term except position restraints
+  // (an external field, exempted below) is an internal pair interaction
+  // (Newton's third law holds pair by pair), so the reduced forces must sum
+  // to zero up to accumulation roundoff.  A violation means a per-thread
+  // buffer was lost, double-counted, or not zero-restored.
+  if constexpr (kInvariantsEnabled) {
+    if (!top_->position_restraints().empty()) return e;
+    Vec3 fsum{};
+    double fmag = 0;
+    for (const Vec3& f : forces) {
+      fsum += f;
+      fmag += std::abs(f.x) + std::abs(f.y) + std::abs(f.z);
+    }
+    const double tol = 1e-9 * fmag + 1e-6;
+    ANTON_CHECK_INVARIANT(std::abs(fsum.x) <= tol &&
+                              std::abs(fsum.y) <= tol &&
+                              std::abs(fsum.z) <= tol,
+                          "short-range forces do not sum to zero: " << fsum
+                              << " (|F| mass " << fmag << ")");
   }
   return e;
 }

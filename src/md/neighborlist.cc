@@ -24,6 +24,7 @@ NeighborList::~NeighborList() = default;
 // Distances use the cell-image displacement wa - wb - shift, which avoids
 // the per-candidate divisions of Box::min_image and is exact for every pair
 // inside the list radius (see CellGrid::half_stencil_shifts).
+// ANTON_HOT_NOALLOC
 void NeighborList::collect_cells(const CellGrid& grid, const Topology& top,
                                  double rl2, int cell_begin, int cell_end,
                                  BuildShard& shard) const {
@@ -47,8 +48,10 @@ void NeighborList::collect_cells(const CellGrid& grid, const Topology& top,
           const int i = std::min(a, b);
           const int j = std::max(a, b);
           if (top.excluded(i, j)) continue;
-          shard.pair_i.push_back(i);
-          shard.pair_j.push_back(j);
+          // Amortized growth into the persistent shard: allocation-free once
+          // capacities settle (asserted by the steady-state allocation test).
+          shard.pair_i.push_back(i);  // anton-lint: allow(hot-alloc)
+          shard.pair_j.push_back(j);  // anton-lint: allow(hot-alloc)
           ++shard.counts[static_cast<size_t>(i)];
         }
       }
@@ -192,8 +195,35 @@ void NeighborList::build(const Box& box, std::span<const Vec3> positions,
   }
 
   ref_positions_.assign(positions.begin(), positions.end());
+
+  if constexpr (kInvariantsEnabled) validate();
 }
 
+void NeighborList::validate() const {
+  ANTON_CHECK_MSG(built(), "validate() on an unbuilt neighbour list");
+  const int n = num_atoms();
+  ANTON_CHECK_MSG(starts_[0] == 0, "CSR starts must begin at 0");
+  ANTON_CHECK_MSG(starts_[static_cast<size_t>(n)] ==
+                      static_cast<int64_t>(list_.size()),
+                  "CSR starts must span the pair list exactly: starts["
+                      << n << "]=" << starts_[static_cast<size_t>(n)]
+                      << " list size " << list_.size());
+  for (int i = 0; i < n; ++i) {
+    const int64_t b = starts_[static_cast<size_t>(i)];
+    const int64_t e = starts_[static_cast<size_t>(i) + 1];
+    ANTON_CHECK_MSG(b <= e, "CSR starts not monotone at atom " << i);
+    int prev = i;  // rows hold j > i, strictly ascending
+    for (int64_t k = b; k < e; ++k) {
+      const int j = list_[static_cast<size_t>(k)];
+      ANTON_CHECK_MSG(j > prev && j < n,
+                      "CSR row " << i << " malformed: neighbour " << j
+                                 << " after " << prev << " (n=" << n << ")");
+      prev = j;
+    }
+  }
+}
+
+// ANTON_HOT_NOALLOC
 bool NeighborList::needs_rebuild(const Box& box,
                                  std::span<const Vec3> positions,
                                  ThreadPool* pool) const {

@@ -61,6 +61,13 @@ class NeighborList {
   int64_t num_pairs() const { return static_cast<int64_t>(list_.size()); }
   bool built() const { return !starts_.empty(); }
 
+  // Always-on CSR well-formedness validator: starts_ is monotone and spans
+  // list_ exactly; every neighbour j of atom i satisfies i < j < num_atoms()
+  // (half list under the lower index) and each row is strictly ascending.
+  // Throws anton::Error on violation.  build() runs this automatically when
+  // ANTON_ENABLE_INVARIANTS is on (debug and sanitizer builds).
+  void validate() const;
+
  private:
   // One per build thread: pairs found plus per-atom counts (reused as
   // scatter cursors by the merge pass).

@@ -14,20 +14,75 @@ constexpr double kTwoOverSqrtPi = 1.1283791670955126;
 // Atom count below which threading overhead beats the parallel win.
 constexpr size_t kSerialThreshold = 2048;
 
-// Inner kernel over the i-range [begin, end); forces accumulated into `f`.
-// All per-pair parameters come from the workspace caches (premixed LJ table,
-// prescaled charges), so the loop reads flat SoA arrays only.  With kTable
-// the screened-Coulomb energy/force factors come from cubic-Hermite tables
-// in r² (no sqrt, no erfc/exp on the hot path).
-template <bool kTable>
-PairEnergyPartial pair_kernel(const Box& box, const ForceWorkspace& ws,
-                              const NeighborList& nlist,
-                              std::span<const Vec3> pos,
-                              std::span<const int> types,
-                              std::span<const double> charges, double alpha,
-                              double cutoff2, size_t begin, size_t end,
-                              std::span<Vec3> f) {
-  PairEnergyPartial e;
+// Accumulator policies for the pair kernels.  The kernels compute each
+// per-pair contribution (pure function of positions and parameters, so
+// identical regardless of which thread evaluates it) and hand it to the
+// accumulator, which decides the summation arithmetic:
+//
+//   DoubleAcc — the default double-precision path, op-for-op identical to
+//     the pre-refactor kernel (per-atom fi register, f[j] scatter), so it is
+//     deterministic for a fixed thread count and matches serial to ~1e-10.
+//
+//   FixedAcc — the deterministic mode: every contribution is quantized to
+//     32.32 fixed point at accumulation.  Fixed addition is exactly
+//     associative and commutative, so the reduced result is bitwise
+//     identical for ANY thread count and chunking (the property Anton's
+//     hardware adders provide by construction).
+struct DoubleAcc {
+  std::span<Vec3> f;
+  PairEnergyPartial e{};
+  Vec3 fi{};
+
+  void begin_atom(size_t) { fi = Vec3{}; }
+  void end_atom(size_t i) { f[i] += fi; }
+  void add_lj(double de) { e.lj += de; }
+  void add_coul(double de) { e.coul += de; }
+  void add_excl(double de) { e.excl += de; }
+  // Half-list pair: i accumulates in the register, j scatters.
+  void add_pair(size_t, size_t j, const Vec3& fv, double vir) {
+    e.virial += vir;
+    fi += fv;
+    f[j] -= fv;
+  }
+  // Direct (exclusion-loop) pair: both sides scatter.
+  void add_pair_direct(size_t i, size_t j, const Vec3& fv, double vir) {
+    e.virial += vir;
+    f[i] += fv;
+    f[j] -= fv;
+  }
+};
+
+struct FixedAcc {
+  std::span<ForceFixed> f;
+  PairEnergyPartialFixed e{};
+
+  void begin_atom(size_t) {}
+  void end_atom(size_t) {}
+  void add_lj(double de) { e.lj += Fixed<32>::from_double(de); }
+  void add_coul(double de) { e.coul += Fixed<32>::from_double(de); }
+  void add_excl(double de) { e.excl += Fixed<32>::from_double(de); }
+  void add_pair(size_t i, size_t j, const Vec3& fv, double vir) {
+    e.virial += Fixed<32>::from_double(vir);
+    f[i].accumulate(fv);
+    f[j].accumulate(-fv);
+  }
+  void add_pair_direct(size_t i, size_t j, const Vec3& fv, double vir) {
+    add_pair(i, j, fv, vir);
+  }
+};
+
+// Inner kernel over the i-range [begin, end); contributions flow through the
+// accumulator policy.  All per-pair parameters come from the workspace
+// caches (premixed LJ table, prescaled charges), so the loop reads flat SoA
+// arrays only.  With kTable the screened-Coulomb energy/force factors come
+// from cubic-Hermite tables in r² (no sqrt, no erfc/exp on the hot path).
+// ANTON_HOT_NOALLOC
+template <bool kTable, class Acc>
+void pair_kernel(const Box& box, const ForceWorkspace& ws,
+                 const NeighborList& nlist, std::span<const Vec3> pos,
+                 std::span<const int> types, std::span<const double> charges,
+                 double alpha, double cutoff2, size_t begin, size_t end,
+                 Acc& acc) {
   const auto q_scaled = ws.scaled_charges();
   const double coul_shift = ws.coul_shift();
   const int ntypes = ws.num_types();
@@ -46,7 +101,7 @@ PairEnergyPartial pair_kernel(const Box& box, const ForceWorkspace& ws,
     const Vec3 pi = pos[i];
     const double qi = q_scaled[i];
     const LjMixed* lj_row = lj_table + types[i] * ntypes;
-    Vec3 fi{};
+    acc.begin_atom(i);
     for (int j : nlist.neighbors_of(static_cast<int>(i))) {
       Vec3 d = pi - pos[static_cast<size_t>(j)];
       d.x -= box_l.x * std::nearbyint(d.x * inv_l.x);
@@ -63,7 +118,7 @@ PairEnergyPartial pair_kernel(const Box& box, const ForceWorkspace& ws,
         const double sr2 = lj.sigma2 * inv_r2;
         const double sr6 = sr2 * sr2 * sr2;
         f_pair += 24.0 * lj.eps * (2.0 * sr6 * sr6 - sr6) * inv_r2;
-        e.lj += 4.0 * lj.eps * (sr6 * sr6 - sr6) - lj.e_shift;
+        acc.add_lj(4.0 * lj.eps * (sr6 * sr6 - sr6) - lj.e_shift);
       }
 
       // Coulomb (screened when alpha > 0).
@@ -117,26 +172,23 @@ PairEnergyPartial pair_kernel(const Box& box, const ForceWorkspace& ws,
             f_c = qq / r * inv_r2;
           }
         }
-        e.coul += e_c;
+        acc.add_coul(e_c);
         f_pair += f_c;
       }
 
       const Vec3 fv = f_pair * d;
-      e.virial += dot(d, fv);
-      fi += fv;
-      f[static_cast<size_t>(j)] -= fv;
+      acc.add_pair(i, static_cast<size_t>(j), fv, dot(d, fv));
     }
-    f[i] += fi;
+    acc.end_atom(i);
   }
-  return e;
 }
 
 // Excluded-pair correction kernel over the i-range [begin, end).
-PairEnergyPartial excluded_kernel(const Box& box, const Topology& top,
-                                  std::span<const Vec3> pos, double alpha,
-                                  size_t begin, size_t end,
-                                  std::span<Vec3> f) {
-  PairEnergyPartial e;
+// ANTON_HOT_NOALLOC
+template <class Acc>
+void excluded_kernel(const Box& box, const Topology& top,
+                     std::span<const Vec3> pos, double alpha, size_t begin,
+                     size_t end, Acc& acc) {
   const Vec3 box_l = box.lengths();
   const Vec3 inv_l{1.0 / box_l.x, 1.0 / box_l.y, 1.0 / box_l.z};
   for (size_t i = begin; i < end; ++i) {
@@ -154,24 +206,22 @@ PairEnergyPartial excluded_kernel(const Box& box, const Topology& top,
       const double ar = alpha * r;
       const double erf_ar = std::erf(ar);
       // Subtract E = qq erf(ar)/r.
-      e.excl -= qq * erf_ar / r;
+      acc.add_excl(-qq * erf_ar / r);
       // F_i for energy -qq erf(ar)/r: gradient of erf/r is
       // (2a/sqrt(pi) exp(-a²r²) r - erf(ar)) / r²  along r̂.
       const double f_mag =
           -qq *
           (erf_ar / r - kTwoOverSqrtPi * alpha * std::exp(-ar * ar)) / r2;
       const Vec3 fv = f_mag * d;
-      e.virial += dot(d, fv);
-      f[i] += fv;
-      f[static_cast<size_t>(j)] -= fv;
+      acc.add_pair_direct(i, static_cast<size_t>(j), fv, dot(d, fv));
     }
   }
-  return e;
 }
 
 // Zero-restoring reduction: folds every per-thread buffer into `forces` and
 // leaves the buffers zeroed for the next evaluation.  Summation order over t
 // is fixed, so results are deterministic for a fixed thread count.
+// ANTON_HOT_NOALLOC
 void reduce_thread_forces(ThreadPool* pool, ForceWorkspace* ws, unsigned T,
                           std::span<Vec3> forces) {
   pool->parallel_for(forces.size(), [&](size_t b, size_t e) {
@@ -185,6 +235,29 @@ void reduce_thread_forces(ThreadPool* pool, ForceWorkspace* ws, unsigned T,
   });
 }
 
+// Fixed-point twin: sums the per-thread fixed accumulators exactly (order
+// cannot matter), converts once to double, and zero-restores the buffers.
+// ANTON_HOT_NOALLOC
+void reduce_thread_forces_fixed(ThreadPool* pool, ForceWorkspace* ws,
+                                unsigned T, std::span<Vec3> forces) {
+  auto fold = [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      ForceFixed sum{};
+      for (unsigned t = 0; t < T; ++t) {
+        auto buf = ws->thread_force_fixed(t);
+        sum += buf[i];
+        buf[i] = ForceFixed{};
+      }
+      forces[i] += sum.to_vec3();
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(forces.size(), fold);
+  } else {
+    fold(0, forces.size());
+  }
+}
+
 }  // namespace
 
 void compute_nonbonded(const Box& box, const Topology& top,
@@ -192,7 +265,7 @@ void compute_nonbonded(const Box& box, const Topology& top,
                        double alpha, std::span<Vec3> forces,
                        EnergyReport& energy, ThreadPool* pool,
                        bool shift_at_cutoff, ForceWorkspace* ws,
-                       bool tabulate_erfc) {
+                       bool tabulate_erfc, bool deterministic) {
   ANTON_CHECK(nlist.built());
   ANTON_CHECK(nlist.num_atoms() == top.num_atoms());
   const double cutoff = nlist.cutoff();
@@ -206,13 +279,68 @@ void compute_nonbonded(const Box& box, const Topology& top,
 
   const auto types = top.types();
   const auto charges = top.charges();
+
+  if (deterministic) {
+    // Fixed-point accumulation: any chunking gives the same bits, so serial
+    // and threaded paths share one code path over the per-thread buffers.
+    const unsigned T =
+        (pool == nullptr || n < kSerialThreshold) ? 1 : pool->size();
+    ws->ensure_fixed_threads(T, n);
+    auto run_fixed = [&](size_t begin, size_t end, unsigned t) {
+      FixedAcc acc{ws->thread_force_fixed(t)};
+      if (use_table) {
+        pair_kernel<true>(box, *ws, nlist, pos, types, charges, alpha,
+                          cutoff2, begin, end, acc);
+      } else {
+        pair_kernel<false>(box, *ws, nlist, pos, types, charges, alpha,
+                           cutoff2, begin, end, acc);
+      }
+      ws->partial_fixed(t) = acc.e;
+    };
+    if (T <= 1) {
+      run_fixed(0, n, 0);
+    } else {
+      // Pair-balanced chunking (see the double path below for rationale).
+      auto& bounds = ws->chunk_bounds();
+      const auto starts = nlist.starts();
+      const int64_t total = nlist.num_pairs();
+      bounds[0] = 0;
+      for (unsigned t = 1; t < T; ++t) {
+        const int64_t target = total * static_cast<int64_t>(t) / T;
+        const size_t b = static_cast<size_t>(
+            std::lower_bound(starts.begin(), starts.end(), target) -
+            starts.begin());
+        bounds[t] = std::clamp(b, bounds[t - 1], n);
+      }
+      bounds[T] = n;
+      pool->for_each_thread([&](unsigned t) {
+        if (bounds[t] < bounds[t + 1]) {
+          run_fixed(bounds[t], bounds[t + 1], t);
+        } else {
+          ws->partial_fixed(t) = PairEnergyPartialFixed{};
+        }
+      });
+    }
+    reduce_thread_forces_fixed(T > 1 ? pool : nullptr, ws, T, forces);
+    PairEnergyPartialFixed e{};
+    for (unsigned t = 0; t < T; ++t) e += ws->partial_fixed(t);
+    energy.lj += e.lj.to_double();
+    energy.coulomb_real += e.coul.to_double();
+    energy.virial += e.virial.to_double();
+    return;
+  }
+
   auto run = [&](size_t begin, size_t end,
                  std::span<Vec3> f) -> PairEnergyPartial {
-    return use_table
-               ? pair_kernel<true>(box, *ws, nlist, pos, types, charges,
-                                   alpha, cutoff2, begin, end, f)
-               : pair_kernel<false>(box, *ws, nlist, pos, types, charges,
-                                    alpha, cutoff2, begin, end, f);
+    DoubleAcc acc{f};
+    if (use_table) {
+      pair_kernel<true>(box, *ws, nlist, pos, types, charges, alpha, cutoff2,
+                        begin, end, acc);
+    } else {
+      pair_kernel<false>(box, *ws, nlist, pos, types, charges, alpha, cutoff2,
+                         begin, end, acc);
+    }
+    return acc.e;
   };
 
   if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
@@ -266,14 +394,49 @@ double ewald_self_energy(const Topology& top, double alpha) {
 void compute_excluded_correction(const Box& box, const Topology& top,
                                  std::span<const Vec3> pos, double alpha,
                                  std::span<Vec3> forces, EnergyReport& energy,
-                                 ThreadPool* pool, ForceWorkspace* ws) {
+                                 ThreadPool* pool, ForceWorkspace* ws,
+                                 bool deterministic) {
   const size_t n = pos.size();
+
+  if (deterministic) {
+    ForceWorkspace local;
+    if (ws == nullptr) ws = &local;
+    const unsigned T =
+        (pool == nullptr || n < kSerialThreshold) ? 1 : pool->size();
+    ws->ensure_fixed_threads(T, n);
+    auto run_fixed = [&](size_t begin, size_t end, unsigned t) {
+      FixedAcc acc{ws->thread_force_fixed(t)};
+      excluded_kernel(box, top, pos, alpha, begin, end, acc);
+      ws->partial_fixed(t) = acc.e;
+    };
+    if (T <= 1) {
+      run_fixed(0, n, 0);
+    } else {
+      const size_t chunk = (n + T - 1) / T;
+      pool->for_each_thread([&](unsigned t) {
+        const size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
+        const size_t end = std::min(n, begin + chunk);
+        if (begin < end) {
+          run_fixed(begin, end, t);
+        } else {
+          ws->partial_fixed(t) = PairEnergyPartialFixed{};
+        }
+      });
+    }
+    reduce_thread_forces_fixed(T > 1 ? pool : nullptr, ws, T, forces);
+    PairEnergyPartialFixed e{};
+    for (unsigned t = 0; t < T; ++t) e += ws->partial_fixed(t);
+    energy.coulomb_excl += e.excl.to_double();
+    energy.virial += e.virial.to_double();
+    return;
+  }
+
   if (pool == nullptr || pool->size() <= 1 || ws == nullptr ||
       n < kSerialThreshold) {
-    const PairEnergyPartial e =
-        excluded_kernel(box, top, pos, alpha, 0, n, forces);
-    energy.coulomb_excl += e.excl;
-    energy.virial += e.virial;
+    DoubleAcc acc{forces};
+    excluded_kernel(box, top, pos, alpha, 0, n, acc);
+    energy.coulomb_excl += acc.e.excl;
+    energy.virial += acc.e.virial;
     return;
   }
 
@@ -285,10 +448,13 @@ void compute_excluded_correction(const Box& box, const Topology& top,
   pool->for_each_thread([&](unsigned t) {
     const size_t begin = std::min(n, static_cast<size_t>(t) * chunk);
     const size_t end = std::min(n, begin + chunk);
-    ws->partial(t) = begin < end
-                         ? excluded_kernel(box, top, pos, alpha, begin, end,
-                                           ws->thread_force(t))
-                         : PairEnergyPartial{};
+    if (begin < end) {
+      DoubleAcc acc{ws->thread_force(t)};
+      excluded_kernel(box, top, pos, alpha, begin, end, acc);
+      ws->partial(t) = acc.e;
+    } else {
+      ws->partial(t) = PairEnergyPartial{};
+    }
   });
 
   reduce_thread_forces(pool, ws, T, forces);

@@ -37,13 +37,17 @@ namespace anton::md {
 // tabulate_erfc (and alpha > 0), per-pair std::erfc/std::exp are replaced by
 // cubic-Hermite table lookups in r²; accuracy is bounded by the workspace's
 // table build (see ForceWorkspace::build_cache).
+// With deterministic, every per-pair contribution is quantized to 32.32
+// fixed point before accumulation (MdParams::deterministic_forces): the
+// result is bitwise identical across ALL thread counts, serial included.
 void compute_nonbonded(const Box& box, const Topology& top,
                        const NeighborList& nlist, std::span<const Vec3> pos,
                        double alpha, std::span<Vec3> forces,
                        EnergyReport& energy, ThreadPool* pool = nullptr,
                        bool shift_at_cutoff = false,
                        ForceWorkspace* ws = nullptr,
-                       bool tabulate_erfc = false);
+                       bool tabulate_erfc = false,
+                       bool deterministic = false);
 
 // Ewald self-energy: -C * alpha/sqrt(pi) * sum q_i^2.  Pure energy term.
 double ewald_self_energy(const Topology& top, double alpha);
@@ -58,6 +62,7 @@ void compute_excluded_correction(const Box& box, const Topology& top,
                                  std::span<const Vec3> pos, double alpha,
                                  std::span<Vec3> forces, EnergyReport& energy,
                                  ThreadPool* pool = nullptr,
-                                 ForceWorkspace* ws = nullptr);
+                                 ForceWorkspace* ws = nullptr,
+                                 bool deterministic = false);
 
 }  // namespace anton::md

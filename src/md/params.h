@@ -41,6 +41,15 @@ struct MdParams {
   bool tabulate_erfc = false;
   double erfc_table_target_err = 1e-9;
 
+  // Deterministic short-range accumulation (the scheme Anton runs in
+  // silicon): every per-pair force and energy contribution is quantized to
+  // 32.32 fixed point before accumulation.  Fixed-point addition is exactly
+  // associative and commutative, so the reduced forces are bitwise identical
+  // for ANY thread count — not merely for a fixed one, as with the default
+  // double-precision buffers.  Costs a quantization of ~2^-32 per
+  // contribution and a few % throughput.
+  bool deterministic_forces = false;
+
   // Ewald splitting.
   double ewald_alpha = 0.35;  // 1/Å
   LongRangeMethod long_range = LongRangeMethod::kMesh;

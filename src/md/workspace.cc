@@ -147,4 +147,14 @@ void ForceWorkspace::ensure_threads(unsigned nthreads, size_t n_atoms) {
   chunk_bounds_.assign(static_cast<size_t>(nthreads) + 1, 0);
 }
 
+void ForceWorkspace::ensure_fixed_threads(unsigned nthreads, size_t n_atoms) {
+  ensure_threads(nthreads, n_atoms);  // chunk bounds + partials geometry
+  if (thread_fx_.size() == nthreads && partials_fx_.size() == nthreads &&
+      (nthreads == 0 || thread_fx_[0].size() == n_atoms)) {
+    return;
+  }
+  thread_fx_.assign(nthreads, std::vector<ForceFixed>(n_atoms, ForceFixed{}));
+  partials_fx_.assign(nthreads, PairEnergyPartialFixed{});
+}
+
 }  // namespace anton::md

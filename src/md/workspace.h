@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "chem/topology.h"
+#include "common/fixed_point.h"
 #include "common/table.h"
 #include "common/vec3.h"
 
@@ -31,6 +32,21 @@ struct PairEnergyPartial {
   double coul = 0;
   double excl = 0;
   double virial = 0;
+};
+
+// Fixed-point per-thread partials for the deterministic accumulation mode:
+// each pair contribution is quantized once, so the cross-thread sum is
+// exactly associative and the result independent of thread count.
+struct PairEnergyPartialFixed {
+  Fixed<32> lj, coul, excl, virial;
+
+  PairEnergyPartialFixed& operator+=(const PairEnergyPartialFixed& o) {
+    lj += o.lj;
+    coul += o.coul;
+    excl += o.excl;
+    virial += o.virial;
+    return *this;
+  }
 };
 
 // Premixed LJ parameters for one type pair. e_shift is the pair energy at
@@ -104,6 +120,16 @@ class ForceWorkspace {
   std::vector<size_t>& chunk_bounds() { return chunk_bounds_; }
   std::vector<Vec3>& f_long() { return f_long_; }
 
+  // Fixed-point twins of the per-thread buffers, sized lazily by the
+  // deterministic accumulation mode (and kept zeroed by its reduction).
+  void ensure_fixed_threads(unsigned nthreads, size_t n_atoms);
+  std::span<ForceFixed> thread_force_fixed(unsigned t) {
+    return thread_fx_[t];
+  }
+  PairEnergyPartialFixed& partial_fixed(unsigned t) {
+    return partials_fx_[t];
+  }
+
  private:
   // Immutable per-system caches.
   std::vector<LjMixed> lj_;
@@ -124,6 +150,8 @@ class ForceWorkspace {
   // Steady-state scratch.
   std::vector<std::vector<Vec3>> thread_f_;
   std::vector<PairEnergyPartial> partials_;
+  std::vector<std::vector<ForceFixed>> thread_fx_;
+  std::vector<PairEnergyPartialFixed> partials_fx_;
   std::vector<size_t> chunk_bounds_;
   std::vector<Vec3> f_long_;
 };

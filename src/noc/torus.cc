@@ -30,8 +30,7 @@ namespace {
 // Steps along one ring axis taking the shorter way; returns (+1/-1 step,
 // number of hops).
 std::pair<int, int> ring_steps(int from, int to, int n) {
-  int fwd = (to - from % n + n) % n;
-  fwd = (to - from + n) % n;
+  const int fwd = (to - from + n) % n;
   const int bwd = n - fwd;
   if (fwd == 0) return {0, 0};
   if (fwd <= bwd) return {+1, fwd};
@@ -102,6 +101,12 @@ sim::SimTime Torus::traverse(std::span<const LinkId> links,
     const size_t idx = static_cast<size_t>(link_index(l));
     const double ser_ns = base_ser_ns * link_derate_[idx];
     const sim::SimTime start = std::max(head, link_free_[idx]);
+    // Link occupancy is append-only: a message may never reserve a slot
+    // before the link's current busy-until horizon (sends are issued from
+    // discrete events in time order, so this would mean causality broke).
+    ANTON_CHECK_INVARIANT(start + ser_ns >= link_free_[idx],
+                          "link busy-until horizon moved backwards on link ("
+                              << l.node << "," << l.dir << ")");
     link_free_[idx] = start + ser_ns;
     link_busy_total_[idx] += ser_ns;
     head = start + config_.hop_latency_ns;
@@ -131,7 +136,11 @@ void Torus::unicast(int src, int dst, double bytes,
   stats_.total_bytes += wire_bytes * std::max(1, hops);
   stats_.latency_ns.add(deliver - queue_->now());
   stats_.hops.add(hops);
-  queue_->schedule_at(deliver, std::move(on_delivery));
+  ++injected_;
+  queue_->schedule_at(deliver, [this, cb = std::move(on_delivery)] {
+    ++delivered_;
+    cb();
+  });
 }
 
 void Torus::multicast(int src, std::span<const int> dsts, double bytes,
@@ -180,13 +189,28 @@ void Torus::multicast(int src, std::span<const int> dsts, double bytes,
     stats_.messages++;
     stats_.latency_ns.add(deliver - queue_->now());
     stats_.hops.add(hops);
-    queue_->schedule_at(deliver, [on_delivery, dst] { on_delivery(dst); });
+    ++injected_;
+    queue_->schedule_at(deliver, [this, on_delivery, dst] {
+      ++delivered_;
+      on_delivery(dst);
+    });
   }
   // Actual tree traffic: one payload per tree link.
   stats_.total_bytes += wire_bytes * static_cast<double>(head_at_link.size());
 }
 
+void Torus::check_quiescent() const {
+  ANTON_CHECK_MSG(delivered_ == injected_,
+                  "packet conservation violated: injected "
+                      << injected_ << " delivered " << delivered_ << " ("
+                      << injected_ - delivered_ << " in flight)");
+}
+
 const NocStats& Torus::stats() {
+  // Conservation: the model must never deliver a packet it did not inject.
+  ANTON_CHECK_INVARIANT(delivered_ <= injected_,
+                        "packet over-delivery: injected "
+                            << injected_ << " delivered " << delivered_);
   stats_.max_link_busy_ns = busiest_link_ns();
   stats_.total_link_busy_ns = 0;
   for (double b : link_busy_total_) stats_.total_link_busy_ns += b;

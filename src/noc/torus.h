@@ -120,6 +120,20 @@ class Torus {
   // report utilization.
   double busiest_link_ns() const;
 
+  // Packet-conservation accounting (always-on counters; the checks compile
+  // out in release unless ANTON_ENABLE_INVARIANTS).  Every unicast counts as
+  // one injected packet, every multicast as one per destination; a packet is
+  // delivered when its on_delivery callback fires.  Conservation means no
+  // packet is ever dropped or duplicated by the model:
+  //   delivered <= injected  at all times, and
+  //   delivered == injected  once the event queue has drained.
+  uint64_t packets_injected() const { return injected_; }
+  uint64_t packets_delivered() const { return delivered_; }
+  uint64_t packets_in_flight() const { return injected_ - delivered_; }
+  // Always-on validator for tests and end-of-phase barriers: throws unless
+  // every injected packet has been delivered.
+  void check_quiescent() const;
+
  private:
   int link_index(const LinkId& l) const {
     return l.node * 6 + l.dir;
@@ -133,6 +147,8 @@ class Torus {
   std::vector<double> link_busy_total_;   // accumulated occupancy
   std::vector<double> link_derate_;       // serialization multiplier per link
   mutable uint64_t route_seq_ = 0;        // randomised-routing hash input
+  uint64_t injected_ = 0;                 // packets handed to unicast/multicast
+  uint64_t delivered_ = 0;                // on_delivery callbacks fired
   NocStats stats_;
 };
 

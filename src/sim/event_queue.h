@@ -6,6 +6,7 @@
 // compose without a global clock.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -48,7 +49,13 @@ class EventQueue {
     // Top must be copied out before pop so the callback may schedule more.
     Event ev = heap_.top();
     heap_.pop();
-    now_ = ev.time;
+    // Time monotonicity: schedule_at admits t >= now - 1e-9, so the popped
+    // event may trail the clock by at most that slack; anything worse means
+    // the heap ordering or the clock has been corrupted.
+    ANTON_CHECK_INVARIANT(ev.time >= now_ - 1e-9,
+                          "event queue time ran backwards: event t="
+                              << ev.time << " now=" << now_);
+    now_ = std::max(now_, ev.time);
     ++executed_;
     ev.fn();
   }

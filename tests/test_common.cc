@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -75,6 +76,77 @@ TEST(FixedPoint, DoubleAccumulationIsNotAssociative) {
   for (double x : xs) fwd += x;
   for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev += *it;
   EXPECT_NE(fwd, rev);
+}
+
+TEST(FixedPoint, RoundsHalfAwayFromZero) {
+  // from_double rounds to nearest with ties away from zero, matching the
+  // symmetric rounding of a hardware datapath.
+  const double r = Fixed<32>::resolution();
+  EXPECT_EQ(Fixed<32>::from_double(0.5 * r).raw(), 1);
+  EXPECT_EQ(Fixed<32>::from_double(-0.5 * r).raw(), -1);
+  EXPECT_EQ(Fixed<32>::from_double(0.49 * r).raw(), 0);
+  EXPECT_EQ(Fixed<32>::from_double(-0.49 * r).raw(), 0);
+  EXPECT_EQ(Fixed<32>::from_double(1.5 * r).raw(), 2);
+  EXPECT_EQ(Fixed<32>::from_double(-1.5 * r).raw(), -2);
+}
+
+TEST(FixedPoint, NegativeValuesRoundTripSymmetrically) {
+  for (double v : {1e-7, 0.25, 3.14159, 1234.5678}) {
+    const auto pos = Fixed<32>::from_double(v);
+    const auto neg = Fixed<32>::from_double(-v);
+    EXPECT_EQ(pos.raw(), -neg.raw()) << v;
+    EXPECT_NEAR(neg.to_double(), -v, Fixed<32>::resolution()) << v;
+  }
+}
+
+TEST(FixedPoint, FromDoubleSaturatesAtRails) {
+  // Casting an out-of-range double to int64_t is UB; from_double must clamp
+  // to the rails instead (like the hardware datapath it models).
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(Fixed<32>::from_double(1e300).raw(), kMax);
+  EXPECT_EQ(Fixed<32>::from_double(-1e300).raw(), kMin);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Fixed<32>::from_double(inf).raw(), kMax);
+  EXPECT_EQ(Fixed<32>::from_double(-inf).raw(), kMin);
+  // Just past max_magnitude saturates; comfortably below it converts.
+  EXPECT_EQ(Fixed<32>::from_double(2.0 * Fixed<32>::max_magnitude()).raw(),
+            kMax);
+  const double safe = 0.5 * Fixed<32>::max_magnitude();
+  EXPECT_NEAR(Fixed<32>::from_double(safe).to_double(), safe, 1.0);
+}
+
+TEST(FixedPoint, NanMapsToZero) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Fixed<32>::from_double(nan).raw(), 0);
+  EXPECT_EQ(Fixed<32>::from_double(-nan).raw(), 0);
+}
+
+TEST(FixedPoint, AdditionWrapsLikeHardware) {
+  // Overflow wraps mod 2^64 (defined behaviour, computed in unsigned
+  // arithmetic internally) rather than invoking signed-overflow UB.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  auto a = Fixed<32>::from_raw(kMax);
+  a += Fixed<32>::from_raw(1);
+  EXPECT_EQ(a.raw(), kMin);
+  auto b = Fixed<32>::from_raw(kMin);
+  b -= Fixed<32>::from_raw(1);
+  EXPECT_EQ(b.raw(), kMax);
+  // Wrap in one direction is undone by the opposite contribution: the sum of
+  // a balanced set is exact even when partial sums overflow.
+  auto c = Fixed<32>::from_raw(kMax);
+  c += Fixed<32>::from_raw(kMax);
+  c -= Fixed<32>::from_raw(kMax);
+  EXPECT_EQ(c.raw(), kMax);
+}
+
+TEST(FixedPoint, RawRoundTripsThroughConversion) {
+  for (int64_t raw : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{1} << 40,
+                      -(int64_t{1} << 40)}) {
+    const auto f = Fixed<32>::from_raw(raw);
+    EXPECT_EQ(Fixed<32>::from_double(f.to_double()).raw(), raw) << raw;
+  }
 }
 
 TEST(Rng, Deterministic) {

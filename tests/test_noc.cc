@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "noc/torus.h"
@@ -157,6 +159,59 @@ TEST(Torus, SingleNodeDegenerate) {
   t.unicast(0, 0, 100, [&] { at = q.now(); });
   q.run();
   EXPECT_GE(at, 0);
+}
+
+TEST(Torus, PacketConservationUnderMixedStorm) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  uint64_t callbacks = 0;
+  uint64_t expected = 0;
+  // A storm of unicasts (including self-sends) and multicasts of varying
+  // fan-out, all injected up front so deliveries interleave heavily.
+  for (int i = 0; i < 40; ++i) {
+    const int src = (i * 7) % t.num_nodes();
+    const int dst = (i * 13 + 5) % t.num_nodes();
+    t.unicast(src, dst, 100.0 + 10.0 * i, [&] { ++callbacks; });
+    ++expected;
+  }
+  for (int i = 0; i < 10; ++i) {
+    std::vector<int> dsts;
+    for (int k = 0; k <= i; ++k) dsts.push_back((i * 11 + k * 3 + 1) % 64);
+    t.multicast(i, dsts, 500.0, [&](int) { ++callbacks; });
+    expected += dsts.size();
+  }
+  EXPECT_EQ(t.packets_injected(), expected);
+  EXPECT_EQ(t.packets_delivered(), 0u);
+  EXPECT_EQ(t.packets_in_flight(), expected);
+
+  q.run();
+
+  EXPECT_EQ(t.packets_delivered(), expected);
+  EXPECT_EQ(t.packets_in_flight(), 0u);
+  EXPECT_EQ(callbacks, expected);
+  t.check_quiescent();  // must not throw once the queue has drained
+}
+
+TEST(Torus, CheckQuiescentThrowsWithPacketsInFlight) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  t.unicast(0, 5, 100.0, [] {});
+  EXPECT_EQ(t.packets_in_flight(), 1u);
+  EXPECT_THROW(t.check_quiescent(), std::runtime_error);
+  q.run();
+  t.check_quiescent();
+}
+
+TEST(Torus, ConservationSurvivesStatsReset) {
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  t.unicast(0, 1, 100.0, [] {});
+  q.run();
+  t.reset_stats();
+  // reset_stats clears performance counters, not conservation accounting.
+  EXPECT_EQ(t.packets_injected(), 1u);
+  EXPECT_EQ(t.packets_delivered(), 1u);
+  t.check_quiescent();
 }
 
 TEST(Torus, CoordsRoundTrip) {

@@ -1,0 +1,25 @@
+// Fixture: must produce ZERO violations — guards against rule over-firing.
+#include <map>
+#include <sstream>
+#include <vector>
+
+// A map (ordered) may be iterated freely.
+double sum_map(const std::map<int, double>& m) {
+  double sum = 0.0;
+  for (const auto& kv : m) sum += kv.second;
+  return sum;
+}
+
+// Allocation outside an annotated function is fine.
+void grow(std::vector<int>& v) {
+  v.reserve(128);
+  v.push_back(1);
+}
+
+// ANTON_HOT_NOALLOC
+double hot_sum(const std::vector<double>& v) {
+  double s = 0.0;
+  // Words like "news" or "renewal" in comments must not trip the lint.
+  for (double x : v) s += x;
+  return s;
+}

@@ -1,0 +1,24 @@
+// Fixture: raw floating literals mixed with fixed-point types.
+#include "common/fixed_point.h"
+
+using anton::Fixed;
+using anton::ForceFixed;
+
+anton::Fixed<32> half_unit() {
+  // The lint is line-based: the literal and the fixed-point token must share
+  // a line to be caught, which they do in idiomatic single-expression code.
+  Fixed<32> f = Fixed<32>::from_raw(static_cast<int64_t>(0.5 * 65536.0));  // violation
+  return f;
+}
+
+double ok_conversion() {
+  // Explicit conversions are fine:
+  const auto f = Fixed<32>::from_double(0.5);
+  return f.to_double();
+}
+
+anton::Fixed<16> scaled() {
+  Fixed<16> a;
+  a += Fixed<16>::from_raw(static_cast<int64_t>(1.5e3));  // violation
+  return a;
+}

@@ -1,0 +1,23 @@
+// Fixture: heap-allocating calls inside an ANTON_HOT_NOALLOC function.
+#include <functional>
+#include <memory>
+#include <vector>
+
+// ANTON_HOT_NOALLOC
+void hot_path(std::vector<int>& scratch, int n) {
+  scratch.resize(static_cast<size_t>(n));      // violation: resize
+  for (int i = 0; i < n; ++i) {
+    scratch.push_back(i);                      // violation: push_back
+  }
+  int* leak = new int[8];                      // violation: new
+  (void)leak;
+  std::function<void()> fn = [] {};            // violation: std::function
+  fn();
+  auto p = std::make_unique<int>(3);           // violation: make_unique
+  (void)p;
+  // Suppressed growth is fine:
+  scratch.reserve(64);  // anton-lint: allow(hot-alloc)
+}
+
+// Not annotated: allocation here must NOT be flagged.
+void cold_path(std::vector<int>& v) { v.push_back(1); }

@@ -1,0 +1,4 @@
+// Fixture: <iostream> in library code.
+#include <iostream>  // violation: stream globals in a library TU
+
+void report(int n) { std::cout << n << "\n"; }

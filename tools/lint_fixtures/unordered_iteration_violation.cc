@@ -1,0 +1,18 @@
+// Fixture: order-sensitive accumulation over unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+
+double sum_values(const std::unordered_map<int, double>& m) {
+  std::unordered_map<int, double> local = m;
+  double sum = 0.0;
+  for (const auto& kv : local) {  // violation: unordered iteration order
+    sum += kv.second;             // feeds a float accumulation
+  }
+  return sum;
+}
+
+double sum_set(const std::unordered_set<int>& s) {
+  double sum = 0.0;
+  for (int v : s) sum += 1.0 / v;  // violation: parameter is unordered too
+  return sum;
+}
