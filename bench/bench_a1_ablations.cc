@@ -23,6 +23,8 @@ int main() {
   const System& sys = dhfr_system();
   const auto base = machine_preset("anton2", 512);
   const double baseline = rate(base, sys);
+  BenchReport report("a1");
+  report.record("baseline.us_per_day", baseline);
 
   print_header("A1a", "hardware multicast vs unicast position import");
   {
@@ -31,6 +33,7 @@ int main() {
     auto c = base;
     c.use_multicast = false;
     const double v = rate(c, sys);
+    report.record("unicast_import.vs_baseline", v / baseline);
     t.add_row({"unicast per destination", TextTable::fmt(v),
                TextTable::fmt(v / baseline, 2)});
     t.print(std::cout);
@@ -42,6 +45,7 @@ int main() {
     const double k1 = rate(base, sys, 1);
     for (int k : {1, 2, 3, 4}) {
       const double v = rate(base, sys, k);
+      report.record("respa.us_per_day.k" + std::to_string(k), v);
       t.add_row({TextTable::fmt_int(k), TextTable::fmt(v),
                  TextTable::fmt(v / k1, 2)});
     }
@@ -86,6 +90,7 @@ int main() {
     auto c = base;
     c.noc.routing = noc::RoutingPolicy::kRandomizedOrder;
     const double v = rate(c, sys);
+    report.record("randomized_routing.vs_baseline", v / baseline);
     t.add_row({"randomised axis order", TextTable::fmt(v),
                TextTable::fmt(v / baseline, 2)});
     t.print(std::cout);
@@ -103,6 +108,8 @@ int main() {
       auto c = base;
       c.sync_trigger_ns = trig;
       const double v = rate(c, sys);
+      report.record("sync_trigger.vs_baseline.ns" + TextTable::fmt(trig, 0),
+                    v / baseline);
       t.add_row({TextTable::fmt(trig, 0), TextTable::fmt(v),
                  TextTable::fmt(v / baseline, 2)});
     }

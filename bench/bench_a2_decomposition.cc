@@ -18,6 +18,7 @@ int main() {
 
   TextTable t({"nodes", "atoms/node", "half-shell imports/node",
                "NT imports/node", "NT saving", "import KB/node (HS)"});
+  BenchReport report("a2");
   for (int nodes : {8, 64, 216, 512}) {
     const auto cfg = machine_preset("anton2", nodes);
     const auto hs = core::analyze_decomposition(
@@ -26,6 +27,9 @@ int main() {
         sys, cfg, DecompositionScheme::kNeutralTerritory);
     // Identical pair totals: both schemes cover every interaction.
     if (hs.total_pairs != nt.total_pairs) return 1;
+    report.record("nt_import_saving.n" + std::to_string(nodes),
+                  hs.mean_import_per_node() /
+                      std::max(1.0, nt.mean_import_per_node()));
     t.add_row({TextTable::fmt_int(nodes),
                TextTable::fmt(23558.0 / nodes, 0),
                TextTable::fmt(hs.mean_import_per_node(), 0),

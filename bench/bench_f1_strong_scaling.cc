@@ -11,6 +11,7 @@ int main() {
                "Strong scaling, 23,558-atom system: us/day vs node count");
   const System& sys = dhfr_system();
 
+  BenchReport report("f1");
   TextTable t({"nodes", "anton2 us/day", "anton1 us/day", "anton2/anton1",
                "anton2 step (ns)", "anton2 compute frac"});
   double last_a2 = 0;
@@ -20,6 +21,9 @@ int main() {
     const auto r2 = m2.estimate(sys, 2.5, 2);
     const auto r1 = m1.estimate(sys, 2.5, 2);
     last_a2 = r2.us_per_day();
+    const std::string n = std::to_string(nodes);
+    report.record("anton2.us_per_day.n" + n, r2.us_per_day());
+    report.record("anton1.us_per_day.n" + n, r1.us_per_day());
     t.add_row({TextTable::fmt_int(nodes), TextTable::fmt(r2.us_per_day()),
                TextTable::fmt(r1.us_per_day()),
                TextTable::fmt(r2.us_per_day() / r1.us_per_day(), 1),

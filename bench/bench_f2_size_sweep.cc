@@ -10,6 +10,7 @@ using namespace anton::bench;
 int main() {
   print_header("F2", "us/day vs system size at 512 nodes (Anton 2)");
 
+  BenchReport report("f2");
   TextTable t({"atoms", "us/day", "step (ns)", "pairs/step (M)",
                "atoms/node", "compute frac"});
   const core::AntonMachine m2(machine_preset("anton2", 512));
@@ -26,6 +27,7 @@ int main() {
     const auto r = m2.estimate(sys, 2.5, 2);
     const core::Workload w = core::Workload::build(sys, m2.config());
     if (atoms >= 1000000 && mm_atom_rate == 0) mm_atom_rate = r.us_per_day();
+    report.record("us_per_day.a" + std::to_string(atoms), r.us_per_day());
     t.add_row({TextTable::fmt_int(atoms), TextTable::fmt(r.us_per_day()),
                TextTable::fmt(r.avg_step_ns(), 0),
                TextTable::fmt(static_cast<double>(w.total_pairs()) / 1e6, 1),

@@ -16,11 +16,14 @@ int main() {
   TextTable t({"nodes", "event us/day", "bsp us/day", "speedup",
                "event step (ns)", "bsp step (ns)", "event compute frac",
                "bsp compute frac"});
+  BenchReport report("f3");
   for (int nodes : {8, 32, 64, 128, 256, 512}) {
     const core::AntonMachine ev(machine_preset("anton2", nodes));
     const core::AntonMachine bs(machine_preset("anton2-bsp", nodes));
     const auto re = ev.estimate(sys, 2.5, 2);
     const auto rb = bs.estimate(sys, 2.5, 2);
+    report.record("event_driven_speedup.n" + std::to_string(nodes),
+                  re.us_per_day() / rb.us_per_day());
     t.add_row({TextTable::fmt_int(nodes), TextTable::fmt(re.us_per_day()),
                TextTable::fmt(rb.us_per_day()),
                TextTable::fmt(re.us_per_day() / rb.us_per_day(), 2),

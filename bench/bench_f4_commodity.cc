@@ -11,12 +11,11 @@
 //      floor constant (430 μs) is calibrated to the best 2014-era commodity
 //      DHFR rates (~0.5 μs/day).
 //   3. The Anton 2 machine model at 512 nodes.
-#include <chrono>
-
 #include "bench_util.h"
 #include "common/threadpool.h"
 #include "md/engine.h"
 #include "md/minimize.h"
+#include "obs/profiler.h"
 
 using namespace anton;
 using namespace anton::bench;
@@ -42,11 +41,9 @@ int main() {
   md::Simulation sim(std::move(sys), p, &pool);
   sim.step(4);  // warm the neighbour list and caches
   const int measured_steps = 20;
-  const auto t0 = std::chrono::steady_clock::now();
+  const double t0 = obs::wall_seconds();
   sim.step(measured_steps);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double host_step_s =
-      std::chrono::duration<double>(t1 - t0).count() / measured_steps;
+  const double host_step_s = (obs::wall_seconds() - t0) / measured_steps;
   const double host_us_day = units::us_per_day(p.dt_fs, host_step_s);
 
   // --- 2. commodity-cluster extrapolation ----------------------------------
@@ -56,6 +53,10 @@ int main() {
       core::AntonMachine(machine_preset("anton2", 512)).estimate(
           dhfr_system(), p.dt_fs, p.respa_k);
   const double a2 = anton2.us_per_day();
+
+  BenchReport report("f4");
+  report.record("host.us_per_day", host_us_day);
+  report.record("anton2.us_per_day", a2);
 
   auto add = [&](const std::string& name, double step_s) {
     const double usd = units::us_per_day(p.dt_fs, step_s);
@@ -75,6 +76,7 @@ int main() {
   t.print(std::cout);
 
   const double best_commodity = units::us_per_day(p.dt_fs, floor_step_s);
+  report.record("speedup_vs_latency_wall", a2 / best_commodity);
   std::cout << "\npaper anchor: " << kPaperCommoditySpeedup
             << "x over the best commodity platform (measured: "
             << TextTable::fmt(a2 / best_commodity, 0) << "x vs the modelled "

@@ -10,6 +10,7 @@ int main() {
   print_header("F5",
                "Network sensitivity at 512 nodes (23,558-atom system)");
   const System& sys = dhfr_system();
+  BenchReport report("f5");
 
   {
     std::cout << "\n-- hop-latency sweep (link bandwidth fixed) --\n";
@@ -22,6 +23,8 @@ int main() {
       cb.noc.hop_latency_ns = hop;
       const auto re = core::AntonMachine(ce).estimate(sys, 2.5, 2);
       const auto rb = core::AntonMachine(cb).estimate(sys, 2.5, 2);
+      report.record("event_over_bsp.hop_ns" + TextTable::fmt(hop, 0),
+                    re.us_per_day() / rb.us_per_day());
       t.add_row({TextTable::fmt(hop, 0), TextTable::fmt(re.us_per_day()),
                  TextTable::fmt(rb.us_per_day()),
                  TextTable::fmt(re.us_per_day() / rb.us_per_day(), 2)});
@@ -40,6 +43,8 @@ int main() {
       cb.noc.link_bandwidth_gbs = bw;
       const auto re = core::AntonMachine(ce).estimate(sys, 2.5, 2);
       const auto rb = core::AntonMachine(cb).estimate(sys, 2.5, 2);
+      report.record("event_over_bsp.bw_gbs" + TextTable::fmt(bw, 0),
+                    re.us_per_day() / rb.us_per_day());
       t.add_row({TextTable::fmt(bw, 0), TextTable::fmt(re.us_per_day()),
                  TextTable::fmt(rb.us_per_day()),
                  TextTable::fmt(re.us_per_day() / rb.us_per_day(), 2)});

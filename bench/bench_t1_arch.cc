@@ -37,6 +37,12 @@ int main() {
   t.add_row({"synchronisation", "bulk-synchronous", "event-driven", "-"});
   t.print(std::cout);
 
+  BenchReport report("t1");
+  report.record("anton1.pair_rate_per_ns", a1.pair_rate_per_ns());
+  report.record("anton2.pair_rate_per_ns", a2.pair_rate_per_ns());
+  report.record("anton1.gc_lane_rate_per_ns", a1.gc_lane_rate_per_ns());
+  report.record("anton2.gc_lane_rate_per_ns", a2.gc_lane_rate_per_ns());
+
   std::cout << "\nKey architectural change: fine-grained event-driven "
                "operation (hardware\ncountdown triggers, "
             << a2.sync_trigger_ns

@@ -13,6 +13,7 @@ int main() {
 
   TextTable t({"system", "atoms", "anton2 us/day", "anton1 us/day", "ratio",
                "ns/day (anton2)"});
+  BenchReport report("t2");
   for (const auto& spec : benchmark_suite()) {
     BuilderOptions o;
     o.total_atoms = spec.total_atoms;
@@ -22,6 +23,8 @@ int main() {
     const System sys = build_solvated_system(o);
     const auto r2 = m2.estimate(sys, 2.5, 2);
     const auto r1 = m1.estimate(sys, 2.5, 2);
+    report.record("anton2.us_per_day." + spec.name, r2.us_per_day());
+    report.record("anton1.us_per_day." + spec.name, r1.us_per_day());
     t.add_row({spec.name, TextTable::fmt_int(spec.total_atoms),
                TextTable::fmt(r2.us_per_day()),
                TextTable::fmt(r1.us_per_day()),

@@ -7,7 +7,8 @@ using namespace anton::bench;
 
 namespace {
 
-void breakdown(const System& sys, const std::string& label) {
+void breakdown(const System& sys, const std::string& label,
+               BenchReport& report) {
   std::cout << "\n-- " << label << " (" << sys.num_atoms()
             << " atoms, 512 nodes, full step) --\n";
   TextTable t({"phase", "anton2 busy/node (ns)", "anton2 phase end (ns)",
@@ -27,11 +28,15 @@ void breakdown(const System& sys, const std::string& label) {
       const auto it = m.find(phase);
       return it == m.end() ? 0.0 : (end ? it->second : it->second / n);
     };
+    report.record(label + ".anton2.busy_per_node_ns." + phase,
+                  get(t2, false));
     t.add_row({phase, TextTable::fmt(get(t2, false), 1),
                TextTable::fmt(get(t2, true), 0),
                TextTable::fmt(get(t1, false), 1),
                TextTable::fmt(get(t1, true), 0)});
   }
+  report.record(label + ".anton2.makespan_ns", t2.step_ns);
+  report.record(label + ".anton1.makespan_ns", t1.step_ns);
   t.add_row({"TOTAL (makespan)", "-", TextTable::fmt(t2.step_ns, 0), "-",
              TextTable::fmt(t1.step_ns, 0)});
   t.print(std::cout);
@@ -41,13 +46,14 @@ void breakdown(const System& sys, const std::string& label) {
 
 int main() {
   print_header("T3", "Per-phase timestep breakdown");
-  breakdown(dhfr_system(), "dhfr_23k");
+  BenchReport report("t3");
+  breakdown(dhfr_system(), "dhfr_23k", report);
 
   BuilderOptions o;
   o.total_atoms = 1066628;
   o.solute_fraction = 0.12;
   o.temperature_k = -1;
   o.seed = 2014;
-  breakdown(build_solvated_system(o), "stmv_1m");
+  breakdown(build_solvated_system(o), "stmv_1m", report);
   return 0;
 }

@@ -6,13 +6,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "arch/config.h"
 #include "chem/builder.h"
 #include "common/table.h"
 #include "core/machine.h"
+#include "obs/metrics.h"
 
 namespace anton::bench {
 
@@ -36,6 +39,51 @@ inline arch::MachineConfig machine_preset(const std::string& name,
   if (name == "anton2-bsp") return arch::MachineConfig::anton2_bsp(nx, ny, nz);
   return arch::MachineConfig::anton2(nx, ny, nz);
 }
+
+// Uniform machine-readable bench output.  Each experiment binary records
+// its headline numbers into a MetricsRegistry and writes one
+// "anton.metrics.v1" snapshot, BENCH_<id>.json, on destruction (into
+// $ANTON_BENCH_DIR when set, else the working directory) — the same schema
+// the telemetry layer uses everywhere, so downstream tooling parses bench
+// results and run metrics identically.  F6 is the exception: its
+// BENCH_f6.json is google-benchmark's own format, produced by the
+// bench-smoke target, and stays that way.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string experiment_id)
+      : id_(std::move(experiment_id)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() {
+    try {
+      save();
+    } catch (...) {
+      // Benches must not die on an unwritable output directory.
+    }
+  }
+
+  void record(const std::string& name, double value) {
+    reg_.gauge(id_ + "." + name)->set(value);
+  }
+  obs::MetricsRegistry& registry() { return reg_; }
+
+  std::string path() const {
+    const char* dir = std::getenv("ANTON_BENCH_DIR");
+    const std::string prefix =
+        dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string();
+    return prefix + "BENCH_" + id_ + ".json";
+  }
+
+  void save() const {
+    if (reg_.empty()) return;
+    reg_.save_json(path());
+    std::cout << "\n[metrics] " << path() << "\n";
+  }
+
+ private:
+  std::string id_;
+  obs::MetricsRegistry reg_;
+};
 
 // Paper-anchored reference points quoted in the abstract; printed next to
 // measured values so every run shows paper-vs-reproduction at a glance.

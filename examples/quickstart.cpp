@@ -3,6 +3,12 @@
 // the machine performance report.
 //
 //   ./build/examples/quickstart [atoms=6000] [nodes=64] [steps=20]
+//             [--trace out.json] [--metrics metrics.json]
+//
+// --trace writes a Chrome trace (open in https://ui.perfetto.dev or
+// chrome://tracing): MD engine wall-clock phases, DES task spans, torus
+// packet lifecycles and link occupancy, event-queue depth.  --metrics
+// writes an anton.metrics.v1 JSON snapshot of the same run.
 #include <cstdio>
 
 #include "chem/builder.h"
@@ -18,6 +24,8 @@ int main(int argc, char** argv) {
   const int atoms = static_cast<int>(cfg.get_int("atoms", 6000));
   const int nodes = static_cast<int>(cfg.get_int("nodes", 64));
   const int steps = static_cast<int>(cfg.get_int("steps", 20));
+  const std::string trace_path = cfg.get_string("trace", "");
+  const std::string metrics_path = cfg.get_string("metrics", "");
 
   // 1. Build a solvated protein-like system at liquid-water density.
   std::printf("Building %d-atom solvated system...\n", atoms);
@@ -45,7 +53,10 @@ int main(int argc, char** argv) {
   // 3. Run on the simulated Anton 2 machine: functional physics + timing.
   int nx, ny, nz;
   core::torus_dims(nodes, &nx, &ny, &nz);
-  core::AntonMachine machine(arch::MachineConfig::anton2(nx, ny, nz));
+  arch::MachineConfig mc = arch::MachineConfig::anton2(nx, ny, nz);
+  mc.trace_path = trace_path;
+  mc.metrics_path = metrics_path;
+  core::AntonMachine machine(mc);
   std::printf("\nRunning %d steps on the simulated %dx%dx%d Anton 2...\n",
               steps, nx, ny, nz);
   const core::PerfReport perf = machine.run(sys, md, steps);
@@ -66,5 +77,12 @@ int main(int argc, char** argv) {
               perf.short_step.step_ns);
   std::printf("  simulation rate %8.2f us/day at dt=%.1f fs\n",
               perf.us_per_day(), perf.dt_fs);
+  if (!trace_path.empty()) {
+    std::printf("\ntrace written to %s (load in ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -34,6 +34,21 @@ if python3 tools/anton_lint.py -q tools/lint_fixtures; then
 fi
 echo "lint fixtures correctly rejected"
 
+step "telemetry smoke (trace + metrics round-trip)"
+TELEMETRY_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP"' EXIT
+./build/examples/quickstart atoms=1500 nodes=8 steps=4 \
+  --trace "$TELEMETRY_TMP/trace.json" \
+  --metrics "$TELEMETRY_TMP/metrics.json" >/dev/null
+python3 tools/validate_trace.py "$TELEMETRY_TMP/trace.json"
+python3 -c "
+import json, sys
+doc = json.load(open('$TELEMETRY_TMP/metrics.json'))
+assert doc.get('schema') == 'anton.metrics.v1', doc.get('schema')
+assert doc.get('metrics'), 'metrics snapshot is empty'
+print(f\"metrics snapshot OK: {len(doc['metrics'])} metrics\")
+"
+
 for san in $SANITIZERS; do
   step "sanitizer pass: $san (build-$san/)"
   cmake -B "build-$san" -S . -DANTON_SANITIZE="$san" >/dev/null

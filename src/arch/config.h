@@ -64,6 +64,13 @@ struct MachineConfig {
   double bytes_per_mesh_point = 16.0;
   double bytes_per_migrating_atom = 64.0;
 
+  // --- telemetry (zero cost when paths are empty) ---
+  // Chrome-trace output: task spans, packet lifecycles, link occupancy and
+  // queue-depth tracks for every simulated step (load in Perfetto).
+  std::string trace_path;
+  // Metrics snapshot ("anton.metrics.v1" JSON) written when the run ends.
+  std::string metrics_path;
+
   // --- MD mapping parameters the machine uses ---
   double machine_cutoff = 9.0;  // Å pairwise cutoff on the HTIS
   double mesh_spacing = 2.0;    // Å target mesh spacing for the GSE grid

@@ -15,11 +15,29 @@ Config Config::from_args(int argc, const char* const* argv) {
 
 Config Config::from_tokens(const std::vector<std::string>& tokens) {
   Config c;
-  for (const auto& tok : tokens) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::string tok = tokens[i];
+    // GNU-style flags: "--key=value", "--key value", bare "--flag" (true).
+    const bool dashed = tok.rfind("--", 0) == 0 && tok.size() > 2;
+    if (dashed) tok = tok.substr(2);
     const auto eq = tok.find('=');
-    ANTON_CHECK_MSG(eq != std::string::npos && eq > 0,
-                    "expected key=value, got '" << tok << "'");
-    c.set(tok.substr(0, eq), tok.substr(eq + 1));
+    if (eq != std::string::npos && eq > 0) {
+      c.set(tok.substr(0, eq), tok.substr(eq + 1));
+      continue;
+    }
+    ANTON_CHECK_MSG(dashed && eq != 0,
+                    "expected key=value or --key [value], got '" << tokens[i]
+                                                                 << "'");
+    // "--key value" when the next token isn't itself a key; else a bare
+    // boolean flag.
+    const bool next_is_value =
+        i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0 &&
+        tokens[i + 1].find('=') == std::string::npos;
+    if (next_is_value) {
+      c.set(tok, tokens[++i]);
+    } else {
+      c.set(tok, "true");
+    }
   }
   return c;
 }

@@ -68,9 +68,15 @@ class Histogram {
   }
 
   void add(double x) {
-    int b = static_cast<int>((x - lo_) / (hi_ - lo_) * bins_);
-    b = std::clamp(b, 0, bins_ - 1);
-    ++counts_[static_cast<size_t>(b)];
+    // Clamp in double space before the int cast: a float-to-int conversion
+    // whose value doesn't fit (huge x, or x = inf/NaN) is undefined
+    // behaviour.  NaN compares false against both bounds and falls through
+    // to the first bin rather than poisoning the cast.
+    double pos = (x - lo_) / (hi_ - lo_) * bins_;
+    if (!(pos > 0.0)) pos = 0.0;
+    const double top = static_cast<double>(bins_ - 1);
+    if (pos > top) pos = top;
+    ++counts_[static_cast<size_t>(pos)];
     ++total_;
   }
 
@@ -85,16 +91,27 @@ class Histogram {
     ANTON_CHECK(q >= 0.0 && q <= 1.0);
     if (total_ == 0) return lo_;
     const double target = q * static_cast<double>(total_);
-    double cum = 0.0;
+    // Integer cumulative count: the loop's termination test must be exact.
+    // The old floating-point accumulator could miss `cum + c >= target` by
+    // one ulp when the final populated bin held the target mass, falling
+    // through to hi_ even though the distribution never reaches it.
+    uint64_t cum = 0;
+    int last_populated = -1;
     for (int b = 0; b < bins_; ++b) {
-      const double c = static_cast<double>(counts_[static_cast<size_t>(b)]);
-      if (cum + c >= target) {
-        const double frac = c > 0 ? (target - cum) / c : 0.0;
+      const uint64_t c = counts_[static_cast<size_t>(b)];
+      if (c == 0) continue;  // empty bins hold no mass at any quantile
+      last_populated = b;
+      if (static_cast<double>(cum + c) >= target) {
+        const double frac = std::clamp(
+            (target - static_cast<double>(cum)) / static_cast<double>(c), 0.0,
+            1.0);
         return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
       }
-      cum += c;
+      cum = cum + c;
     }
-    return hi_;
+    // Roundoff pushed target above total_: the answer is the top of the last
+    // populated bin, not hi_ (which may be arbitrarily far beyond the data).
+    return bin_hi(last_populated);
   }
 
  private:

@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "md/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace anton::core {
 
@@ -38,6 +40,19 @@ void torus_dims(int nodes, int* nx, int* ny, int* nz) {
   *nz = best[2];
 }
 
+namespace {
+
+// Names the pid tracks a machine run contributes to a shared trace.
+void name_trace_tracks(obs::TraceWriter* trace) {
+  if (trace == nullptr) return;
+  trace->process_name(obs::kPidMd, "md engine (wall clock)");
+  trace->process_name(obs::kPidMachine, "machine model (sim time)");
+  trace->process_name(obs::kPidNoc, "torus noc (sim time)");
+  trace->process_name(obs::kPidQueue, "event queue (sim time)");
+}
+
+}  // namespace
+
 PerfReport AntonMachine::estimate(const System& system, double dt_fs,
                                   int respa_k) const {
   ANTON_CHECK(respa_k >= 1);
@@ -48,8 +63,25 @@ PerfReport AntonMachine::estimate(const System& system, double dt_fs,
   r.atoms = system.num_atoms();
   r.dt_fs = dt_fs;
   r.respa_k = respa_k;
-  r.full_step = simulate_step(w, config_, {.include_long_range = true});
-  r.short_step = simulate_step(w, config_, {.include_long_range = false});
+
+  obs::MetricsRegistry reg;
+  std::unique_ptr<obs::TraceWriter> trace =
+      obs::TraceWriter::open(config_.trace_path);
+  name_trace_tracks(trace.get());
+  const bool telemetered = trace != nullptr || !config_.metrics_path.empty();
+
+  StepOptions full{.include_long_range = true};
+  StepOptions part{.include_long_range = false};
+  if (telemetered) {
+    full.metrics = part.metrics = &reg;
+    full.trace = part.trace = trace.get();
+  }
+  r.full_step = simulate_step(w, config_, full);
+  // Lay the short step after the full one on the trace timeline.
+  part.trace_ts_offset_us = r.full_step.step_ns * 1e-3;
+  r.short_step = simulate_step(w, config_, part);
+
+  if (!config_.metrics_path.empty()) reg.save_json(config_.metrics_path);
   return r;
 }
 
@@ -65,8 +97,19 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
   r.dt_fs = md_params.dt_fs;
   r.respa_k = md_params.respa_k;
 
+  // One registry and one trace for the whole run: the functional MD engine
+  // shares them (wall-clock spans on its own pid) with the machine model
+  // (sim-time spans), so a single Perfetto load shows both clock domains.
+  obs::MetricsRegistry reg;
+  std::unique_ptr<obs::TraceWriter> trace =
+      obs::TraceWriter::open(config_.trace_path);
+  name_trace_tracks(trace.get());
+  const bool telemetered = trace != nullptr || !config_.metrics_path.empty();
+  if (telemetered) sim.use_telemetry(&reg, trace.get());
+
   double full_ns = 0, short_ns = 0;
   int full_n = 0, short_n = 0;
+  double sim_time_us = 0;  // trace-timeline cursor over simulated steps
   std::unique_ptr<Workload> w;
   for (int s = 0; s < steps; ++s) {
     if (s % workload_refresh == 0) {
@@ -74,8 +117,14 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
           Workload::build(sim.system(), config_));
     }
     const bool full = (s % md_params.respa_k == 0);
-    const StepTiming t =
-        simulate_step(*w, config_, {.include_long_range = full});
+    StepOptions opts{.include_long_range = full};
+    if (telemetered) {
+      opts.metrics = &reg;
+      opts.trace = trace.get();
+      opts.trace_ts_offset_us = sim_time_us;
+    }
+    const StepTiming t = simulate_step(*w, config_, opts);
+    sim_time_us += t.step_ns * 1e-3;
     if (full) {
       full_ns += t.step_ns;
       ++full_n;
@@ -97,6 +146,8 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
   }
   // Copy the evolved state back out.
   system = sim.system();
+  if (telemetered) sim.use_telemetry(nullptr, nullptr);
+  if (!config_.metrics_path.empty()) reg.save_json(config_.metrics_path);
   return r;
 }
 

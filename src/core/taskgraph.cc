@@ -55,6 +55,16 @@ struct ExecState {
   std::vector<sim::SimTime> unit_free;  // (node * kNumUnits + unit)
   std::vector<double> node_busy;
   ExecStats stats;
+  // Critical-path bookkeeping: per-task dispatch/end times and the releasing
+  // predecessor (-1 for seed tasks released at t0).
+  std::vector<sim::SimTime> dispatch_time;
+  std::vector<sim::SimTime> end_time;
+  std::vector<int> crit_pred;
+  std::vector<int> unit_last_task;  // prior occupant per (node, unit)
+  sim::SimTime t0 = 0;
+  obs::TraceWriter* trace = nullptr;
+  int trace_pid = obs::kPidMachine;
+  std::vector<bool> tid_named;
 
   double dispatch_overhead(Unit unit) const {
     switch (unit) {
@@ -76,11 +86,11 @@ struct ExecState {
 
   void complete(int id) {
     const TaskGraph::Task& t = graph->task(id);
-    for (int dep : t.local_dependents) notify(dep);
+    for (int dep : t.local_dependents) notify(dep, id);
     for (const auto& s : t.sends) {
       const int dst_node = graph->task(s.dst_task).node;
       torus->unicast(t.node, dst_node, s.bytes,
-                     [this, dst = s.dst_task] { notify(dst); });
+                     [this, dst = s.dst_task, id] { notify(dst, id); });
     }
     if (!t.mcast_dependents.empty()) {
       std::vector<int> dst_nodes;
@@ -97,25 +107,36 @@ struct ExecState {
             "multicast with two dependents on one node");
       }
       torus->multicast(t.node, dst_nodes, t.mcast_bytes,
-                       [this, node_to_task](int node) {
-                         notify(node_to_task.at(node));
+                       [this, node_to_task, id](int node) {
+                         notify(node_to_task.at(node), id);
                        });
     }
   }
 
-  void notify(int id) {
+  void notify(int id, int from) {
     ANTON_CHECK(deps_left[static_cast<size_t>(id)] > 0);
-    if (--deps_left[static_cast<size_t>(id)] == 0) ready(id);
+    if (--deps_left[static_cast<size_t>(id)] == 0) ready(id, from);
   }
 
-  void ready(int id) {
+  void ready(int id, int released_by) {
     const TaskGraph::Task& t = graph->task(id);
     const size_t unit_key =
         static_cast<size_t>(t.node) * kNumUnits + static_cast<size_t>(t.unit);
     const double overhead = dispatch_overhead(t.unit);
-    const sim::SimTime start =
-        std::max(queue->now(), unit_free[unit_key]) + overhead;
+    const sim::SimTime dispatch = std::max(queue->now(), unit_free[unit_key]);
+    const sim::SimTime start = dispatch + overhead;
     const sim::SimTime end = start + t.busy_ns;
+    // The releasing predecessor: the final dependency to arrive — unless the
+    // hardware unit itself was the bottleneck, in which case whoever held
+    // the unit last is what this task actually waited for.
+    if (unit_free[unit_key] > queue->now() &&
+        unit_last_task[unit_key] >= 0) {
+      released_by = unit_last_task[unit_key];
+    }
+    dispatch_time[static_cast<size_t>(id)] = dispatch;
+    end_time[static_cast<size_t>(id)] = end;
+    crit_pred[static_cast<size_t>(id)] = released_by;
+    unit_last_task[unit_key] = id;
     unit_free[unit_key] = end;
     const double occupied = overhead + t.busy_ns;
     node_busy[static_cast<size_t>(t.node)] += occupied;
@@ -123,14 +144,32 @@ struct ExecState {
     auto& end_ns = stats.phase_end_ns[t.phase];
     end_ns = std::max(end_ns, static_cast<double>(end));
     stats.tasks_executed++;
+    if (trace != nullptr) emit_span(t, unit_key, dispatch, end);
     queue->schedule_at(end, [this, id] { complete(id); });
+  }
+
+  void emit_span(const TaskGraph::Task& t, size_t unit_key,
+                 sim::SimTime dispatch, sim::SimTime end) {
+    if (!tid_named[unit_key]) {
+      tid_named[unit_key] = true;
+      static constexpr const char* kUnitNames[kNumUnits] = {"htis", "gc",
+                                                            "sync"};
+      trace->thread_name(trace_pid, static_cast<int>(unit_key),
+                         "n" + std::to_string(t.node) + "/" +
+                             kUnitNames[static_cast<int>(t.unit)]);
+    }
+    trace->complete(t.phase, "des", (dispatch - t0) * 1e-3,
+                    (end - dispatch) * 1e-3, trace_pid,
+                    static_cast<int>(unit_key),
+                    {{"busy_ns", t.busy_ns}});
   }
 };
 
 }  // namespace
 
 ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
-                  noc::Torus& torus, sim::EventQueue& queue) {
+                  noc::Torus& torus, sim::EventQueue& queue,
+                  obs::TraceWriter* trace, int trace_pid) {
   ExecState st;
   st.graph = &graph;
   st.config = &config;
@@ -143,12 +182,20 @@ ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
   st.unit_free.assign(
       static_cast<size_t>(torus.num_nodes()) * kNumUnits, 0.0);
   st.node_busy.assign(static_cast<size_t>(torus.num_nodes()), 0.0);
+  st.dispatch_time.assign(static_cast<size_t>(graph.num_tasks()), 0.0);
+  st.end_time.assign(static_cast<size_t>(graph.num_tasks()), 0.0);
+  st.crit_pred.assign(static_cast<size_t>(graph.num_tasks()), -1);
+  st.unit_last_task.assign(st.unit_free.size(), -1);
+  st.trace = trace;
+  st.trace_pid = trace_pid;
+  st.tid_named.assign(st.unit_free.size(), false);
 
   torus.reset_stats();
   const sim::SimTime t0 = queue.now();
+  st.t0 = t0;
   // Seed all zero-dependency tasks.
   for (int i = 0; i < graph.num_tasks(); ++i) {
-    if (graph.task(i).deps == 0) st.ready(i);
+    if (graph.task(i).deps == 0) st.ready(i, -1);
   }
   const sim::SimTime t_end = queue.run();
 
@@ -164,6 +211,32 @@ ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
                   "deadlock: " << graph.num_tasks() - st.stats.tasks_executed
                                << " tasks never ran");
   st.stats.noc = torus.stats();
+
+  // Critical-path walk-back from the last-finishing task.  Each hop
+  // attributes the task's unit occupancy to its phase and the gap to its
+  // releasing predecessor (exposed wire latency) to critical_wait_ns; the
+  // queue drains at the last task's completion, so the pieces tile the
+  // makespan exactly.
+  if (graph.num_tasks() > 0) {
+    int cur = 0;
+    for (int i = 1; i < graph.num_tasks(); ++i) {
+      if (st.end_time[static_cast<size_t>(i)] >
+          st.end_time[static_cast<size_t>(cur)]) {
+        cur = i;
+      }
+    }
+    while (cur >= 0) {
+      const size_t c = static_cast<size_t>(cur);
+      st.stats.critical_path_ns[graph.task(cur).phase] +=
+          st.end_time[c] - st.dispatch_time[c];
+      const int pred = st.crit_pred[c];
+      const double released_at =
+          pred >= 0 ? st.end_time[static_cast<size_t>(pred)] : t0;
+      st.stats.critical_wait_ns +=
+          std::max(0.0, st.dispatch_time[c] - released_at);
+      cur = pred;
+    }
+  }
   return st.stats;
 }
 

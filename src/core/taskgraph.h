@@ -21,6 +21,7 @@
 
 #include "arch/config.h"
 #include "noc/torus.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace anton::core {
@@ -94,11 +95,27 @@ struct ExecStats {
   }
   uint64_t tasks_executed = 0;
   noc::NocStats noc;
+
+  // Critical-path attribution.  The executor records, for every task, the
+  // predecessor that actually released it (the final dependency to arrive,
+  // or the prior occupant of its hardware unit when the unit was the
+  // bottleneck), then walks back from the last-finishing task.  The walk
+  // partitions the makespan exactly:
+  //   makespan_ns == critical_wait_ns + sum(critical_path_ns[*])
+  // critical_path_ns[phase] is time the critical path spent occupying a unit
+  // in that phase (dispatch overhead included); critical_wait_ns is time it
+  // spent waiting on the wire (exposed NoC latency).
+  std::map<std::string, double> critical_path_ns;
+  double critical_wait_ns = 0;
 };
 
 // Executes the graph to completion.  `torus` must have as many nodes as the
-// graph references.  Deterministic.
+// graph references.  Deterministic.  When `trace` is non-null every task
+// becomes a complete-event span on (trace_pid, tid = node * kNumUnits +
+// unit) named after its phase.
 ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
-                  noc::Torus& torus, sim::EventQueue& queue);
+                  noc::Torus& torus, sim::EventQueue& queue,
+                  obs::TraceWriter* trace = nullptr,
+                  int trace_pid = obs::kPidMachine);
 
 }  // namespace anton::core

@@ -320,9 +320,42 @@ StepTiming simulate_step(const Workload& w, const arch::MachineConfig& config,
   // --- execute ---------------------------------------------------------------
   sim::EventQueue queue;
   noc::Torus torus(config.noc, &queue);
+
+  obs::MetricsRegistry* reg = options.metrics;
+  obs::TraceWriter* trace = options.trace;
+  if (reg != nullptr || trace != nullptr) {
+    sim::QueueTelemetry qt;
+    if (reg != nullptr) {
+      qt.executed = reg->counter("des.queue.executed");
+      qt.depth = reg->histogram("des.queue.depth", 0.0, 4096.0, 64);
+      qt.horizon_ns = reg->histogram("des.queue.horizon_ns", 0.0, 50000.0, 100);
+    }
+    qt.trace = trace;
+    queue.set_telemetry(qt);
+    torus.set_telemetry(reg, "des.noc", trace);
+  }
+  if (trace != nullptr) trace->set_ts_offset_us(options.trace_ts_offset_us);
+
   StepTiming timing;
-  timing.exec = execute(g, config, torus, queue);
+  timing.exec = execute(g, config, torus, queue, trace);
   timing.step_ns = timing.exec.makespan_ns;
+
+  if (trace != nullptr) trace->set_ts_offset_us(0.0);
+  if (reg != nullptr) {
+    const ExecStats& ex = timing.exec;
+    reg->stat("des.step.makespan_ns")->add(ex.makespan_ns);
+    reg->counter("des.step.tasks")->add(ex.tasks_executed);
+    for (const auto& [phase, busy] : ex.phase_busy_ns) {
+      reg->stat("des.phase." + phase + ".busy_ns")->add(busy);
+    }
+    for (const auto& [phase, ns] : ex.critical_path_ns) {
+      reg->stat("des.critical." + phase + ".ns")->add(ns);
+    }
+    reg->stat("des.critical.wait_ns")->add(ex.critical_wait_ns);
+    if (ex.makespan_ns > 0) {
+      torus.export_link_occupancy(reg, "des.noc", ex.makespan_ns);
+    }
+  }
   return timing;
 }
 

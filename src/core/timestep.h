@@ -22,11 +22,22 @@
 #include "arch/config.h"
 #include "core/taskgraph.h"
 #include "core/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace anton::core {
 
 struct StepOptions {
   bool include_long_range = true;
+  // Optional telemetry.  When `metrics` is set, the step exports per-phase
+  // busy time, critical-path attribution, queue statistics, NoC latency/hop
+  // histograms and link occupancy under the "des." prefix.  When `trace` is
+  // set, every task, packet and link reservation becomes a trace span;
+  // trace_ts_offset_us places this step on the shared trace timeline (each
+  // step runs on a fresh event queue whose clock starts at zero).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
+  double trace_ts_offset_us = 0;
 };
 
 struct StepTiming {

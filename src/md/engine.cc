@@ -22,9 +22,49 @@ Simulation::Simulation(System system, MdParams params, ThreadPool* pool)
       dt_(units::fs_to_internal(params.dt_fs)) {
   ANTON_CHECK_MSG(params_.respa_k >= 1, "respa_k must be >= 1");
   ANTON_CHECK_MSG(params_.dt_fs > 0, "timestep must be positive");
+  if (params_.telemetry || !params_.trace_path.empty() ||
+      !params_.metrics_path.empty()) {
+    own_trace_ = obs::TraceWriter::open(params_.trace_path);
+    if (own_trace_ != nullptr) {
+      own_trace_->process_name(obs::kPidMd, "md engine (wall clock)");
+    }
+    metrics_ = &own_metrics_;
+    profiler_.enable(metrics_, "md", own_trace_.get(), obs::kPidMd);
+    step_stat_ = metrics_->stat("md.step.seconds");
+    force_->set_profiler(&profiler_);
+  }
   // Build the neighbour list and size all workspace scratch now, so stepping
   // starts allocation-free from the first call.
   force_->warm(system_.positions());
+}
+
+Simulation::~Simulation() {
+  try {
+    write_metrics();
+  } catch (...) {
+    // Destructor: an unwritable metrics path must not terminate.
+  }
+}
+
+void Simulation::use_telemetry(obs::MetricsRegistry* registry,
+                               obs::TraceWriter* trace) {
+  if (registry == nullptr) {
+    profiler_.disable();
+    force_->set_profiler(nullptr);
+    metrics_ = nullptr;
+    step_stat_ = nullptr;
+    return;
+  }
+  metrics_ = registry;
+  profiler_.enable(metrics_, "md", trace, obs::kPidMd);
+  step_stat_ = metrics_->stat("md.step.seconds");
+  force_->set_profiler(&profiler_);
+}
+
+void Simulation::write_metrics() const {
+  if (metrics_ == &own_metrics_ && !params_.metrics_path.empty()) {
+    own_metrics_.save_json(params_.metrics_path);
+  }
 }
 
 void Simulation::apply_langevin(double dt) {
@@ -81,6 +121,8 @@ void Simulation::apply_thermostat(double dt) {
 }
 
 void Simulation::single_step() {
+  const double step_t0 =
+      step_stat_ != nullptr ? obs::wall_seconds() : 0.0;
   const Topology& top = system_.topology();
   const Box& box = system_.box();
   auto pos = system_.positions();
@@ -102,25 +144,34 @@ void Simulation::single_step() {
   // First half kick: short-range every step; long-range impulse (weight k)
   // at RESPA block boundaries.
   const bool long_kick_in = (s % k == 0);
-  for (size_t i = 0; i < pos.size(); ++i) {
-    Vec3 f = f_short_[i];
-    if (long_kick_in) f += static_cast<double>(k) * f_long_[i];
-    vel[i] += (0.5 * dt_ / masses[i]) * f;
-  }
+  {
+    obs::PhaseProfiler::Scope sc(&profiler_, "integrate");
+    for (size_t i = 0; i < pos.size(); ++i) {
+      Vec3 f = f_short_[i];
+      if (long_kick_in) f += static_cast<double>(k) * f_long_[i];
+      vel[i] += (0.5 * dt_ / masses[i]) * f;
+    }
 
-  // Drift + SHAKE.
-  std::copy(pos.begin(), pos.end(), ref_pos_.begin());
-  for (size_t i = 0; i < pos.size(); ++i) {
-    pos[i] += dt_ * vel[i];
+    // Drift.
+    std::copy(pos.begin(), pos.end(), ref_pos_.begin());
+    for (size_t i = 0; i < pos.size(); ++i) {
+      pos[i] += dt_ * vel[i];
+    }
   }
-  last_shake_ = shake(box, top, ref_pos_, pos, vel, dt_, params_.shake_tol,
-                      params_.shake_max_iter);
+  {
+    obs::PhaseProfiler::Scope sc(&profiler_, "constraints");
+    last_shake_ = shake(box, top, ref_pos_, pos, vel, dt_, params_.shake_tol,
+                        params_.shake_max_iter);
+  }
   ANTON_CHECK_MSG(last_shake_.converged,
                   "SHAKE failed to converge (max violation "
                       << last_shake_.max_violation << ")");
 
   // Thermostat between drift and the force evaluation (OBABO-like split).
-  apply_thermostat(dt_);
+  {
+    obs::PhaseProfiler::Scope sc(&profiler_, "thermostat");
+    apply_thermostat(dt_);
+  }
 
   // New forces.
   EnergyReport e = force_->compute_short(pos, f_short_);
@@ -138,22 +189,34 @@ void Simulation::single_step() {
   last_energy_ = e;
 
   // Second half kick.
-  for (size_t i = 0; i < pos.size(); ++i) {
-    Vec3 f = f_short_[i];
-    if (long_kick_out) f += static_cast<double>(k) * f_long_[i];
-    vel[i] += (0.5 * dt_ / masses[i]) * f;
+  {
+    obs::PhaseProfiler::Scope sc(&profiler_, "integrate");
+    for (size_t i = 0; i < pos.size(); ++i) {
+      Vec3 f = f_short_[i];
+      if (long_kick_out) f += static_cast<double>(k) * f_long_[i];
+      vel[i] += (0.5 * dt_ / masses[i]) * f;
+    }
   }
 
   // RATTLE: remove velocity components along constraints.
-  const ShakeStats rs = rattle(box, top, pos, vel, params_.shake_tol,
-                               params_.shake_max_iter);
+  ShakeStats rs;
+  {
+    obs::PhaseProfiler::Scope sc(&profiler_, "constraints");
+    rs = rattle(box, top, pos, vel, params_.shake_tol,
+                params_.shake_max_iter);
+  }
   ANTON_CHECK_MSG(rs.converged, "RATTLE failed to converge");
 
   ++step_count_;
 
   if (params_.barostat != BarostatKind::kNone &&
       step_count_ % params_.barostat_interval == 0) {
+    obs::PhaseProfiler::Scope sc(&profiler_, "barostat");
     apply_barostat();
+  }
+
+  if (step_stat_ != nullptr) {
+    step_stat_->add(obs::wall_seconds() - step_t0);
   }
 }
 
@@ -198,6 +261,7 @@ void Simulation::apply_barostat() {
   // Box-dependent state (GSE mesh, neighbour grid) must be rebuilt.
   force_ = std::make_unique<ForceCompute>(system_.topology_ptr(),
                                           system_.box(), params_, pool_);
+  if (profiler_.enabled()) force_->set_profiler(&profiler_);
   force_->warm(system_.positions());
   forces_fresh_ = false;
 }

@@ -17,12 +17,16 @@
 #include "md/constraints.h"
 #include "md/forces.h"
 #include "md/params.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace anton::md {
 
 class Simulation {
  public:
   Simulation(System system, MdParams params, ThreadPool* pool = nullptr);
+  ~Simulation();
 
   // Advances n timesteps (inner steps; RESPA blocks are handled
   // transparently).
@@ -44,6 +48,20 @@ class Simulation {
   const ForceCompute& force_compute() const { return *force_; }
 
   ShakeStats last_shake() const { return last_shake_; }
+
+  // Redirects telemetry into an externally owned registry/trace (the
+  // machine model does this so MD wall-clock spans share the trace with the
+  // DES timeline).  Passing nullptrs disables telemetry entirely.
+  // Overrides whatever MdParams telemetry knobs set up at construction.
+  void use_telemetry(obs::MetricsRegistry* registry, obs::TraceWriter* trace);
+
+  // The active metrics registry: the externally supplied one, the internal
+  // one when MdParams enabled telemetry, or nullptr when off.
+  obs::MetricsRegistry* metrics() { return metrics_; }
+
+  // Writes the metrics snapshot to MdParams::metrics_path (no-op when the
+  // path is empty or telemetry is external).  Also called on destruction.
+  void write_metrics() const;
 
  private:
   void single_step();
@@ -67,6 +85,14 @@ class Simulation {
   int64_t step_count_ = 0;
   double dt_;  // internal units
   bool forces_fresh_ = false;
+
+  // Telemetry.  own_metrics_/own_trace_ back the MdParams knobs;
+  // use_telemetry() swaps in external sinks instead.
+  obs::MetricsRegistry own_metrics_;
+  std::unique_ptr<obs::TraceWriter> own_trace_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::PhaseProfiler profiler_;
+  obs::Stat* step_stat_ = nullptr;
 };
 
 }  // namespace anton::md

@@ -48,8 +48,17 @@ ForceCompute::ForceCompute(std::shared_ptr<const Topology> top, Box box,
 
 void ForceCompute::warm(std::span<const Vec3> pos) { maybe_rebuild(pos); }
 
+void ForceCompute::set_profiler(obs::PhaseProfiler* prof) {
+  prof_ = prof != nullptr && prof->enabled() ? prof : nullptr;
+  pair_thread_stat_ =
+      prof_ != nullptr && pool_ != nullptr
+          ? prof_->registry()->stat("md.pair.thread_seconds")
+          : nullptr;
+}
+
 void ForceCompute::maybe_rebuild(std::span<const Vec3> pos) {
   if (!nlist_.built() || nlist_.needs_rebuild(box_, pos, pool_)) {
+    obs::PhaseProfiler::Scope sc(prof_, "nlist");
     nlist_.build(box_, pos, *top_, pool_);
     ++nlist_builds_;
   }
@@ -60,16 +69,22 @@ EnergyReport ForceCompute::compute_short(std::span<const Vec3> pos,
   std::fill(forces.begin(), forces.end(), Vec3{});
   maybe_rebuild(pos);
   EnergyReport e;
-  compute_all_bonded(box_, *top_, pos, forces, e);
+  {
+    obs::PhaseProfiler::Scope sc(prof_, "bonded");
+    compute_all_bonded(box_, *top_, pos, forces, e);
+  }
   const double alpha =
       params_.long_range == LongRangeMethod::kNone ? 0.0 : params_.ewald_alpha;
-  compute_nonbonded(box_, *top_, nlist_, pos, alpha, forces, e, pool_,
-                    params_.shift_at_cutoff, &ws_, params_.tabulate_erfc,
-                    params_.deterministic_forces);
-  if (params_.long_range != LongRangeMethod::kNone) {
-    compute_excluded_correction(box_, *top_, pos, params_.ewald_alpha, forces,
-                                e, pool_, &ws_,
-                                params_.deterministic_forces);
+  {
+    obs::PhaseProfiler::Scope sc(prof_, "pair");
+    compute_nonbonded(box_, *top_, nlist_, pos, alpha, forces, e, pool_,
+                      params_.shift_at_cutoff, &ws_, params_.tabulate_erfc,
+                      params_.deterministic_forces, pair_thread_stat_);
+    if (params_.long_range != LongRangeMethod::kNone) {
+      compute_excluded_correction(box_, *top_, pos, params_.ewald_alpha,
+                                  forces, e, pool_, &ws_,
+                                  params_.deterministic_forces);
+    }
   }
   // Net-zero invariant: every short-range term except position restraints
   // (an external field, exempted below) is an internal pair interaction
@@ -96,6 +111,7 @@ EnergyReport ForceCompute::compute_short(std::span<const Vec3> pos,
 
 EnergyReport ForceCompute::compute_long(std::span<const Vec3> pos,
                                         std::span<Vec3> forces) {
+  obs::PhaseProfiler::Scope sc(prof_, "fft");
   std::fill(forces.begin(), forces.end(), Vec3{});
   EnergyReport e;
   switch (params_.long_range) {

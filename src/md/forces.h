@@ -13,6 +13,7 @@
 #include "md/neighborlist.h"
 #include "md/params.h"
 #include "md/workspace.h"
+#include "obs/profiler.h"
 
 namespace anton::md {
 
@@ -47,6 +48,12 @@ class ForceCompute {
   int64_t pair_count() const { return nlist_.num_pairs(); }
   int64_t nlist_builds() const { return nlist_builds_; }
 
+  // Attaches (or detaches, with nullptr) the owning simulation's phase
+  // profiler: force evaluation then reports "nlist", "bonded", "pair" and
+  // "fft" phase spans, plus the per-thread pair-loop imbalance stat
+  // "md.pair.thread_seconds".
+  void set_profiler(obs::PhaseProfiler* prof);
+
  private:
   void maybe_rebuild(std::span<const Vec3> pos);
 
@@ -59,6 +66,8 @@ class ForceCompute {
   std::unique_ptr<EwaldDirect> ewald_;
   std::unique_ptr<GseMesh> gse_;
   int64_t nlist_builds_ = 0;
+  obs::PhaseProfiler* prof_ = nullptr;
+  obs::Stat* pair_thread_stat_ = nullptr;
 };
 
 }  // namespace anton::md

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/units.h"
+#include "obs/profiler.h"
 
 namespace anton::md {
 
@@ -265,7 +266,8 @@ void compute_nonbonded(const Box& box, const Topology& top,
                        double alpha, std::span<Vec3> forces,
                        EnergyReport& energy, ThreadPool* pool,
                        bool shift_at_cutoff, ForceWorkspace* ws,
-                       bool tabulate_erfc, bool deterministic) {
+                       bool tabulate_erfc, bool deterministic,
+                       obs::Stat* thread_stat) {
   ANTON_CHECK(nlist.built());
   ANTON_CHECK(nlist.num_atoms() == top.num_atoms());
   const double cutoff = nlist.cutoff();
@@ -298,7 +300,9 @@ void compute_nonbonded(const Box& box, const Topology& top,
       ws->partial_fixed(t) = acc.e;
     };
     if (T <= 1) {
+      const double w0 = thread_stat != nullptr ? obs::wall_seconds() : 0.0;
       run_fixed(0, n, 0);
+      if (thread_stat != nullptr) thread_stat->add(obs::wall_seconds() - w0);
     } else {
       // Pair-balanced chunking (see the double path below for rationale).
       auto& bounds = ws->chunk_bounds();
@@ -314,11 +318,15 @@ void compute_nonbonded(const Box& box, const Topology& top,
       }
       bounds[T] = n;
       pool->for_each_thread([&](unsigned t) {
+        const double w0 =
+            thread_stat != nullptr ? obs::wall_seconds() : 0.0;
         if (bounds[t] < bounds[t + 1]) {
           run_fixed(bounds[t], bounds[t + 1], t);
         } else {
           ws->partial_fixed(t) = PairEnergyPartialFixed{};
         }
+        if (thread_stat != nullptr)
+          thread_stat->add(obs::wall_seconds() - w0);
       });
     }
     reduce_thread_forces_fixed(T > 1 ? pool : nullptr, ws, T, forces);
@@ -344,7 +352,9 @@ void compute_nonbonded(const Box& box, const Topology& top,
   };
 
   if (pool == nullptr || pool->size() <= 1 || n < kSerialThreshold) {
+    const double w0 = thread_stat != nullptr ? obs::wall_seconds() : 0.0;
     const PairEnergyPartial e = run(0, n, forces);
+    if (thread_stat != nullptr) thread_stat->add(obs::wall_seconds() - w0);
     energy.lj += e.lj;
     energy.coulomb_real += e.coul;
     energy.virial += e.virial;
@@ -371,9 +381,11 @@ void compute_nonbonded(const Box& box, const Topology& top,
   bounds[T] = n;
 
   pool->for_each_thread([&](unsigned t) {
+    const double w0 = thread_stat != nullptr ? obs::wall_seconds() : 0.0;
     ws->partial(t) = bounds[t] < bounds[t + 1]
                          ? run(bounds[t], bounds[t + 1], ws->thread_force(t))
                          : PairEnergyPartial{};
+    if (thread_stat != nullptr) thread_stat->add(obs::wall_seconds() - w0);
   });
 
   reduce_thread_forces(pool, ws, T, forces);

@@ -13,6 +13,7 @@
 #include "md/neighborlist.h"
 #include "md/params.h"
 #include "md/workspace.h"
+#include "obs/metrics.h"
 
 namespace anton::md {
 
@@ -40,6 +41,9 @@ namespace anton::md {
 // With deterministic, every per-pair contribution is quantized to 32.32
 // fixed point before accumulation (MdParams::deterministic_forces): the
 // result is bitwise identical across ALL thread counts, serial included.
+// With thread_stat, each worker records the wall-clock seconds of its own
+// chunk of the threaded pair loop — the spread of that stat is the load
+// imbalance across threads.
 void compute_nonbonded(const Box& box, const Topology& top,
                        const NeighborList& nlist, std::span<const Vec3> pos,
                        double alpha, std::span<Vec3> forces,
@@ -47,7 +51,8 @@ void compute_nonbonded(const Box& box, const Topology& top,
                        bool shift_at_cutoff = false,
                        ForceWorkspace* ws = nullptr,
                        bool tabulate_erfc = false,
-                       bool deterministic = false);
+                       bool deterministic = false,
+                       obs::Stat* thread_stat = nullptr);
 
 // Ewald self-energy: -C * alpha/sqrt(pi) * sum q_i^2.  Pure energy term.
 double ewald_self_energy(const Topology& top, double alpha);

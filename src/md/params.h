@@ -81,6 +81,14 @@ struct MdParams {
   double compressibility_per_bar = 4.5e-5;  // liquid water
 
   uint64_t seed = 1234;
+
+  // --- telemetry (all off by default; zero cost when off) ---
+  // telemetry alone enables the in-memory per-phase profiler (readable via
+  // Simulation::metrics()); the paths additionally stream a Chrome trace
+  // and write a metrics JSON snapshot when the simulation is destroyed.
+  bool telemetry = false;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 struct EnergyReport {

@@ -109,6 +109,7 @@ sim::SimTime Torus::traverse(std::span<const LinkId> links,
                               << l.node << "," << l.dir << ")");
     link_free_[idx] = start + ser_ns;
     link_busy_total_[idx] += ser_ns;
+    observe_link(l, start, ser_ns);
     head = start + config_.hop_latency_ns;
     last_ser_ns = ser_ns;
   }
@@ -136,6 +137,7 @@ void Torus::unicast(int src, int dst, double bytes,
   stats_.total_bytes += wire_bytes * std::max(1, hops);
   stats_.latency_ns.add(deliver - queue_->now());
   stats_.hops.add(hops);
+  observe_delivery(src, dst, wire_bytes, hops, deliver);
   ++injected_;
   queue_->schedule_at(deliver, [this, cb = std::move(on_delivery)] {
     ++delivered_;
@@ -178,6 +180,7 @@ void Torus::multicast(int src, std::span<const int> dsts, double bytes,
           const sim::SimTime start = std::max(head, link_free_[idx]);
           link_free_[idx] = start + link_ser;
           link_busy_total_[idx] += link_ser;
+          observe_link(l, start, link_ser);
           head_at_link.emplace(key, start);
           head = start + config_.hop_latency_ns;
         }
@@ -189,6 +192,7 @@ void Torus::multicast(int src, std::span<const int> dsts, double bytes,
     stats_.messages++;
     stats_.latency_ns.add(deliver - queue_->now());
     stats_.hops.add(hops);
+    observe_delivery(src, dst, wire_bytes, hops, deliver);
     ++injected_;
     queue_->schedule_at(deliver, [this, on_delivery, dst] {
       ++delivered_;
@@ -197,6 +201,72 @@ void Torus::multicast(int src, std::span<const int> dsts, double bytes,
   }
   // Actual tree traffic: one payload per tree link.
   stats_.total_bytes += wire_bytes * static_cast<double>(head_at_link.size());
+}
+
+void Torus::set_telemetry(obs::MetricsRegistry* registry,
+                          const std::string& prefix,
+                          obs::TraceWriter* trace) {
+  trace_ = trace;
+  if (registry == nullptr) {
+    tel_messages_ = nullptr;
+    tel_latency_ = nullptr;
+    tel_hops_ = nullptr;
+    return;
+  }
+  // Hop histogram spans the torus diameter; latency gets a generous fixed
+  // range (overflow clamps into the top bin, which the snapshot makes
+  // visible as a saturated p99).
+  const int diameter =
+      config_.nx / 2 + config_.ny / 2 + config_.nz / 2;
+  tel_messages_ = registry->counter(prefix + ".messages");
+  tel_latency_ = registry->histogram(prefix + ".latency_ns", 0.0, 50000.0, 100);
+  tel_hops_ = registry->histogram(prefix + ".hops", 0.0,
+                                  double(std::max(1, diameter + 1)),
+                                  std::max(1, diameter + 1));
+}
+
+void Torus::observe_delivery(int src, int dst, double bytes, int hops,
+                             sim::SimTime deliver) {
+  if (tel_messages_ != nullptr) tel_messages_->add();
+  if (tel_latency_ != nullptr) tel_latency_->add(deliver - queue_->now());
+  if (tel_hops_ != nullptr) tel_hops_->add(double(hops));
+  if (trace_ != nullptr) {
+    trace_->complete("packet", "noc", queue_->now() * 1e-3,
+                     (deliver - queue_->now()) * 1e-3, obs::kPidNoc,
+                     src,
+                     {{"dst", double(dst)},
+                      {"bytes", bytes},
+                      {"hops", double(hops)}});
+  }
+}
+
+void Torus::observe_link(const LinkId& l, sim::SimTime start, double ser_ns) {
+  if (trace_ != nullptr) {
+    trace_->complete("ser", "noc.link", start * 1e-3, ser_ns * 1e-3,
+                     obs::kPidNoc, num_nodes() + link_index(l),
+                     {{"node", double(l.node)}, {"dir", double(l.dir)}});
+  }
+}
+
+void Torus::export_link_occupancy(obs::MetricsRegistry* registry,
+                                  const std::string& prefix,
+                                  double elapsed_ns) const {
+  ANTON_CHECK(registry != nullptr);
+  ANTON_CHECK_MSG(elapsed_ns > 0, "elapsed window must be positive");
+  obs::Histo* occ =
+      registry->histogram(prefix + ".link.occupancy", 0.0, 1.0, 50);
+  double max_frac = 0, sum_frac = 0;
+  for (double b : link_busy_total_) {
+    const double frac = std::min(1.0, b / elapsed_ns);
+    occ->add(frac);
+    max_frac = std::max(max_frac, frac);
+    sum_frac += frac;
+  }
+  registry->gauge(prefix + ".link.occupancy.max")->set(max_frac);
+  registry->gauge(prefix + ".link.occupancy.mean")
+      ->set(link_busy_total_.empty()
+                ? 0.0
+                : sum_frac / double(link_busy_total_.size()));
 }
 
 void Torus::check_quiescent() const {

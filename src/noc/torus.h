@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace anton::noc {
@@ -112,6 +114,24 @@ class Torus {
   const NocStats& stats();
   void reset_stats();
 
+  // Attaches telemetry sinks.  Metrics registered under "<prefix>.":
+  //   <prefix>.messages        counter, per delivery
+  //   <prefix>.latency_ns      histogram of per-delivery latency
+  //   <prefix>.hops            histogram of per-delivery hop count
+  // When `trace` is non-null, every link reservation becomes a "ser" span on
+  // (obs::kPidNoc, tid = link index) — the per-link serialization occupancy
+  // timeline — and every packet a "packet" span on tid = source node with
+  // dst/bytes/hops args.  Pass (nullptr, "", nullptr) to detach.
+  void set_telemetry(obs::MetricsRegistry* registry, const std::string& prefix,
+                     obs::TraceWriter* trace = nullptr);
+
+  // Snapshot of per-link occupancy over an elapsed window: fills
+  // "<prefix>.link.occupancy" (histogram of busy_ns / elapsed_ns across all
+  // directed links) plus max/mean gauges.  elapsed_ns must be positive.
+  void export_link_occupancy(obs::MetricsRegistry* registry,
+                             const std::string& prefix,
+                             double elapsed_ns) const;
+
   // Failure injection after construction: multiplies the directed link's
   // serialization time by `factor` (>= 1).
   void derate_link(int node, int dir, double factor);
@@ -150,6 +170,16 @@ class Torus {
   uint64_t injected_ = 0;                 // packets handed to unicast/multicast
   uint64_t delivered_ = 0;                // on_delivery callbacks fired
   NocStats stats_;
+
+  // Telemetry sinks (all null when detached).
+  obs::Counter* tel_messages_ = nullptr;
+  obs::Histo* tel_latency_ = nullptr;
+  obs::Histo* tel_hops_ = nullptr;
+  obs::TraceWriter* trace_ = nullptr;
+
+  void observe_delivery(int src, int dst, double bytes, int hops,
+                        sim::SimTime deliver);
+  void observe_link(const LinkId& l, sim::SimTime start, double ser_ns);
 };
 
 }  // namespace anton::noc

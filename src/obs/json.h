@@ -1,0 +1,48 @@
+// Minimal JSON emission helpers shared by the metrics snapshot writer and
+// the Chrome-trace writer.  Emission only — the project has no JSON parser
+// dependency; validation of emitted files lives in tools/validate_trace.py.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace anton::obs {
+
+// Escapes a string for use inside a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Formats a double as a valid JSON number.  JSON has no NaN/Inf tokens, so
+// non-finite values map to null (callers that must distinguish should clamp
+// beforehand).  %.17g round-trips every double exactly.
+inline std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace anton::obs

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace anton::obs {
+
+std::unique_ptr<TraceWriter> TraceWriter::open(const std::string& path) {
+  if (path.empty()) return nullptr;
+  return std::make_unique<TraceWriter>(path);
+}
+
+TraceWriter::TraceWriter(const std::string& path) : path_(path) {
+  out_.open(path);
+  ANTON_CHECK_MSG(out_.good(), "cannot open trace output '" << path << "'");
+  out_ << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"generator\":"
+          "\"anton2sim\"},\"traceEvents\":[";
+}
+
+TraceWriter::~TraceWriter() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!closed_) {
+    out_ << "\n]}\n";
+    out_.close();
+    closed_ = true;
+  }
+}
+
+void TraceWriter::begin_event(char ph, double ts_us) {
+  out_ << (events_ == 0 ? "\n" : ",\n");
+  ++events_;
+  // Metadata events carry no meaningful timestamp; leave them at 0 so the
+  // offset never pushes track names off the timeline.
+  if (ph != 'M') ts_us += ts_offset_us_;
+  out_ << "{\"ph\":\"" << ph << "\",\"ts\":" << json_double(ts_us);
+}
+
+void TraceWriter::set_ts_offset_us(double off_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ts_offset_us_ = off_us;
+}
+
+double TraceWriter::ts_offset_us() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ts_offset_us_;
+}
+
+void TraceWriter::complete(const char* name, const char* cat, double ts_us,
+                           double dur_us, int pid, int tid,
+                           std::initializer_list<Arg> args) {
+  if (dur_us < 0) dur_us = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  begin_event('X', ts_us);
+  out_ << ",\"dur\":" << json_double(dur_us) << ",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"name\":\"" << json_escape(name)
+       << "\",\"cat\":\"" << json_escape(cat) << '"';
+  if (args.size() > 0) {
+    out_ << ",\"args\":{";
+    bool first = true;
+    for (const Arg& a : args) {
+      if (!first) out_ << ',';
+      first = false;
+      out_ << '"' << json_escape(a.key) << "\":" << json_double(a.value);
+    }
+    out_ << '}';
+  }
+  out_ << '}';
+}
+
+void TraceWriter::counter(const char* name, double ts_us, int pid,
+                          const char* series, double value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  begin_event('C', ts_us);
+  out_ << ",\"pid\":" << pid << ",\"name\":\"" << json_escape(name)
+       << "\",\"args\":{\"" << json_escape(series)
+       << "\":" << json_double(value) << "}}";
+}
+
+void TraceWriter::instant(const char* name, const char* cat, double ts_us,
+                          int pid, int tid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  begin_event('i', ts_us);
+  out_ << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"s\":\"t\",\"name\":\""
+       << json_escape(name) << "\",\"cat\":\"" << json_escape(cat) << "\"}";
+}
+
+void TraceWriter::process_name(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  begin_event('M', 0.0);
+  out_ << ",\"pid\":" << pid << ",\"name\":\"process_name\",\"args\":{"
+       << "\"name\":\"" << json_escape(name) << "\"}}";
+}
+
+void TraceWriter::thread_name(int pid, int tid, const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  begin_event('M', 0.0);
+  out_ << ",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+}
+
+void TraceWriter::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  out_.flush();
+}
+
+}  // namespace anton::obs

@@ -13,10 +13,24 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace anton::sim {
 
 using SimTime = double;  // nanoseconds
+
+// Optional telemetry sinks for an EventQueue.  All pointers may be null
+// individually; the queue holds no sinks by default and pays only a null
+// check per event when untelemetered.
+struct QueueTelemetry {
+  obs::Counter* executed = nullptr;    // events executed
+  obs::Histo* depth = nullptr;         // heap size sampled at each step()
+  obs::Histo* horizon_ns = nullptr;    // schedule distance t - now per event
+  obs::TraceWriter* trace = nullptr;   // "queue.pending" counter track
+  int trace_pid = obs::kPidQueue;
+  uint32_t trace_stride = 16;          // sample every Nth step to bound size
+};
 
 class EventQueue {
  public:
@@ -24,6 +38,8 @@ class EventQueue {
   void schedule_at(SimTime t, std::function<void()> fn) {
     ANTON_CHECK_MSG(t >= now_ - 1e-9, "event scheduled in the past: t="
                                           << t << " now=" << now_);
+    if (telemetry_.horizon_ns != nullptr)
+      telemetry_.horizon_ns->add(std::max(0.0, t - now_));
     heap_.push(Event{t, seq_++, std::move(fn)});
   }
 
@@ -57,8 +73,14 @@ class EventQueue {
                               << ev.time << " now=" << now_);
     now_ = std::max(now_, ev.time);
     ++executed_;
+    observe_step();
     ev.fn();
   }
+
+  // Installs (or clears, with {}) telemetry sinks.  Sinks must outlive the
+  // queue or be cleared before they are destroyed.
+  void set_telemetry(const QueueTelemetry& t) { telemetry_ = t; }
+  const QueueTelemetry& telemetry() const { return telemetry_; }
 
   // Resets the clock for a fresh simulation run.
   void reset() {
@@ -69,6 +91,18 @@ class EventQueue {
   }
 
  private:
+  void observe_step() {
+    if (telemetry_.executed != nullptr) telemetry_.executed->add();
+    if (telemetry_.depth != nullptr)
+      telemetry_.depth->add(double(heap_.size()));
+    if (telemetry_.trace != nullptr &&
+        executed_ % std::max<uint32_t>(1, telemetry_.trace_stride) == 0) {
+      telemetry_.trace->counter("queue.pending", now_ * 1e-3,
+                                telemetry_.trace_pid, "events",
+                                double(heap_.size()));
+    }
+  }
+
   struct Event {
     SimTime time;
     uint64_t seq;
@@ -83,6 +117,7 @@ class EventQueue {
   SimTime now_ = 0;
   uint64_t seq_ = 0;
   uint64_t executed_ = 0;
+  QueueTelemetry telemetry_;
 };
 
 }  // namespace anton::sim

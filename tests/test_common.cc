@@ -257,6 +257,89 @@ TEST(Histogram, BinningAndQuantile) {
   EXPECT_EQ(h.count(9), 11u);
 }
 
+TEST(Histogram, QuantileExactBinBoundary) {
+  // 4 samples in bin 0 and 4 in bin 1: the median target (q*total = 4) is
+  // satisfied exactly at the end of bin 0, so the result must be the shared
+  // bin edge — computed from bin 0's top, never by sliding into bin 1.
+  Histogram h(0.0, 1000.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(10.0);
+  for (int i = 0; i < 4; ++i) h.add(110.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);
+}
+
+TEST(Histogram, QuantileFinalPopulatedBinNotHi) {
+  // Regression: when the last populated bin holds the target mass and the
+  // floating-point comparison misses by an ulp, the old implementation fell
+  // through and returned hi_ — far beyond any data.  The quantile of a
+  // distribution confined to bin 5 of [0, 10) must never exceed that bin's
+  // top edge (6.0), for ANY q, including awkward fractions like 1/3 whose
+  // product with the count is inexact.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 7; ++i) h.add(5.5);
+  for (double q : {1.0 / 3.0, 0.7, 0.999999999, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, 5.0) << "q=" << q;
+    EXPECT_LE(v, 6.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+}
+
+TEST(Histogram, OutOfRangeAndNonFiniteClamp) {
+  Histogram h(0.0, 10.0, 4);
+  h.add(-1e308);
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e308);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::quiet_NaN());  // falls into the first bin
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(3), 2u);
+  for (double q : {0.0, 0.5, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(RunningStat, MergeMatchesSinglePassAnySplit) {
+  // Property: merging any random partition of a stream must reproduce the
+  // single-pass statistics to near machine precision.
+  Rng rng(2014, 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int parts = 1 + static_cast<int>(rng.uniform(0.0, 7.0));
+    std::vector<RunningStat> split(static_cast<size_t>(parts));
+    RunningStat whole;
+    for (int i = 0; i < 500; ++i) {
+      const double v = rng.gaussian() * 10 + rng.uniform(-3.0, 3.0);
+      whole.add(v);
+      split[static_cast<size_t>(rng.uniform(0.0, parts)) % split.size()]
+          .add(v);
+    }
+    RunningStat merged;
+    for (const auto& s : split) merged.merge(s);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9 * whole.variance());
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * std::abs(whole.sum()) + 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  }
+}
+
+TEST(Config, GnuStyleFlags) {
+  // The example binaries accept --key value / --key=value / bare --flag in
+  // addition to key=value, so telemetry runs read naturally:
+  //   quickstart atoms=4000 --trace out.json --metrics m.json
+  const Config c = Config::from_tokens(
+      {"--trace", "out.json", "--metrics=m.json", "--verbose", "atoms=5"});
+  EXPECT_EQ(c.get_string("trace", ""), "out.json");
+  EXPECT_EQ(c.get_string("metrics", ""), "m.json");
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_EQ(c.get_int("atoms", 0), 5);
+}
+
 TEST(Config, ParsesTypedValues) {
   const Config c = Config::from_tokens(
       {"nodes=512", "cutoff=9.5", "event_driven=true", "name=dhfr"});

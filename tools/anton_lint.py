@@ -30,6 +30,12 @@ Rules
                    (stream globals add static-init order hazards and drag
                    ~100KB into every binary; use ostringstream via error.h
                    or return data).
+  raw-clock        No std::chrono::steady_clock::now() (or
+                   high_resolution_clock) outside src/obs/.  All wall-clock
+                   reads go through obs::wall_seconds() so the telemetry
+                   layer owns the single timing source: phase attribution,
+                   the disabled-path zero-cost guarantee, and deterministic
+                   replay all assume no code times itself on the side.
 
 Suppressions
 ------------
@@ -45,7 +51,8 @@ import os
 import re
 import sys
 
-RULES = ("hot-alloc", "unordered-iter", "fixed-literal", "iostream-lib")
+RULES = ("hot-alloc", "unordered-iter", "fixed-literal", "iostream-lib",
+         "raw-clock")
 
 SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
 
@@ -78,6 +85,13 @@ FIXED_TOKEN = re.compile(r"\b(?:Fixed\s*<|FixedVec3\s*<|ForceFixed)\b")
 FIXED_CONVERSIONS = re.compile(
     r"\b(?:from_double|to_double|resolution|max_magnitude|accumulate)\s*\("
 )
+
+RAW_CLOCK = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*"
+    r"(?:steady_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
+# The telemetry layer is the one sanctioned home of the wall clock.
+RAW_CLOCK_ALLOWED_DIRS = ("src/obs/",)
 
 ALLOW_RE = re.compile(r"//\s*anton-lint:\s*allow\(([^)]*)\)")
 SKIP_FILE_RE = re.compile(r"//\s*anton-lint:\s*skip-file")
@@ -266,6 +280,24 @@ def check_iostream(path, raw_lines, code_lines, violations, lib_roots):
                 "hazards; use <sstream>/<ostream> (error.h) or return data"))
 
 
+def check_raw_clock(path, raw_lines, code_lines, violations):
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    if any("/" + d in norm or norm.startswith(d)
+           for d in RAW_CLOCK_ALLOWED_DIRS):
+        return
+    for i, code in enumerate(code_lines):
+        m = RAW_CLOCK.search(code)
+        if not m:
+            continue
+        if "raw-clock" in allowed_rules(raw_lines, i):
+            continue
+        violations.append(Violation(
+            path, i + 1, "raw-clock",
+            f"raw clock read `{m.group(0).strip()}` outside src/obs/: use "
+            "obs::wall_seconds() (obs/profiler.h) so timing flows through "
+            "the telemetry layer"))
+
+
 def lint_file(path, rules, lib_roots):
     try:
         with open(path, "r", encoding="utf-8", errors="replace") as f:
@@ -285,6 +317,8 @@ def lint_file(path, rules, lib_roots):
         check_fixed_literal(path, raw_lines, code_lines, violations)
     if "iostream-lib" in rules:
         check_iostream(path, raw_lines, code_lines, violations, lib_roots)
+    if "raw-clock" in rules:
+        check_raw_clock(path, raw_lines, code_lines, violations)
     return violations
 
 

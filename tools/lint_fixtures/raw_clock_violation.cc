@@ -1,0 +1,9 @@
+// Fixture: raw steady_clock read outside src/obs/.
+#include <chrono>
+
+double elapsed_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // violation: raw clock
+  const auto t1 =
+      std::chrono::high_resolution_clock::now();  // violation: raw clock
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""validate_trace: sanity-check a Chrome trace-event JSON file.
+
+Used by scripts/check.sh (and by hand) to confirm that the telemetry
+layer's TraceWriter emitted something Perfetto / chrome://tracing will
+actually load:
+
+  * the file parses as JSON (object form with a "traceEvents" array);
+  * the array is non-empty;
+  * every "X" (complete) event has numeric ts and dur >= 0;
+  * every "B" (begin) event has a matching "E" (end) on the same
+    (pid, tid), properly nested;
+  * counter ("C") and metadata ("M") events carry their required fields.
+
+Exit status: 0 if valid, 1 if not, 2 on usage error.  Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{path}: cannot parse: {e}")
+
+    if isinstance(doc, list):
+        events = doc  # array form is legal in the spec
+    elif isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return fail(f"{path}: no 'traceEvents' array")
+    else:
+        return fail(f"{path}: top level is neither object nor array")
+
+    if not events:
+        return fail(f"{path}: traceEvents is empty")
+
+    open_stacks = {}  # (pid, tid) -> count of unmatched B events
+    counts = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"{path}: event {i} is not an object")
+        ph = ev.get("ph")
+        if not isinstance(ph, str):
+            return fail(f"{path}: event {i} has no 'ph'")
+        counts[ph] = counts.get(ph, 0) + 1
+        key = (ev.get("pid"), ev.get("tid"))
+        if ph == "X":
+            if not isinstance(ev.get("ts"), (int, float)):
+                return fail(f"{path}: X event {i} has non-numeric ts")
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"{path}: X event {i} has bad dur {dur!r}")
+        elif ph == "B":
+            open_stacks[key] = open_stacks.get(key, 0) + 1
+        elif ph == "E":
+            if open_stacks.get(key, 0) <= 0:
+                return fail(f"{path}: E event {i} on {key} without open B")
+            open_stacks[key] -= 1
+        elif ph == "C":
+            if not isinstance(ev.get("args"), dict) or not ev["args"]:
+                return fail(f"{path}: C event {i} has no args series")
+        elif ph == "M":
+            if "name" not in ev:
+                return fail(f"{path}: M event {i} has no name")
+
+    unclosed = {k: v for k, v in open_stacks.items() if v != 0}
+    if unclosed:
+        return fail(f"{path}: unmatched B events on tracks {unclosed}")
+    if counts.get("X", 0) == 0 and counts.get("B", 0) == 0:
+        return fail(f"{path}: no span events (X or B/E) at all")
+
+    summary = ", ".join(f"{ph}:{n}" for ph, n in sorted(counts.items()))
+    print(f"validate_trace: OK: {path}: {len(events)} events ({summary})")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_trace.py TRACE.json [TRACE.json...]",
+              file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc = max(rc, validate(path))
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
