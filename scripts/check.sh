@@ -49,6 +49,21 @@ assert doc.get('metrics'), 'metrics snapshot is empty'
 print(f\"metrics snapshot OK: {len(doc['metrics'])} metrics\")
 "
 
+step "threaded parity (serial vs threaded kernels, bitwise where promised)"
+ctest --test-dir build --output-on-failure -j"$JOBS" \
+  -R 'test_md_threaded|test_determinism|test_fft'
+
+step "bench smoke (BENCH_f6.json + BENCH_f7.json)"
+cmake --build build --target bench-smoke -j"$JOBS"
+python3 -c "
+import json
+doc = json.load(open('build/BENCH_f7.json'))
+assert doc.get('schema') == 'anton.metrics.v1', doc.get('schema')
+speedup = doc['metrics']['f7.longrange.speedup_t4']['value']
+print(f'long-range combined speedup at 4 threads: {speedup:.2f}x')
+assert speedup >= 2.0, f'long-range speedup regressed: {speedup:.2f}x < 2x'
+"
+
 for san in $SANITIZERS; do
   step "sanitizer pass: $san (build-$san/)"
   cmake -B "build-$san" -S . -DANTON_SANITIZE="$san" >/dev/null

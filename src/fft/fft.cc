@@ -1,6 +1,9 @@
 #include "fft/fft.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "obs/profiler.h"
 
 namespace anton {
 
@@ -20,9 +23,14 @@ FftPlan::FftPlan(int n) : n_(n) {
   while ((1 << log2n_) < n) ++log2n_;
 
   twiddles_.resize(static_cast<size_t>(n / 2));
+  twiddles_inv_.resize(static_cast<size_t>(n / 2));
   for (int k = 0; k < n / 2; ++k) {
     const double theta = -2.0 * M_PI * k / n;
     twiddles_[static_cast<size_t>(k)] = {std::cos(theta), std::sin(theta)};
+    // conj is exact, so the inverse transform stays bitwise identical to the
+    // old per-butterfly `conj(w)` while removing the branch from the loop.
+    twiddles_inv_[static_cast<size_t>(k)] =
+        std::conj(twiddles_[static_cast<size_t>(k)]);
   }
 
   bitrev_.resize(static_cast<size_t>(n));
@@ -35,8 +43,10 @@ FftPlan::FftPlan(int n) : n_(n) {
   }
 }
 
+// ANTON_HOT_NOALLOC
 void FftPlan::transform(std::span<Complex> data, bool inverse) const {
-  ANTON_CHECK(static_cast<int>(data.size()) == n_);
+  ANTON_DCHECK(static_cast<int>(data.size()) == n_);
+  const Complex* tw = inverse ? twiddles_inv_.data() : twiddles_.data();
   // Bit-reversal permutation.
   for (int i = 0; i < n_; ++i) {
     const auto j = static_cast<int>(bitrev_[static_cast<size_t>(i)]);
@@ -49,8 +59,7 @@ void FftPlan::transform(std::span<Complex> data, bool inverse) const {
     const int tw_step = n_ / len;
     for (int start = 0; start < n_; start += len) {
       for (int k = 0; k < half; ++k) {
-        Complex w = twiddles_[static_cast<size_t>(k * tw_step)];
-        if (inverse) w = std::conj(w);
+        const Complex w = tw[static_cast<size_t>(k * tw_step)];
         const size_t a = static_cast<size_t>(start + k);
         const size_t b = a + static_cast<size_t>(half);
         const Complex t = data[b] * w;
@@ -65,44 +74,229 @@ void FftPlan::transform(std::span<Complex> data, bool inverse) const {
   }
 }
 
-Fft3D::Fft3D(int nx, int ny, int nz)
-    : nx_(nx), ny_(ny), nz_(nz), px_(nx), py_(ny), pz_(nz) {}
+Fft3D::Fft3D(int nx, int ny, int nz, ThreadPool* pool)
+    : nx_(nx), ny_(ny), nz_(nz), pool_(pool), px_(nx), py_(ny), pz_(nz) {
+  const unsigned nthreads = pool_ != nullptr ? pool_->size() : 1;
+  scratch_.resize(nthreads);
+  const size_t tile_line = static_cast<size_t>(std::max(ny_, nz_));
+  for (Scratch& s : scratch_) {
+    s.line.assign(static_cast<size_t>(nx_), Complex{});
+    s.tile.assign(static_cast<size_t>(kTile) * tile_line, Complex{});
+  }
+}
 
-void Fft3D::transform(std::span<Complex> data, bool inverse) const {
+template <class F>
+void Fft3D::run_items(size_t n_items, F&& fn) {
+  const size_t threads = pool_ != nullptr ? pool_->size() : 1;
+  if (threads <= 1 || n_items <= 1) {
+    for (size_t i = 0; i < n_items; ++i) fn(i, 0u);
+    return;
+  }
+  const size_t chunk = (n_items + threads - 1) / threads;
+  pool_->for_each_thread([&fn, n_items, chunk](unsigned t) {
+    const size_t begin = std::min(n_items, static_cast<size_t>(t) * chunk);
+    const size_t end = std::min(n_items, begin + chunk);
+    for (size_t i = begin; i < end; ++i) fn(i, t);
+  });
+}
+
+// ANTON_HOT_NOALLOC
+void Fft3D::pass_x(std::span<Complex> data, bool inverse) {
+  const size_t lines = static_cast<size_t>(nz_) * ny_;
+  run_items(lines, [&](size_t l, unsigned) {
+    px_.transform(
+        data.subspan(l * static_cast<size_t>(nx_), static_cast<size_t>(nx_)),
+        inverse);
+  });
+}
+
+// ANTON_HOT_NOALLOC
+void Fft3D::pass_lines(std::span<Complex> data, bool inverse, int axis,
+                       int row_len) {
+  const int n = axis == 1 ? ny_ : nz_;
+  if (n == 1) return;
+  const FftPlan& plan = axis == 1 ? py_ : pz_;
+  const size_t stride = axis == 1
+                            ? static_cast<size_t>(row_len)
+                            : static_cast<size_t>(row_len) * ny_;
+  const int outer = axis == 1 ? nz_ : ny_;
+  const int nblocks = (row_len + kTile - 1) / kTile;
+  run_items(static_cast<size_t>(outer) * nblocks, [&](size_t item,
+                                                      unsigned thr) {
+    const int o = static_cast<int>(item / static_cast<size_t>(nblocks));
+    const int blk = static_cast<int>(item % static_cast<size_t>(nblocks));
+    const int x0 = blk * kTile;
+    const int tw = std::min(kTile, row_len - x0);
+    // First element of line j==0 for this (outer, block):
+    //   Y pass: index(x0, 0, z) with row length row_len;
+    //   Z pass: index(x0, y, 0).
+    const size_t base =
+        axis == 1
+            ? static_cast<size_t>(o) * ny_ * static_cast<size_t>(row_len) + x0
+            : static_cast<size_t>(o) * static_cast<size_t>(row_len) + x0;
+    Complex* tile = scratch_[thr].tile.data();
+    // Gather: tile holds tw lines of length n, line c at tile[c*n ..].
+    // The inner loop over c reads `tw` contiguous elements per row, turning
+    // the strided walk into sequential cache-line traffic.
+    for (int j = 0; j < n; ++j) {
+      const Complex* src = &data[base + static_cast<size_t>(j) * stride];
+      for (int c = 0; c < tw; ++c) {
+        tile[static_cast<size_t>(c) * n + j] = src[c];
+      }
+    }
+    for (int c = 0; c < tw; ++c) {
+      plan.transform({tile + static_cast<size_t>(c) * n,
+                      static_cast<size_t>(n)},
+                     inverse);
+    }
+    for (int j = 0; j < n; ++j) {
+      Complex* dst = &data[base + static_cast<size_t>(j) * stride];
+      for (int c = 0; c < tw; ++c) {
+        dst[c] = tile[static_cast<size_t>(c) * n + j];
+      }
+    }
+  });
+}
+
+// ANTON_HOT_NOALLOC
+void Fft3D::transform(std::span<Complex> data, bool inverse) {
   ANTON_CHECK(data.size() == num_points());
+  double t0 = stat_x_ != nullptr ? obs::wall_seconds() : 0.0;
+  pass_x(data, inverse);
+  if (stat_x_ != nullptr) {
+    const double t1 = obs::wall_seconds();
+    stat_x_->add(t1 - t0);
+    t0 = t1;
+  }
+  pass_lines(data, inverse, 1, nx_);
+  if (stat_y_ != nullptr) {
+    const double t1 = obs::wall_seconds();
+    stat_y_->add(t1 - t0);
+    t0 = t1;
+  }
+  pass_lines(data, inverse, 2, nx_);
+  if (stat_z_ != nullptr) stat_z_->add(obs::wall_seconds() - t0);
+}
 
-  // X lines are contiguous.
-  for (int z = 0; z < nz_; ++z) {
-    for (int y = 0; y < ny_; ++y) {
-      px_.transform(data.subspan(index(0, y, z), static_cast<size_t>(nx_)),
-                    inverse);
+// ANTON_HOT_NOALLOC
+void Fft3D::pass_x_forward_real(std::span<const double> in,
+                                std::span<Complex> out) {
+  const size_t lines = static_cast<size_t>(nz_) * ny_;
+  const int hnx = half_nx();
+  // Two real lines packed as the real/imaginary parts of one complex line;
+  // the odd leftover (only possible when ny*nz is odd) runs standalone.
+  run_items((lines + 1) / 2, [&](size_t p, unsigned thr) {
+    Complex* buf = scratch_[thr].line.data();
+    const size_t l0 = 2 * p;
+    const double* a = &in[l0 * static_cast<size_t>(nx_)];
+    Complex* oa = &out[l0 * static_cast<size_t>(hnx)];
+    if (l0 + 1 < lines) {
+      const double* b = a + nx_;
+      for (int x = 0; x < nx_; ++x) {
+        buf[x] = Complex{a[x], b[x]};
+      }
+      px_.transform({buf, static_cast<size_t>(nx_)}, false);
+      // Untangle S = A + iB via Hermitian symmetry of the real inputs:
+      //   A[k] = (S[k] + conj(S[n-k]))/2,  B[k] = (S[k] - conj(S[n-k]))/2i.
+      Complex* ob = oa + hnx;
+      oa[0] = Complex{buf[0].real(), 0.0};
+      ob[0] = Complex{buf[0].imag(), 0.0};
+      for (int k = 1; k < hnx; ++k) {
+        const Complex s = buf[k];
+        const Complex r = std::conj(buf[nx_ - k]);
+        oa[k] = 0.5 * (s + r);
+        const Complex d = s - r;  // 2i·B[k]
+        ob[k] = Complex{0.5 * d.imag(), -0.5 * d.real()};
+      }
+    } else {
+      for (int x = 0; x < nx_; ++x) {
+        buf[x] = Complex{a[x], 0.0};
+      }
+      px_.transform({buf, static_cast<size_t>(nx_)}, false);
+      for (int k = 0; k < hnx; ++k) oa[k] = buf[k];
     }
-  }
-  // Y lines: gather/scatter with stride nx.
-  std::vector<Complex> line(static_cast<size_t>(std::max(ny_, nz_)));
-  for (int z = 0; z < nz_; ++z) {
-    for (int x = 0; x < nx_; ++x) {
-      for (int y = 0; y < ny_; ++y) {
-        line[static_cast<size_t>(y)] = data[index(x, y, z)];
+  });
+}
+
+// ANTON_HOT_NOALLOC
+void Fft3D::pass_x_inverse_real(std::span<Complex> spec,
+                                std::span<double> out) {
+  const size_t lines = static_cast<size_t>(nz_) * ny_;
+  const int hnx = half_nx();
+  run_items((lines + 1) / 2, [&](size_t p, unsigned thr) {
+    Complex* buf = scratch_[thr].line.data();
+    const size_t l0 = 2 * p;
+    const Complex* sa = &spec[l0 * static_cast<size_t>(hnx)];
+    double* oa = &out[l0 * static_cast<size_t>(nx_)];
+    if (l0 + 1 < lines) {
+      // Pack two Hermitian line spectra as P = Sa + i·Sb; the inverse FFT of
+      // P carries line a in its real part and line b in its imaginary part.
+      const Complex* sb = sa + hnx;
+      for (int k = 0; k < hnx; ++k) {
+        const Complex a = sa[k];
+        const Complex b = sb[k];
+        buf[k] = Complex{a.real() - b.imag(), a.imag() + b.real()};
       }
-      py_.transform({line.data(), static_cast<size_t>(ny_)}, inverse);
-      for (int y = 0; y < ny_; ++y) {
-        data[index(x, y, z)] = line[static_cast<size_t>(y)];
+      for (int k = hnx; k < nx_; ++k) {
+        const Complex a = std::conj(sa[nx_ - k]);
+        const Complex b = std::conj(sb[nx_ - k]);
+        buf[k] = Complex{a.real() - b.imag(), a.imag() + b.real()};
       }
+      px_.transform({buf, static_cast<size_t>(nx_)}, true);
+      double* ob = oa + nx_;
+      for (int x = 0; x < nx_; ++x) {
+        oa[x] = buf[x].real();
+        ob[x] = buf[x].imag();
+      }
+    } else {
+      for (int k = 0; k < hnx; ++k) buf[k] = sa[k];
+      for (int k = hnx; k < nx_; ++k) buf[k] = std::conj(sa[nx_ - k]);
+      px_.transform({buf, static_cast<size_t>(nx_)}, true);
+      for (int x = 0; x < nx_; ++x) oa[x] = buf[x].real();
     }
+  });
+}
+
+// ANTON_HOT_NOALLOC
+void Fft3D::forward_real(std::span<const double> in, std::span<Complex> out) {
+  ANTON_CHECK(in.size() == num_points());
+  ANTON_CHECK(out.size() == half_points());
+  double t0 = stat_x_ != nullptr ? obs::wall_seconds() : 0.0;
+  pass_x_forward_real(in, out);
+  if (stat_x_ != nullptr) {
+    const double t1 = obs::wall_seconds();
+    stat_x_->add(t1 - t0);
+    t0 = t1;
   }
-  // Z lines: stride nx*ny.
-  for (int y = 0; y < ny_; ++y) {
-    for (int x = 0; x < nx_; ++x) {
-      for (int z = 0; z < nz_; ++z) {
-        line[static_cast<size_t>(z)] = data[index(x, y, z)];
-      }
-      pz_.transform({line.data(), static_cast<size_t>(nz_)}, inverse);
-      for (int z = 0; z < nz_; ++z) {
-        data[index(x, y, z)] = line[static_cast<size_t>(z)];
-      }
-    }
+  pass_lines(out, false, 1, half_nx());
+  if (stat_y_ != nullptr) {
+    const double t1 = obs::wall_seconds();
+    stat_y_->add(t1 - t0);
+    t0 = t1;
   }
+  pass_lines(out, false, 2, half_nx());
+  if (stat_z_ != nullptr) stat_z_->add(obs::wall_seconds() - t0);
+}
+
+// ANTON_HOT_NOALLOC
+void Fft3D::inverse_real(std::span<Complex> spec, std::span<double> out) {
+  ANTON_CHECK(spec.size() == half_points());
+  ANTON_CHECK(out.size() == num_points());
+  double t0 = stat_z_ != nullptr ? obs::wall_seconds() : 0.0;
+  pass_lines(spec, true, 2, half_nx());
+  if (stat_z_ != nullptr) {
+    const double t1 = obs::wall_seconds();
+    stat_z_->add(t1 - t0);
+    t0 = t1;
+  }
+  pass_lines(spec, true, 1, half_nx());
+  if (stat_y_ != nullptr) {
+    const double t1 = obs::wall_seconds();
+    stat_y_->add(t1 - t0);
+    t0 = t1;
+  }
+  pass_x_inverse_real(spec, out);
+  if (stat_x_ != nullptr) stat_x_->add(obs::wall_seconds() - t0);
 }
 
 std::vector<Complex> dft_reference(std::span<const Complex> in, bool inverse) {

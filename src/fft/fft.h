@@ -6,6 +6,24 @@
 // machine model's FFT phase, whose communication pattern (axis all-to-alls)
 // is derived from these dimensions.  Power-of-two, complex double,
 // iterative radix-2 with precomputed twiddles.
+//
+// The 3D transform is threaded over an optional ThreadPool and is
+// allocation-free after construction: every line/tile buffer lives in
+// per-thread scratch owned by the plan.  X lines (contiguous) run in place,
+// one line per work item; Y and Z lines (strided) go through a cache-blocked
+// tile transpose — a block of kTile lines is gathered with contiguous row
+// reads, transformed in scratch, and scattered back — replacing the
+// element-at-a-time strided gather/scatter of the original implementation.
+//
+// A real-to-complex path (`forward_real`/`inverse_real`) exploits Hermitian
+// symmetry of real input: X lines are transformed two-at-a-time packed into
+// one complex FFT, and only the non-redundant half-spectrum
+// (nx/2+1 × ny × nz, x fastest) is kept, halving the Y/Z pass work and the
+// k-space multiply of the caller.
+//
+// Determinism: every 1D line transform is a pure function of its input, and
+// lines are data-parallel, so results are bitwise identical for any thread
+// count (and to the serial transform).
 #pragma once
 
 #include <complex>
@@ -14,6 +32,8 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/threadpool.h"
+#include "obs/metrics.h"
 
 namespace anton {
 
@@ -31,21 +51,24 @@ class FftPlan {
   int size() const { return n_; }
 
   // In-place DIT transform; `inverse` applies the conjugate transform and
-  // scales by 1/n.
+  // scales by 1/n.  Both twiddle tables are precomputed, so the butterfly
+  // loop is branch-free.
   void transform(std::span<Complex> data, bool inverse) const;
 
  private:
   int n_;
   int log2n_;
-  std::vector<Complex> twiddles_;   // forward twiddles, n/2 entries
+  std::vector<Complex> twiddles_;      // forward twiddles, n/2 entries
+  std::vector<Complex> twiddles_inv_;  // conjugate table for the inverse
   std::vector<uint32_t> bitrev_;
 };
 
 // 3D FFT over a dense array indexed [z][y][x] (x fastest).  Each dimension
-// must be a power of two.
+// must be a power of two.  Pass a ThreadPool to parallelize over lines; the
+// transform is bitwise identical for any thread count.
 class Fft3D {
  public:
-  Fft3D(int nx, int ny, int nz);
+  explicit Fft3D(int nx, int ny, int nz, ThreadPool* pool = nullptr);
 
   int nx() const { return nx_; }
   int ny() const { return ny_; }
@@ -57,14 +80,69 @@ class Fft3D {
     return (static_cast<size_t>(z) * ny_ + y) * nx_ + x;
   }
 
-  void forward(std::span<Complex> data) const { transform(data, false); }
-  void inverse(std::span<Complex> data) const { transform(data, true); }
+  // Non-redundant half-spectrum geometry for the real-to-complex path: the
+  // stored x range is [0, nx/2] (Hermitian mirror supplies the rest), with
+  // y/z at full extent and x still fastest.
+  int half_nx() const { return nx_ / 2 + 1; }
+  size_t half_points() const {
+    return static_cast<size_t>(half_nx()) * ny_ * nz_;
+  }
+  size_t half_index(int hx, int y, int z) const {
+    return (static_cast<size_t>(z) * ny_ + y) * half_nx() + hx;
+  }
+
+  void forward(std::span<Complex> data) { transform(data, false); }
+  void inverse(std::span<Complex> data) { transform(data, true); }
+
+  // Real-to-complex forward transform: `in` is the full real grid
+  // (num_points()), `out` receives the half-spectrum (half_points()).
+  // X lines are transformed in pairs (two real lines packed as the real and
+  // imaginary parts of one complex line, untangled by Hermitian symmetry).
+  void forward_real(std::span<const double> in, std::span<Complex> out);
+
+  // Inverse of forward_real: consumes the half-spectrum (destroyed in the
+  // process) and writes the real grid.  Includes the 1/N scaling.
+  void inverse_real(std::span<Complex> spec, std::span<double> out);
+
+  // Optional per-pass timing (x/y/z wall seconds per transform); any may be
+  // null.  Stats are sampled per 3D transform, not per line.
+  void set_pass_stats(obs::Stat* x, obs::Stat* y, obs::Stat* z) {
+    stat_x_ = x;
+    stat_y_ = y;
+    stat_z_ = z;
+  }
 
  private:
-  void transform(std::span<Complex> data, bool inverse) const;
+  // Lines per tile in the Y/Z transpose passes: 16 columns × 16 B/Complex
+  // keeps a tile row inside two cache lines while amortizing the strided
+  // walk across the tile width.
+  static constexpr int kTile = 16;
+
+  struct Scratch {
+    std::vector<Complex> line;  // X-pass pack/untangle buffer (nx)
+    std::vector<Complex> tile;  // Y/Z tile: kTile lines of max(ny, nz)
+  };
+
+  void transform(std::span<Complex> data, bool inverse);
+  // Distributes items over the pool (serial fallback); fn(item, thread).
+  template <class F>
+  void run_items(size_t n_items, F&& fn);
+
+  void pass_x(std::span<Complex> data, bool inverse);
+  // Tiled strided pass along axis 1 (Y) or 2 (Z) over a grid whose row
+  // length is `row_len` (nx for the complex grid, half_nx for the r2c grid).
+  void pass_lines(std::span<Complex> data, bool inverse, int axis,
+                  int row_len);
+  void pass_x_forward_real(std::span<const double> in, std::span<Complex> out);
+  void pass_x_inverse_real(std::span<Complex> spec, std::span<double> out);
 
   int nx_, ny_, nz_;
+  ThreadPool* pool_;
   FftPlan px_, py_, pz_;
+  std::vector<Scratch> scratch_;  // one per pool thread
+  obs::Stat* stat_x_ = nullptr;
+  obs::Stat* stat_y_ = nullptr;
+  obs::Stat* stat_z_ = nullptr;
 };
 
 // Reference O(n²) DFT used by the test suite to validate the fast path.

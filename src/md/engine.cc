@@ -258,11 +258,11 @@ void Simulation::apply_barostat() {
   }
   system_.set_box(Box(mu * system_.box().lengths()));
 
-  // Box-dependent state (GSE mesh, neighbour grid) must be rebuilt.
-  force_ = std::make_unique<ForceCompute>(system_.topology_ptr(),
-                                          system_.box(), params_, pool_);
-  if (profiler_.enabled()) force_->set_profiler(&profiler_);
-  force_->warm(system_.positions());
+  // Rebox the force pipeline in place: the GSE mesh re-derives its k-space
+  // tables (skipping everything when dimensions survive), and the neighbour
+  // grid is flagged for rebuild on the next evaluation.  The erfc/LJ caches
+  // are box-independent, so nothing is reconstructed or reallocated.
+  force_->set_box(system_.box());
   forces_fresh_ = false;
 }
 

@@ -1,144 +1,242 @@
 #include "md/ewald.h"
 
+#include <algorithm>
 #include <cmath>
-#include <complex>
-#include <vector>
 
 #include "common/error.h"
 #include "common/units.h"
 
 namespace anton::md {
 
-namespace {
 using Cx = std::complex<double>;
 
-// Per-atom axis phase tables: phase[axis][n][atom] = e^{i 2π n x/L} for
-// n = 0..nmax; negative n use the conjugate.
-struct PhaseTables {
-  int nmax;
-  size_t n_atoms;
-  std::vector<Cx> px, py, pz;  // (nmax+1) * n_atoms each
-
-  const Cx& get(const std::vector<Cx>& t, int n, size_t i) const {
-    return t[static_cast<size_t>(n) * n_atoms + i];
-  }
-  Cx phase(int nx, int ny, int nz, size_t i) const {
-    Cx v = (nx >= 0) ? get(px, nx, i) : std::conj(get(px, -nx, i));
-    v *= (ny >= 0) ? get(py, ny, i) : std::conj(get(py, -ny, i));
-    v *= (nz >= 0) ? get(pz, nz, i) : std::conj(get(pz, -nz, i));
-    return v;
-  }
-};
-
-PhaseTables build_phases(const Box& box, std::span<const Vec3> pos,
-                         int nmax) {
-  PhaseTables t;
-  t.nmax = nmax;
-  t.n_atoms = pos.size();
-  const auto fill = [&](std::vector<Cx>& out, auto coord, double L) {
-    out.resize(static_cast<size_t>(nmax + 1) * t.n_atoms);
-    for (size_t i = 0; i < t.n_atoms; ++i) {
-      out[i] = Cx{1.0, 0.0};
-    }
-    if (nmax == 0) return;
-    for (size_t i = 0; i < t.n_atoms; ++i) {
-      const double theta = 2.0 * M_PI * coord(pos[i]) / L;
-      const Cx base{std::cos(theta), std::sin(theta)};
-      Cx cur = base;
-      for (int n = 1; n <= nmax; ++n) {
-        out[static_cast<size_t>(n) * t.n_atoms + i] = cur;
-        cur *= base;
-      }
-    }
-  };
-  fill(t.px, [](const Vec3& p) { return p.x; }, box.lengths().x);
-  fill(t.py, [](const Vec3& p) { return p.y; }, box.lengths().y);
-  fill(t.pz, [](const Vec3& p) { return p.z; }, box.lengths().z);
-  return t;
+EwaldDirect::EwaldDirect(const Box& box, double alpha, int nmax,
+                         ThreadPool* pool)
+    : box_(box), alpha_(alpha), nmax_(nmax), pool_(pool) {
+  ANTON_CHECK_MSG(alpha > 0, "Ewald alpha must be positive");
+  ANTON_CHECK_MSG(nmax >= 1, "need at least one k shell");
+  build_kvectors();
 }
 
-// Iterates the k half-space (each ±k pair represented once); calls
-// fn(nx, ny, nz, kvec, prefactor_A) where A = exp(-k²/4α²)/k².
-template <typename Fn>
-void for_each_k(const Box& box, double alpha, int nmax, Fn&& fn) {
-  const Vec3 two_pi_over_l{2.0 * M_PI / box.lengths().x,
-                           2.0 * M_PI / box.lengths().y,
-                           2.0 * M_PI / box.lengths().z};
-  for (int nx = 0; nx <= nmax; ++nx) {
-    const int ny_lo = (nx == 0) ? 0 : -nmax;
-    for (int ny = ny_lo; ny <= nmax; ++ny) {
-      const int nz_lo = (nx == 0 && ny == 0) ? 1 : -nmax;
-      for (int nz = nz_lo; nz <= nmax; ++nz) {
+// Enumerates the k half-space (each ±k pair represented once) in a fixed
+// order; the list persists across steps and is rebuilt only on set_box.
+void EwaldDirect::build_kvectors() {
+  kvecs_.clear();
+  const Vec3 two_pi_over_l{2.0 * M_PI / box_.lengths().x,
+                           2.0 * M_PI / box_.lengths().y,
+                           2.0 * M_PI / box_.lengths().z};
+  for (int nx = 0; nx <= nmax_; ++nx) {
+    const int ny_lo = (nx == 0) ? 0 : -nmax_;
+    for (int ny = ny_lo; ny <= nmax_; ++ny) {
+      const int nz_lo = (nx == 0 && ny == 0) ? 1 : -nmax_;
+      for (int nz = nz_lo; nz <= nmax_; ++nz) {
         const Vec3 k{nx * two_pi_over_l.x, ny * two_pi_over_l.y,
                      nz * two_pi_over_l.z};
         const double k2 = norm2(k);
-        const double a = std::exp(-k2 / (4.0 * alpha * alpha)) / k2;
-        fn(nx, ny, nz, k, a);
+        kvecs_.push_back(
+            {nx, ny, nz, k, std::exp(-k2 / (4.0 * alpha_ * alpha_)) / k2});
       }
     }
   }
+  s_.resize(kvecs_.size());
 }
 
-}  // namespace
-
-EwaldDirect::EwaldDirect(const Box& box, double alpha, int nmax)
-    : box_(box), alpha_(alpha), nmax_(nmax) {
-  ANTON_CHECK_MSG(alpha > 0, "Ewald alpha must be positive");
-  ANTON_CHECK_MSG(nmax >= 1, "need at least one k shell");
+void EwaldDirect::set_box(const Box& box) {
+  const Vec3 cur = box_.lengths();
+  const Vec3 next = box.lengths();
+  if (next.x == cur.x && next.y == cur.y && next.z == cur.z) return;
+  box_ = box;
+  build_kvectors();
 }
 
+// Grows the phase tables to cover n_atoms; capacity only ever increases, so
+// steady-state stepping performs no allocation.
+void EwaldDirect::ensure_tables(size_t n_atoms) {
+  if (n_atoms > capacity_) {
+    capacity_ = n_atoms;
+    const size_t rows = static_cast<size_t>(nmax_ + 1);
+    px_.resize(rows * capacity_);
+    py_.resize(rows * capacity_);
+    pz_.resize(rows * capacity_);
+  }
+  n_atoms_ = n_atoms;
+}
+
+Cx EwaldDirect::phase(int nx, int ny, int nz, size_t i) const {
+  const auto get = [this, i](const std::vector<Cx>& t, int n) {
+    return t[static_cast<size_t>(n) * capacity_ + i];
+  };
+  Cx v = (nx >= 0) ? get(px_, nx) : std::conj(get(px_, -nx));
+  v *= (ny >= 0) ? get(py_, ny) : std::conj(get(py_, -ny));
+  v *= (nz >= 0) ? get(pz_, nz) : std::conj(get(pz_, -nz));
+  return v;
+}
+
+// Per-atom axis phase tables: phase[axis][n][atom] = e^{i 2π n x/L} for
+// n = 0..nmax.  Each atom fills its own column, so the pass is
+// data-parallel and bitwise independent of the thread count.
+// ANTON_HOT_NOALLOC
+void EwaldDirect::fill_phases(std::span<const Vec3> pos) {
+  const size_t n = pos.size();
+  const Vec3 lengths = box_.lengths();
+  const int nmax = nmax_;
+  const size_t cap = capacity_;
+  auto fill_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      px_[i] = Cx{1.0, 0.0};
+      py_[i] = Cx{1.0, 0.0};
+      pz_[i] = Cx{1.0, 0.0};
+      const double tx = 2.0 * M_PI * pos[i].x / lengths.x;
+      const double ty = 2.0 * M_PI * pos[i].y / lengths.y;
+      const double tz = 2.0 * M_PI * pos[i].z / lengths.z;
+      const Cx bx{std::cos(tx), std::sin(tx)};
+      const Cx by{std::cos(ty), std::sin(ty)};
+      const Cx bz{std::cos(tz), std::sin(tz)};
+      Cx cx = bx, cy = by, cz = bz;
+      for (int nn = 1; nn <= nmax; ++nn) {
+        const size_t row = static_cast<size_t>(nn) * cap + i;
+        px_[row] = cx;
+        py_[row] = cy;
+        pz_[row] = cz;
+        cx *= bx;
+        cy *= by;
+        cz *= bz;
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, fill_range);
+  } else {
+    fill_range(0, n);
+  }
+}
+
+// S(k) = Σ_i q_i e^{ik·r_i}, parallel over k-vectors; each S(k) is a serial
+// sum in atom order, so the result is bitwise independent of thread count.
+// The three axis columns are hoisted out of the atom loop and negative
+// frequencies handled by flipping the imaginary sign (branch-free conjugate),
+// keeping the inner loop a straight-line multiply-accumulate over contiguous
+// memory.
+// ANTON_HOT_NOALLOC
+void EwaldDirect::accumulate_structure_factors(std::span<const double> q) {
+  const size_t n = n_atoms_;
+  const size_t cap = capacity_;
+  auto sum_range = [&](size_t begin, size_t end) {
+    for (size_t kk = begin; kk < end; ++kk) {
+      const KVector& kv = kvecs_[kk];
+      // nx is always >= 0 in the half-space enumeration.
+      const Cx* colx = &px_[static_cast<size_t>(kv.nx) * cap];
+      const Cx* coly = &py_[static_cast<size_t>(std::abs(kv.ny)) * cap];
+      const Cx* colz = &pz_[static_cast<size_t>(std::abs(kv.nz)) * cap];
+      const double sy = kv.ny < 0 ? -1.0 : 1.0;
+      const double sz = kv.nz < 0 ? -1.0 : 1.0;
+      Cx s{0, 0};
+      for (size_t i = 0; i < n; ++i) {
+        const Cx vy{coly[i].real(), sy * coly[i].imag()};
+        const Cx vz{colz[i].real(), sz * colz[i].imag()};
+        s += q[i] * (colx[i] * vy * vz);
+      }
+      s_[kk] = s;
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(kvecs_.size(), sum_range);
+  } else {
+    sum_range(0, kvecs_.size());
+  }
+}
+
+// ANTON_HOT_NOALLOC
 void EwaldDirect::compute(const Topology& top, std::span<const Vec3> pos,
-                          std::span<Vec3> forces,
-                          EnergyReport& energy) const {
+                          std::span<Vec3> forces, EnergyReport& energy) {
   const size_t n = pos.size();
   ANTON_CHECK(static_cast<int>(n) == top.num_atoms());
-  const PhaseTables phases = build_phases(box_, pos, nmax_);
+  ensure_tables(n);
+  fill_phases(pos);
   const auto q = top.charges();
+  accumulate_structure_factors(q);
   const double pref = units::kCoulomb * 2.0 * M_PI / box_.volume();
 
+  // Scalar energy/virial reduction over k: serial O(K), so the totals are
+  // bitwise identical for any thread count by construction.
   double e_total = 0.0;
   double w_total = 0.0;
-  for_each_k(box_, alpha_, nmax_, [&](int nx, int ny, int nz, const Vec3& k,
-                                      double a) {
-    // Structure factor.
-    Cx s{0, 0};
-    for (size_t i = 0; i < n; ++i) {
-      s += q[i] * phases.phase(nx, ny, nz, i);
-    }
+  const double inv_2a2 = 1.0 / (2.0 * alpha_ * alpha_);
+  for (size_t kk = 0; kk < kvecs_.size(); ++kk) {
     // Half-space: factor 2 accounts for -k.
-    const double e_k = 2.0 * a * std::norm(s);
+    const double e_k = 2.0 * kvecs_[kk].a * std::norm(s_[kk]);
     e_total += e_k;
     // Analytic reciprocal-space virial: W_k = E_k (1 - k²/(2α²)).
-    w_total += e_k * (1.0 - norm2(k) / (2.0 * alpha_ * alpha_));
-
-    // Forces: F_i = C (4π/V) q_i Σ_k A(k) k Im[S*(k) e^{ik·r_i}]; doubling
-    // for -k already included via the factor 2 below.
-    const Cx s_conj = std::conj(s);
-    for (size_t i = 0; i < n; ++i) {
-      const Cx e_ikr = phases.phase(nx, ny, nz, i);
-      const double im = (s_conj * e_ikr).imag();
-      const double c = 2.0 * pref * 2.0 * a * q[i] * im;
-      forces[i] += c * k;
-    }
-  });
+    w_total += e_k * (1.0 - norm2(kvecs_[kk].k) * inv_2a2);
+  }
   energy.coulomb_kspace += pref * e_total;
   energy.virial += pref * w_total;
+
+  // Forces: F_i = C (4π/V) q_i Σ_k A(k) k Im[S*(k) e^{ik·r_i}]; doubling
+  // for -k included via the factor 2.  Each atom sums over all k and writes
+  // only forces[i] — data-parallel, bitwise stable for any thread count.
+  // The phase e^{ik·r_i} is regenerated by running products that follow the
+  // k-enumeration order (one complex multiply per k) rather than read from
+  // the phase tables: per-(k, atom) table lookups stride by the atom
+  // capacity, missing cache on every access, and made this pass memory-bound.
+  const int nmax = nmax_;
+  const size_t cap = capacity_;
+  auto force_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double qi = q[i];
+      if (qi == 0.0) continue;
+      const double coef = 2.0 * pref * 2.0 * qi;
+      // Axis bases and the n = -nmax starting phases, from the tables.
+      const Cx bx = px_[cap + i];
+      const Cx by = py_[cap + i];
+      const Cx bz = pz_[cap + i];
+      const Cx py_lo = std::conj(py_[static_cast<size_t>(nmax) * cap + i]);
+      const Cx pz_lo = std::conj(pz_[static_cast<size_t>(nmax) * cap + i]);
+      Vec3 acc{};
+      size_t kk = 0;
+      Cx vx{1.0, 0.0};
+      for (int fx = 0; fx <= nmax; ++fx) {
+        // ny runs from 0 when fx == 0 (half-space), else from -nmax.
+        Cx vxy = (fx == 0) ? vx : vx * py_lo;
+        const int fy_lo = (fx == 0) ? 0 : -nmax;
+        for (int fy = fy_lo; fy <= nmax; ++fy) {
+          const bool origin_row = (fx == 0 && fy == 0);
+          Cx vxyz = vxy * (origin_row ? bz : pz_lo);
+          const int fz_lo = origin_row ? 1 : -nmax;
+          for (int fz = fz_lo; fz <= nmax; ++fz) {
+            const KVector& kv = kvecs_[kk];
+            // Im[S*(k) e^{ikr}] expanded — half the multiplies of a full
+            // complex product whose real part is discarded.
+            const double im = s_[kk].real() * vxyz.imag() -
+                              s_[kk].imag() * vxyz.real();
+            acc += (coef * kv.a * im) * kv.k;
+            ++kk;
+            vxyz *= bz;
+          }
+          vxy *= by;
+        }
+        vx *= bx;
+      }
+      forces[i] += acc;
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, force_range);
+  } else {
+    force_range(0, n);
+  }
 }
 
 double EwaldDirect::energy_only(const Topology& top,
-                                std::span<const Vec3> pos) const {
+                                std::span<const Vec3> pos) {
   const size_t n = pos.size();
-  const PhaseTables phases = build_phases(box_, pos, nmax_);
-  const auto q = top.charges();
+  ensure_tables(n);
+  fill_phases(pos);
+  accumulate_structure_factors(top.charges());
   double e_total = 0.0;
-  for_each_k(box_, alpha_, nmax_,
-             [&](int nx, int ny, int nz, const Vec3&, double a) {
-               Cx s{0, 0};
-               for (size_t i = 0; i < n; ++i) {
-                 s += q[i] * phases.phase(nx, ny, nz, i);
-               }
-               e_total += 2.0 * a * std::norm(s);
-             });
+  for (size_t kk = 0; kk < kvecs_.size(); ++kk) {
+    e_total += 2.0 * kvecs_[kk].a * std::norm(s_[kk]);
+  }
   return units::kCoulomb * 2.0 * M_PI / box_.volume() * e_total;
 }
 

@@ -4,11 +4,24 @@
 // Gaussian-split-Ewald solver, and for small test systems.  Combined with
 // the erfc real-space part (nonbonded.h), the self term and the excluded-
 // pair correction, this yields the exact periodic Coulomb energy.
+//
+// The sum is threaded over an optional ThreadPool and allocation-free in
+// steady state: the per-atom axis phase tables, the k-vector list and the
+// structure-factor array are persistent members, incrementally resized only
+// when the atom count grows.  Each structure factor S(k) is a serial sum
+// over atoms, the scalar energy/virial reduction over k runs serially
+// (O(K), negligible), and the force pass is data-parallel over atoms — so
+// forces and energies are bitwise identical for any thread count without
+// any fixed-point quantization, honoring MdParams::deterministic_forces by
+// construction.
 #pragma once
 
+#include <complex>
 #include <span>
+#include <vector>
 
 #include "chem/topology.h"
+#include "common/threadpool.h"
 #include "common/vec3.h"
 #include "geom/box.h"
 #include "md/params.h"
@@ -18,19 +31,48 @@ namespace anton::md {
 class EwaldDirect {
  public:
   // nmax: include all k = 2π(nx/Lx, ny/Ly, nz/Lz) with |ni| <= nmax, k != 0.
-  EwaldDirect(const Box& box, double alpha, int nmax);
+  EwaldDirect(const Box& box, double alpha, int nmax,
+              ThreadPool* pool = nullptr);
 
   // Adds reciprocal-space forces; energy lands in energy.coulomb_kspace.
   void compute(const Topology& top, std::span<const Vec3> pos,
-               std::span<Vec3> forces, EnergyReport& energy) const;
+               std::span<Vec3> forces, EnergyReport& energy);
 
   // Energy only (no forces) — used by finite-difference force tests.
-  double energy_only(const Topology& top, std::span<const Vec3> pos) const;
+  double energy_only(const Topology& top, std::span<const Vec3> pos);
+
+  // Rebox for the barostat: rebuilds the k-vector list for the new cell.
+  // No-op when the lengths are unchanged.
+  void set_box(const Box& box);
 
  private:
+  // One half-space k-vector with its integer indices and Gaussian
+  // prefactor A = exp(-k²/4α²)/k².
+  struct KVector {
+    int nx, ny, nz;
+    Vec3 k;
+    double a;
+  };
+
+  void build_kvectors();
+  void ensure_tables(size_t n_atoms);
+  void fill_phases(std::span<const Vec3> pos);
+  void accumulate_structure_factors(std::span<const double> q);
+  std::complex<double> phase(int nx, int ny, int nz, size_t i) const;
+
   Box box_;
   double alpha_;
   int nmax_;
+  ThreadPool* pool_;
+  std::vector<KVector> kvecs_;
+
+  // Persistent per-atom axis phase tables: phase[axis][n][atom] =
+  // e^{i 2π n x/L} for n = 0..nmax (negative n via conjugate), each
+  // (nmax+1) × capacity.
+  size_t n_atoms_ = 0;    // atoms covered by the current tables
+  size_t capacity_ = 0;   // allocated atom capacity (grows, never shrinks)
+  std::vector<std::complex<double>> px_, py_, pz_;
+  std::vector<std::complex<double>> s_;  // per-k structure factors
 };
 
 }  // namespace anton::md

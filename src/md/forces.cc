@@ -19,12 +19,12 @@ ForceCompute::ForceCompute(std::shared_ptr<const Topology> top, Box box,
   switch (params_.long_range) {
     case LongRangeMethod::kDirect:
       ewald_ = std::make_unique<EwaldDirect>(box_, params_.ewald_alpha,
-                                             params_.kspace_nmax);
+                                             params_.kspace_nmax, pool_);
       break;
     case LongRangeMethod::kMesh:
       gse_ = std::make_unique<GseMesh>(box_, params_.ewald_alpha,
                                        params_.mesh_spacing,
-                                       params_.gse_sigma);
+                                       params_.gse_sigma, pool_);
       break;
     case LongRangeMethod::kNone:
       break;
@@ -54,13 +54,23 @@ void ForceCompute::set_profiler(obs::PhaseProfiler* prof) {
       prof_ != nullptr && pool_ != nullptr
           ? prof_->registry()->stat("md.pair.thread_seconds")
           : nullptr;
+  if (gse_) gse_->set_profiler(prof_);
+}
+
+void ForceCompute::set_box(const Box& box) {
+  box_ = box;
+  if (gse_) gse_->set_box(box);
+  if (ewald_) ewald_->set_box(box);
+  nlist_stale_ = true;
 }
 
 void ForceCompute::maybe_rebuild(std::span<const Vec3> pos) {
-  if (!nlist_.built() || nlist_.needs_rebuild(box_, pos, pool_)) {
+  if (!nlist_.built() || nlist_stale_ ||
+      nlist_.needs_rebuild(box_, pos, pool_)) {
     obs::PhaseProfiler::Scope sc(prof_, "nlist");
     nlist_.build(box_, pos, *top_, pool_);
     ++nlist_builds_;
+    nlist_stale_ = false;
   }
 }
 
@@ -120,7 +130,7 @@ EnergyReport ForceCompute::compute_long(std::span<const Vec3> pos,
       e.coulomb_self += ewald_self_energy(*top_, params_.ewald_alpha);
       break;
     case LongRangeMethod::kMesh:
-      gse_->compute(*top_, pos, forces, e);
+      gse_->compute(*top_, pos, forces, e, params_.deterministic_forces);
       e.coulomb_self += ewald_self_energy(*top_, params_.ewald_alpha);
       break;
     case LongRangeMethod::kNone:

@@ -48,10 +48,20 @@ class ForceCompute {
   int64_t pair_count() const { return nlist_.num_pairs(); }
   int64_t nlist_builds() const { return nlist_builds_; }
 
+  // Rescales the periodic cell (barostat coupling): updates the long-range
+  // solvers in place — the GSE mesh keeps its buffers and FFT plan whenever
+  // the mesh dimensions survive — and flags the neighbour list for rebuild.
+  // All other caches (erfc tables, LJ mixing, charges) are box-independent
+  // and untouched, so no allocation-heavy reconstruction happens here.
+  void set_box(const Box& box);
+
+  const GseMesh* gse() const { return gse_.get(); }
+
   // Attaches (or detaches, with nullptr) the owning simulation's phase
   // profiler: force evaluation then reports "nlist", "bonded", "pair" and
   // "fft" phase spans, plus the per-thread pair-loop imbalance stat
-  // "md.pair.thread_seconds".
+  // "md.pair.thread_seconds" and the long-range stage stats
+  // ("md.gse.{spread,gather}.seconds", "md.fft.{x,y,z}.seconds").
   void set_profiler(obs::PhaseProfiler* prof);
 
  private:
@@ -66,6 +76,7 @@ class ForceCompute {
   std::unique_ptr<EwaldDirect> ewald_;
   std::unique_ptr<GseMesh> gse_;
   int64_t nlist_builds_ = 0;
+  bool nlist_stale_ = false;  // set_box invalidates the neighbour grid
   obs::PhaseProfiler* prof_ = nullptr;
   obs::Stat* pair_thread_stat_ = nullptr;
 };

@@ -1,5 +1,6 @@
 #include "md/gse.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -8,30 +9,70 @@
 namespace anton::md {
 
 namespace {
+
 // Signed frequency for DFT bin f of an n-point transform.
 int signed_freq(int f, int n) { return f <= n / 2 ? f : f - n; }
+
+int mesh_dim(double length, double spacing) {
+  return next_power_of_two(
+      std::max(4, static_cast<int>(std::ceil(length / spacing))));
+}
+
+// Separable per-axis Gaussian factors (unnormalised per axis; the 3D
+// normalisation is applied once in norm3), plus the displacement and the
+// pre-wrapped mesh index for each support cell.  Wrapping is a single
+// conditional (|k| <= r < n and c in [0, n)), replacing the two integer
+// modulos per mesh point of the original inner loops.
+// ANTON_HOT_NOALLOC
+void axis_weights(int c, int r, int n, double h, double pcoord,
+                  double inv_two_sigma2, double* w, double* d, int* idx) {
+  for (int k = -r; k <= r; ++k) {
+    const double dd = (c + k) * h - pcoord;
+    const int j = k + r;
+    w[j] = std::exp(-dd * dd * inv_two_sigma2);
+    if (d != nullptr) d[j] = dd;
+    int m = c + k;
+    if (m < 0) {
+      m += n;
+    } else if (m >= n) {
+      m -= n;
+    }
+    idx[j] = m;
+  }
+}
+
 }  // namespace
 
-GseMesh::GseMesh(const Box& box, double alpha, double spacing, double sigma)
+GseMesh::GseMesh(const Box& box, double alpha, double spacing, double sigma,
+                 ThreadPool* pool)
     : box_(box),
       alpha_(alpha),
       sigma_(sigma),
-      nx_(next_power_of_two(
-          std::max(4, static_cast<int>(std::ceil(box.lengths().x / spacing))))),
-      ny_(next_power_of_two(
-          std::max(4, static_cast<int>(std::ceil(box.lengths().y / spacing))))),
-      nz_(next_power_of_two(
-          std::max(4, static_cast<int>(std::ceil(box.lengths().z / spacing))))),
-      fft_(nx_, ny_, nz_) {
+      spacing_(spacing),
+      pool_(pool),
+      nx_(mesh_dim(box.lengths().x, spacing)),
+      ny_(mesh_dim(box.lengths().y, spacing)),
+      nz_(mesh_dim(box.lengths().z, spacing)),
+      fft_(nx_, ny_, nz_, pool) {
   ANTON_CHECK_MSG(alpha > 0 && sigma > 0, "bad GSE parameters");
   // The kernel carries exp(-k²/4α² + σ²k²); boundedness needs σ < 1/(2α).
   ANTON_CHECK_MSG(sigma * alpha < 0.5,
                   "GSE deconvolution unstable: need sigma < 1/(2 alpha), got "
                   "sigma*alpha = "
                       << sigma * alpha);
-  h_ = {box.lengths().x / nx_, box.lengths().y / ny_, box.lengths().z / nz_};
+  derive_geometry();
+  green_.assign(fft_.half_points(), 0.0);
+  virial_factor_.assign(fft_.half_points(), 0.0);
+  build_tables();
+  mesh_.assign(fft_.half_points(), Complex{});
+  rho_.assign(mesh_points(), 0.0);
+  phi_.assign(mesh_points(), 0.0);
+}
 
-  const double support = 3.2 * sigma;
+void GseMesh::derive_geometry() {
+  h_ = {box_.lengths().x / nx_, box_.lengths().y / ny_,
+        box_.lengths().z / nz_};
+  const double support = 3.2 * sigma_;
   rx_ = std::max(1, static_cast<int>(std::ceil(support / h_.x)));
   ry_ = std::max(1, static_cast<int>(std::ceil(support / h_.y)));
   rz_ = std::max(1, static_cast<int>(std::ceil(support / h_.z)));
@@ -39,173 +80,399 @@ GseMesh::GseMesh(const Box& box, double alpha, double spacing, double sigma)
                       2 * rz_ + 1 <= nz_,
                   "GSE spread support exceeds the mesh — box too small for "
                   "this spacing/sigma");
-
-  // Precompute the k-space kernel: C·4π·exp(-k²/4α²)/k² · exp(+σ²k²) (the
-  // last factor deconvolves the spread *and* pre-compensates the gather).
-  // The 1/V of the Fourier series cancels against the N of the inverse DFT
-  // and one vol_cell from the Riemann sum (N·vol_cell = V).  k=0 dropped
-  // (neutral systems).
-  green_.assign(mesh_points(), 0.0);
-  virial_factor_.assign(mesh_points(), 0.0);
-  const double c = units::kCoulomb * 4.0 * M_PI;
-  const Vec3 two_pi_over_l{2.0 * M_PI / box.lengths().x,
-                           2.0 * M_PI / box.lengths().y,
-                           2.0 * M_PI / box.lengths().z};
-  for (int fz = 0; fz < nz_; ++fz) {
-    for (int fy = 0; fy < ny_; ++fy) {
-      for (int fx = 0; fx < nx_; ++fx) {
-        if (fx == 0 && fy == 0 && fz == 0) continue;
-        const double kx = signed_freq(fx, nx_) * two_pi_over_l.x;
-        const double ky = signed_freq(fy, ny_) * two_pi_over_l.y;
-        const double kz = signed_freq(fz, nz_) * two_pi_over_l.z;
-        const double k2 = kx * kx + ky * ky + kz * kz;
-        green_[fft_.index(fx, fy, fz)] =
-            c * std::exp(-k2 / (4.0 * alpha * alpha) + sigma * sigma * k2) /
-            k2;
-        // Analytic reciprocal virial factor of the *physical* energy the
-        // mesh approximates: W_k = E_k (1 - k²/(2α²)).  The spreading
-        // Gaussian and its deconvolution cancel and contribute nothing.
-        virial_factor_[fft_.index(fx, fy, fz)] =
-            1.0 - k2 / (2.0 * alpha * alpha);
-      }
-    }
-  }
-  mesh_.assign(mesh_points(), Complex{});
-  rho_.assign(mesh_points(), 0.0);
 }
 
-void GseMesh::spread(const Topology& top, std::span<const Vec3> pos) {
-  std::fill(rho_.begin(), rho_.end(), 0.0);
+// Precompute the k-space kernel over the non-redundant half-spectrum:
+// C·4π·exp(-k²/4α²)/k² · exp(+σ²k²) (the last factor deconvolves the spread
+// *and* pre-compensates the gather).  The 1/V of the Fourier series cancels
+// against the N of the inverse DFT and one vol_cell from the Riemann sum
+// (N·vol_cell = V).  k=0 dropped (neutral systems).  Each table entry is an
+// independent pure function of its frequency, so the build parallelizes
+// over z-planes with bitwise-stable results.
+void GseMesh::build_tables() {
+  const double c = units::kCoulomb * 4.0 * M_PI;
+  const Vec3 two_pi_over_l{2.0 * M_PI / box_.lengths().x,
+                           2.0 * M_PI / box_.lengths().y,
+                           2.0 * M_PI / box_.lengths().z};
+  const int hnx = fft_.half_nx();
+  const double inv_4a2 = 1.0 / (4.0 * alpha_ * alpha_);
+  const double inv_2a2 = 1.0 / (2.0 * alpha_ * alpha_);
+  const double s2 = sigma_ * sigma_;
+  auto fill_planes = [&](size_t zb, size_t ze) {
+    for (size_t fzs = zb; fzs < ze; ++fzs) {
+      const int fz = static_cast<int>(fzs);
+      const double kz = signed_freq(fz, nz_) * two_pi_over_l.z;
+      for (int fy = 0; fy < ny_; ++fy) {
+        const double ky = signed_freq(fy, ny_) * two_pi_over_l.y;
+        for (int hx = 0; hx < hnx; ++hx) {
+          const size_t m = fft_.half_index(hx, fy, fz);
+          if (hx == 0 && fy == 0 && fz == 0) {
+            green_[m] = 0.0;
+            virial_factor_[m] = 0.0;
+            continue;
+          }
+          // hx <= nx/2, so the signed x frequency is hx itself.
+          const double kx = hx * two_pi_over_l.x;
+          const double k2 = kx * kx + ky * ky + kz * kz;
+          green_[m] = c * std::exp(-k2 * inv_4a2 + s2 * k2) / k2;
+          // Analytic reciprocal virial factor of the *physical* energy the
+          // mesh approximates: W_k = E_k (1 - k²/(2α²)).  The spreading
+          // Gaussian and its deconvolution cancel and contribute nothing.
+          virial_factor_[m] = 1.0 - k2 * inv_2a2;
+        }
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(static_cast<size_t>(nz_), fill_planes);
+  } else {
+    fill_planes(0, static_cast<size_t>(nz_));
+  }
+  ++table_builds_;
+}
+
+void GseMesh::set_box(const Box& box) {
+  const Vec3 cur = box_.lengths();
+  const Vec3 next = box.lengths();
+  if (next.x == cur.x && next.y == cur.y && next.z == cur.z) return;
+  box_ = box;
+  const int nnx = mesh_dim(next.x, spacing_);
+  const int nny = mesh_dim(next.y, spacing_);
+  const int nnz = mesh_dim(next.z, spacing_);
+  if (nnx != nx_ || nny != ny_ || nnz != nz_) {
+    nx_ = nnx;
+    ny_ = nny;
+    nz_ = nnz;
+    fft_ = Fft3D(nx_, ny_, nz_, pool_);
+    green_.assign(fft_.half_points(), 0.0);
+    virial_factor_.assign(fft_.half_points(), 0.0);
+    mesh_.assign(fft_.half_points(), Complex{});
+    rho_.assign(mesh_points(), 0.0);
+    phi_.assign(mesh_points(), 0.0);
+    // Re-plumb the pass stats the fresh Fft3D lost.
+    set_profiler(prof_);
+  }
+  derive_geometry();
+  build_tables();
+  update_mesh_gauges();
+}
+
+void GseMesh::set_profiler(obs::PhaseProfiler* prof) {
+  prof_ = prof != nullptr && prof->enabled() ? prof : nullptr;
+  if (prof_ == nullptr) {
+    spread_stat_ = nullptr;
+    gather_stat_ = nullptr;
+    fft_.set_pass_stats(nullptr, nullptr, nullptr);
+    return;
+  }
+  obs::MetricsRegistry* reg = prof_->registry();
+  spread_stat_ = reg->stat("md.gse.spread.seconds");
+  gather_stat_ = reg->stat("md.gse.gather.seconds");
+  fft_.set_pass_stats(reg->stat("md.fft.x.seconds"),
+                      reg->stat("md.fft.y.seconds"),
+                      reg->stat("md.fft.z.seconds"));
+  update_mesh_gauges();
+}
+
+void GseMesh::update_mesh_gauges() {
+  if (prof_ == nullptr) return;
+  obs::MetricsRegistry* reg = prof_->registry();
+  reg->gauge("md.gse.mesh.nx")->set(nx_);
+  reg->gauge("md.gse.mesh.ny")->set(ny_);
+  reg->gauge("md.gse.mesh.nz")->set(nz_);
+  reg->gauge("md.gse.mesh.points")->set(static_cast<double>(mesh_points()));
+  reg->gauge("md.gse.support_points")->set(support_points());
+}
+
+template <bool kFixed>
+// ANTON_HOT_NOALLOC
+void GseMesh::spread_range(const Topology& top, std::span<const Vec3> pos,
+                           size_t begin, size_t end, double* rho,
+                           MeshFixed* rho_fx, GseThreadScratch& s) const {
   const double inv_two_sigma2 = 1.0 / (2.0 * sigma_ * sigma_);
-  const double norm3 =
-      1.0 / std::pow(2.0 * M_PI * sigma_ * sigma_, 1.5);
+  const double norm3 = 1.0 / std::pow(2.0 * M_PI * sigma_ * sigma_, 1.5);
   const auto q = top.charges();
-
-  std::vector<double> wx(static_cast<size_t>(2 * rx_ + 1));
-  std::vector<double> wy(static_cast<size_t>(2 * ry_ + 1));
-  std::vector<double> wz(static_cast<size_t>(2 * rz_ + 1));
-
-  for (size_t i = 0; i < pos.size(); ++i) {
+  const int sx = 2 * rx_ + 1, sy = 2 * ry_ + 1, sz = 2 * rz_ + 1;
+  double* wx = s.wx.data();
+  double* wy = s.wy.data();
+  double* wz = s.wz.data();
+  int* ix = s.ix.data();
+  int* iy = s.iy.data();
+  int* iz = s.iz.data();
+  for (size_t i = begin; i < end; ++i) {
     if (q[i] == 0.0) continue;
     const Vec3 p = box_.wrap(pos[i]);
     const int cx = static_cast<int>(p.x / h_.x);
     const int cy = static_cast<int>(p.y / h_.y);
     const int cz = static_cast<int>(p.z / h_.z);
-    // Separable per-axis Gaussian factors (unnormalised per axis; the 3D
-    // normalisation is applied once in norm3).
-    for (int d = -rx_; d <= rx_; ++d) {
-      const double dx = (cx + d) * h_.x - p.x;
-      wx[static_cast<size_t>(d + rx_)] = std::exp(-dx * dx * inv_two_sigma2);
-    }
-    for (int d = -ry_; d <= ry_; ++d) {
-      const double dy = (cy + d) * h_.y - p.y;
-      wy[static_cast<size_t>(d + ry_)] = std::exp(-dy * dy * inv_two_sigma2);
-    }
-    for (int d = -rz_; d <= rz_; ++d) {
-      const double dz = (cz + d) * h_.z - p.z;
-      wz[static_cast<size_t>(d + rz_)] = std::exp(-dz * dz * inv_two_sigma2);
-    }
+    axis_weights(cx, rx_, nx_, h_.x, p.x, inv_two_sigma2, wx, nullptr, ix);
+    axis_weights(cy, ry_, ny_, h_.y, p.y, inv_two_sigma2, wy, nullptr, iy);
+    axis_weights(cz, rz_, nz_, h_.z, p.z, inv_two_sigma2, wz, nullptr, iz);
     const double qn = q[i] * norm3;
-    for (int dz = -rz_; dz <= rz_; ++dz) {
-      const int mz = (cz + dz % nz_ + nz_) % nz_;
-      const double wzq = wz[static_cast<size_t>(dz + rz_)] * qn;
-      for (int dy = -ry_; dy <= ry_; ++dy) {
-        const int my = (cy + dy % ny_ + ny_) % ny_;
-        const double wyz = wy[static_cast<size_t>(dy + ry_)] * wzq;
-        const size_t row = (static_cast<size_t>(mz) * ny_ + my) * nx_;
-        for (int dx = -rx_; dx <= rx_; ++dx) {
-          const int mx = (cx + dx % nx_ + nx_) % nx_;
-          rho_[row + static_cast<size_t>(mx)] +=
-              wx[static_cast<size_t>(dx + rx_)] * wyz;
+    for (int a = 0; a < sz; ++a) {
+      const size_t plane = static_cast<size_t>(iz[a]) * ny_;
+      const double wzq = wz[a] * qn;
+      for (int b = 0; b < sy; ++b) {
+        const size_t row = (plane + static_cast<size_t>(iy[b])) * nx_;
+        const double wyz = wy[b] * wzq;
+        for (int c = 0; c < sx; ++c) {
+          const double v = wx[c] * wyz;
+          if constexpr (kFixed) {
+            rho_fx[row + static_cast<size_t>(ix[c])] +=
+                MeshFixed::from_double(v);
+          } else {
+            rho[row + static_cast<size_t>(ix[c])] += v;
+          }
         }
       }
     }
   }
 }
 
-void GseMesh::compute(const Topology& top, std::span<const Vec3> pos,
-                      std::span<Vec3> forces, EnergyReport& energy) {
-  ANTON_CHECK(static_cast<int>(pos.size()) == top.num_atoms());
-  spread(top, pos);
-
-  for (size_t m = 0; m < mesh_.size(); ++m) {
-    mesh_[m] = Complex{rho_[m], 0.0};
+// ANTON_HOT_NOALLOC
+void GseMesh::spread(const Topology& top, std::span<const Vec3> pos,
+                     bool deterministic) {
+  const size_t n = pos.size();
+  const unsigned nthreads = ws_.num_threads();
+  if (!deterministic && nthreads <= 1) {
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    spread_range<false>(top, pos, 0, n, rho_.data(), nullptr, ws_.thread(0));
+    return;
   }
-  fft_.forward(mesh_);
-  // Per-k energy e_k = vol_cell/(2N) green |ρ̂|² (Parseval); the k-space
-  // virial accumulates alongside the potential multiply.
+  // Per-thread accumulation: deterministic mode quantizes each contribution
+  // into the fixed-point grid (exactly associative, so the merged result is
+  // bitwise independent of the thread count); otherwise per-thread doubles
+  // merged in fixed thread order (bitwise stable for a given thread count).
+  const size_t chunk = (n + nthreads - 1) / nthreads;
+  auto spread_chunk = [&](unsigned t) {
+    const size_t b = std::min(n, static_cast<size_t>(t) * chunk);
+    const size_t e = std::min(n, b + chunk);
+    GseThreadScratch& s = ws_.thread(t);
+    if (deterministic) {
+      spread_range<true>(top, pos, b, e, nullptr, s.rho_fx.data(), s);
+    } else {
+      spread_range<false>(top, pos, b, e, s.rho.data(), nullptr, s);
+    }
+  };
+  if (nthreads > 1) {
+    pool_->for_each_thread(spread_chunk);
+  } else {
+    spread_chunk(0);
+  }
+  // Zero-restoring merge: fold every thread grid into rho_ in thread order,
+  // leaving the per-thread grids zeroed for the next call.
+  auto merge_range = [&](size_t b, size_t e) {
+    if (deterministic) {
+      for (size_t m = b; m < e; ++m) {
+        MeshFixed acc{};
+        for (unsigned t = 0; t < nthreads; ++t) {
+          MeshFixed& v = ws_.thread(t).rho_fx[m];
+          acc += v;
+          v = MeshFixed{};
+        }
+        rho_[m] = acc.to_double();
+      }
+    } else {
+      for (size_t m = b; m < e; ++m) {
+        double acc = 0.0;
+        for (unsigned t = 0; t < nthreads; ++t) {
+          double& v = ws_.thread(t).rho[m];
+          acc += v;
+          v = 0.0;
+        }
+        rho_[m] = acc;
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(mesh_points(), merge_range);
+  } else {
+    merge_range(0, mesh_points());
+  }
+}
+
+// Multiplies the half-spectrum by the Green's function and accumulates the
+// k-space virial.  Each half-spectrum point carries weight 2 except the
+// self-conjugate x columns (hx == 0 and hx == nx/2), which represent a
+// single full-spectrum point.
+// ANTON_HOT_NOALLOC
+void GseMesh::kspace_multiply(EnergyReport& energy, bool deterministic) {
+  const int hnx = fft_.half_nx();
+  const int half_fx = nx_ / 2;
+  const size_t hp = fft_.half_points();
+  const unsigned nthreads = ws_.num_threads();
+  const size_t chunk = (hp + nthreads - 1) / nthreads;
+  auto multiply_chunk = [&](unsigned t) {
+    const size_t b = std::min(hp, static_cast<size_t>(t) * chunk);
+    const size_t e = std::min(hp, b + chunk);
+    double w_acc = 0.0;
+    MeshEnergyFixed w_fx{};
+    for (size_t m = b; m < e; ++m) {
+      const double g = green_[m];
+      const int hx = static_cast<int>(m % static_cast<size_t>(hnx));
+      const double weight = (hx == 0 || hx == half_fx) ? 1.0 : 2.0;
+      const double term =
+          weight * g * virial_factor_[m] * std::norm(mesh_[m]);
+      if (deterministic) {
+        w_fx += MeshEnergyFixed::from_double(term);
+      } else {
+        w_acc += term;
+      }
+      mesh_[m] *= g;
+    }
+    ws_.thread(t).w = w_acc;
+    ws_.thread(t).w_fx = w_fx;
+  };
+  if (nthreads > 1) {
+    pool_->for_each_thread(multiply_chunk);
+  } else {
+    multiply_chunk(0);
+  }
+  // Per-k energy e_k = vol_cell/(2N) green |ρ̂|² (Parseval); the scale is
+  // factored out of the per-point sum.
   const double e_k_scale =
       (h_.x * h_.y * h_.z) / (2.0 * static_cast<double>(mesh_points()));
-  double w_kspace = 0.0;
-  for (size_t m = 0; m < mesh_.size(); ++m) {
-    w_kspace +=
-        e_k_scale * green_[m] * virial_factor_[m] * std::norm(mesh_[m]);
-    mesh_[m] *= green_[m];
+  if (deterministic) {
+    MeshEnergyFixed w_total{};
+    for (unsigned t = 0; t < nthreads; ++t) w_total += ws_.thread(t).w_fx;
+    energy.virial += e_k_scale * w_total.to_double();
+  } else {
+    double w_total = 0.0;
+    for (unsigned t = 0; t < nthreads; ++t) w_total += ws_.thread(t).w;
+    energy.virial += e_k_scale * w_total;
   }
-  energy.virial += w_kspace;
-  fft_.inverse(mesh_);
-  // mesh_ now holds the (deconvolved) potential φ at mesh points.
+}
 
-  const double vol_cell = h_.x * h_.y * h_.z;
-  double e = 0.0;
-  for (size_t m = 0; m < mesh_.size(); ++m) {
-    e += rho_[m] * mesh_[m].real();
+// Σ_m ρ(m)·φ(m) over the real mesh, reduced per thread.
+// ANTON_HOT_NOALLOC
+double GseMesh::mesh_energy_dot(bool deterministic) {
+  const size_t np = mesh_points();
+  const unsigned nthreads = ws_.num_threads();
+  const size_t chunk = (np + nthreads - 1) / nthreads;
+  auto dot_chunk = [&](unsigned t) {
+    const size_t b = std::min(np, static_cast<size_t>(t) * chunk);
+    const size_t e = std::min(np, b + chunk);
+    double acc = 0.0;
+    MeshEnergyFixed acc_fx{};
+    for (size_t m = b; m < e; ++m) {
+      const double term = rho_[m] * phi_[m];
+      if (deterministic) {
+        acc_fx += MeshEnergyFixed::from_double(term);
+      } else {
+        acc += term;
+      }
+    }
+    ws_.thread(t).e = acc;
+    ws_.thread(t).e_fx = acc_fx;
+  };
+  if (nthreads > 1) {
+    pool_->for_each_thread(dot_chunk);
+  } else {
+    dot_chunk(0);
   }
-  energy.coulomb_kspace += 0.5 * vol_cell * e;
+  if (deterministic) {
+    MeshEnergyFixed total{};
+    for (unsigned t = 0; t < nthreads; ++t) total += ws_.thread(t).e_fx;
+    return total.to_double();
+  }
+  double total = 0.0;
+  for (unsigned t = 0; t < nthreads; ++t) total += ws_.thread(t).e;
+  return total;
+}
 
-  // Gather forces: F_i = -q_i vol_cell / σ² Σ_m φ(m) G_σ(d) d,
-  // d = r_m - r_i.
+// Gather forces: F_i = -q_i vol_cell / σ² Σ_m φ(m) G_σ(d) d, d = r_m - r_i.
+// Each atom reads the shared potential grid and writes only forces[i], so
+// the pass is data-parallel and bitwise independent of the thread count.
+// ANTON_HOT_NOALLOC
+void GseMesh::gather_range(const Topology& top, std::span<const Vec3> pos,
+                           std::span<Vec3> forces, size_t begin, size_t end,
+                           GseThreadScratch& s) const {
   const double inv_two_sigma2 = 1.0 / (2.0 * sigma_ * sigma_);
   const double norm3 = 1.0 / std::pow(2.0 * M_PI * sigma_ * sigma_, 1.5);
   const double inv_sigma2 = 1.0 / (sigma_ * sigma_);
+  const double vol_cell = h_.x * h_.y * h_.z;
   const auto q = top.charges();
-
-  std::vector<double> wx(static_cast<size_t>(2 * rx_ + 1));
-  std::vector<double> wy(static_cast<size_t>(2 * ry_ + 1));
-  std::vector<double> wz(static_cast<size_t>(2 * rz_ + 1));
-  std::vector<double> dxs(wx.size()), dys(wy.size()), dzs(wz.size());
-
-  for (size_t i = 0; i < pos.size(); ++i) {
+  const int sx = 2 * rx_ + 1, sy = 2 * ry_ + 1, sz = 2 * rz_ + 1;
+  double* wx = s.wx.data();
+  double* wy = s.wy.data();
+  double* wz = s.wz.data();
+  double* dxs = s.dxs.data();
+  double* dys = s.dys.data();
+  double* dzs = s.dzs.data();
+  int* ix = s.ix.data();
+  int* iy = s.iy.data();
+  int* iz = s.iz.data();
+  const double* phi = phi_.data();
+  for (size_t i = begin; i < end; ++i) {
     if (q[i] == 0.0) continue;
     const Vec3 p = box_.wrap(pos[i]);
     const int cx = static_cast<int>(p.x / h_.x);
     const int cy = static_cast<int>(p.y / h_.y);
     const int cz = static_cast<int>(p.z / h_.z);
-    for (int d = -rx_; d <= rx_; ++d) {
-      const double dx = (cx + d) * h_.x - p.x;
-      dxs[static_cast<size_t>(d + rx_)] = dx;
-      wx[static_cast<size_t>(d + rx_)] = std::exp(-dx * dx * inv_two_sigma2);
-    }
-    for (int d = -ry_; d <= ry_; ++d) {
-      const double dy = (cy + d) * h_.y - p.y;
-      dys[static_cast<size_t>(d + ry_)] = dy;
-      wy[static_cast<size_t>(d + ry_)] = std::exp(-dy * dy * inv_two_sigma2);
-    }
-    for (int d = -rz_; d <= rz_; ++d) {
-      const double dz = (cz + d) * h_.z - p.z;
-      dzs[static_cast<size_t>(d + rz_)] = dz;
-      wz[static_cast<size_t>(d + rz_)] = std::exp(-dz * dz * inv_two_sigma2);
-    }
+    axis_weights(cx, rx_, nx_, h_.x, p.x, inv_two_sigma2, wx, dxs, ix);
+    axis_weights(cy, ry_, ny_, h_.y, p.y, inv_two_sigma2, wy, dys, iy);
+    axis_weights(cz, rz_, nz_, h_.z, p.z, inv_two_sigma2, wz, dzs, iz);
     Vec3 acc{};
-    for (int dz = -rz_; dz <= rz_; ++dz) {
-      const int mz = (cz + dz % nz_ + nz_) % nz_;
-      const double wzv = wz[static_cast<size_t>(dz + rz_)];
-      for (int dy = -ry_; dy <= ry_; ++dy) {
-        const int my = (cy + dy % ny_ + ny_) % ny_;
-        const double wyz = wy[static_cast<size_t>(dy + ry_)] * wzv;
-        const size_t row = (static_cast<size_t>(mz) * ny_ + my) * nx_;
-        for (int dx = -rx_; dx <= rx_; ++dx) {
-          const int mx = (cx + dx % nx_ + nx_) % nx_;
-          const double w = wx[static_cast<size_t>(dx + rx_)] * wyz;
-          const double phi = mesh_[row + static_cast<size_t>(mx)].real();
-          const double c = phi * w;
-          acc += c * Vec3{dxs[static_cast<size_t>(dx + rx_)],
-                          dys[static_cast<size_t>(dy + ry_)],
-                          dzs[static_cast<size_t>(dz + rz_)]};
+    for (int a = 0; a < sz; ++a) {
+      const size_t plane = static_cast<size_t>(iz[a]) * ny_;
+      const double wzv = wz[a];
+      for (int b = 0; b < sy; ++b) {
+        const size_t row = (plane + static_cast<size_t>(iy[b])) * nx_;
+        const double wyz = wy[b] * wzv;
+        for (int c = 0; c < sx; ++c) {
+          const double w = wx[c] * wyz;
+          const double cphi = phi[row + static_cast<size_t>(ix[c])] * w;
+          acc += cphi * Vec3{dxs[c], dys[b], dzs[a]};
         }
       }
     }
     forces[i] += (-q[i] * vol_cell * norm3 * inv_sigma2) * acc;
+  }
+}
+
+// ANTON_HOT_NOALLOC
+void GseMesh::gather(const Topology& top, std::span<const Vec3> pos,
+                     std::span<Vec3> forces) {
+  const size_t n = pos.size();
+  const unsigned nthreads = ws_.num_threads();
+  if (nthreads <= 1) {
+    gather_range(top, pos, forces, 0, n, ws_.thread(0));
+    return;
+  }
+  const size_t chunk = (n + nthreads - 1) / nthreads;
+  pool_->for_each_thread([&](unsigned t) {
+    const size_t b = std::min(n, static_cast<size_t>(t) * chunk);
+    const size_t e = std::min(n, b + chunk);
+    gather_range(top, pos, forces, b, e, ws_.thread(t));
+  });
+}
+
+// ANTON_HOT_NOALLOC
+void GseMesh::compute(const Topology& top, std::span<const Vec3> pos,
+                      std::span<Vec3> forces, EnergyReport& energy,
+                      bool deterministic) {
+  ANTON_CHECK(static_cast<int>(pos.size()) == top.num_atoms());
+  const unsigned nthreads = pool_ != nullptr ? pool_->size() : 1;
+  ws_.ensure(nthreads, 2 * rx_ + 1, 2 * ry_ + 1, 2 * rz_ + 1, mesh_points(),
+             /*threaded_grids=*/nthreads > 1 && !deterministic,
+             /*fixed_grids=*/deterministic);
+
+  const bool timed = spread_stat_ != nullptr;
+  double t0 = timed ? obs::wall_seconds() : 0.0;
+  spread(top, pos, deterministic);
+  if (timed) spread_stat_->add(obs::wall_seconds() - t0);
+
+  fft_.forward_real(rho_, mesh_);
+  kspace_multiply(energy, deterministic);
+  fft_.inverse_real(mesh_, phi_);
+
+  const double vol_cell = h_.x * h_.y * h_.z;
+  energy.coulomb_kspace += 0.5 * vol_cell * mesh_energy_dot(deterministic);
+
+  t0 = timed ? obs::wall_seconds() : 0.0;
+  gather(top, pos, forces);
+  if (timed && gather_stat_ != nullptr) {
+    gather_stat_->add(obs::wall_seconds() - t0);
   }
 }
 

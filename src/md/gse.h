@@ -6,17 +6,34 @@
 // the same Gaussians.  The spreading/gathering smearing is deconvolved in
 // k-space, so the method converges to the exact Ewald reciprocal sum as the
 // mesh refines.  O(N + M log M).
+//
+// The whole pipeline is threaded over an optional ThreadPool and performs no
+// heap allocation in steady state: spreading accumulates into per-thread
+// charge grids merged by a zero-restoring reduction (the PR 1 force-buffer
+// scheme), the FFT runs through the real-to-complex half-spectrum path, the
+// k-space multiply and energy sums reduce per-thread partials, and the force
+// gather is data-parallel over atoms (each writes only its own force).
+//
+// Determinism: with `deterministic` set, every spread contribution and every
+// k-space energy/virial term is quantized to fixed point before
+// accumulation, making the sums exactly associative — forces and energies
+// are bitwise identical for any thread count.  The gather and the FFT are
+// per-atom/per-line pure functions and are bitwise stable unconditionally.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "chem/topology.h"
+#include "common/threadpool.h"
 #include "common/vec3.h"
 #include "fft/fft.h"
 #include "geom/box.h"
 #include "md/params.h"
+#include "md/workspace.h"
+#include "obs/profiler.h"
 
 namespace anton::md {
 
@@ -25,7 +42,8 @@ class GseMesh {
   // spacing: target mesh spacing (each axis rounds the grid size up to a
   // power of two); sigma: spreading Gaussian width (Å).  Stability requires
   // sigma < 1/(sqrt(2)·alpha) so the k-space deconvolution stays bounded.
-  GseMesh(const Box& box, double alpha, double spacing, double sigma);
+  GseMesh(const Box& box, double alpha, double spacing, double sigma,
+          ThreadPool* pool = nullptr);
 
   int nx() const { return nx_; }
   int ny() const { return ny_; }
@@ -35,8 +53,21 @@ class GseMesh {
   }
 
   // Adds reciprocal-space forces; energy lands in energy.coulomb_kspace.
+  // With `deterministic` set, results are bitwise identical for any thread
+  // count (fixed-point accumulation; see header comment).
   void compute(const Topology& top, std::span<const Vec3> pos,
-               std::span<Vec3> forces, EnergyReport& energy);
+               std::span<Vec3> forces, EnergyReport& energy,
+               bool deterministic = false);
+
+  // Rebox for the barostat.  No-op when the lengths are unchanged; when the
+  // mesh dimensions survive the resize every buffer is reused and only the
+  // k-space tables are re-derived (in parallel); only a dimension change
+  // re-plans the FFT.
+  void set_box(const Box& box);
+
+  // Number of k-space table builds performed (1 after construction) —
+  // observability for the barostat rebuild-skip.
+  int64_t table_builds() const { return table_builds_; }
 
   // Number of mesh points each charge touches (spread support volume) —
   // consumed by the machine model to cost the charge-spreading phase.
@@ -44,20 +75,50 @@ class GseMesh {
     return (2 * rx_ + 1) * (2 * ry_ + 1) * (2 * rz_ + 1);
   }
 
+  // Attaches (or detaches, with nullptr) the owning simulation's profiler:
+  // registers the spread/gather stage stats ("md.gse.{spread,gather}.
+  // seconds"), the per-axis FFT pass stats ("md.fft.{x,y,z}.seconds") and
+  // the mesh geometry gauges ("md.gse.mesh.*", "md.gse.support_points").
+  void set_profiler(obs::PhaseProfiler* prof);
+
  private:
-  void spread(const Topology& top, std::span<const Vec3> pos);
+  void derive_geometry();
+  void build_tables();
+  void update_mesh_gauges();
+  void spread(const Topology& top, std::span<const Vec3> pos,
+              bool deterministic);
+  template <bool kFixed>
+  void spread_range(const Topology& top, std::span<const Vec3> pos,
+                    size_t begin, size_t end, double* rho, MeshFixed* rho_fx,
+                    GseThreadScratch& s) const;
+  void kspace_multiply(EnergyReport& energy, bool deterministic);
+  double mesh_energy_dot(bool deterministic);
+  void gather(const Topology& top, std::span<const Vec3> pos,
+              std::span<Vec3> forces);
+  void gather_range(const Topology& top, std::span<const Vec3> pos,
+                    std::span<Vec3> forces, size_t begin, size_t end,
+                    GseThreadScratch& s) const;
 
   Box box_;
   double alpha_;
   double sigma_;
+  double spacing_;
+  ThreadPool* pool_;
   int nx_, ny_, nz_;
   int rx_, ry_, rz_;  // support radius in cells per axis
   Vec3 h_;            // mesh spacing per axis
   Fft3D fft_;
-  std::vector<double> green_;     // k-space kernel (includes deconvolution)
-  std::vector<double> virial_factor_;  // per-k (1 - k²/2α² + 2σ²k²)
-  std::vector<Complex> mesh_;     // work buffer
-  std::vector<double> rho_;       // saved charge mesh for the energy sum
+  std::vector<double> green_;          // half-spectrum k-space kernel
+  std::vector<double> virial_factor_;  // half-spectrum (1 - k²/2α²)
+  std::vector<Complex> mesh_;          // half-spectrum work buffer
+  std::vector<double> rho_;            // charge mesh (real grid)
+  std::vector<double> phi_;            // potential mesh (real grid)
+  GseWorkspace ws_;
+  int64_t table_builds_ = 0;
+
+  obs::PhaseProfiler* prof_ = nullptr;
+  obs::Stat* spread_stat_ = nullptr;
+  obs::Stat* gather_stat_ = nullptr;
 };
 
 }  // namespace anton::md

@@ -41,13 +41,17 @@ struct MdParams {
   bool tabulate_erfc = false;
   double erfc_table_target_err = 1e-9;
 
-  // Deterministic short-range accumulation (the scheme Anton runs in
-  // silicon): every per-pair force and energy contribution is quantized to
-  // 32.32 fixed point before accumulation.  Fixed-point addition is exactly
-  // associative and commutative, so the reduced forces are bitwise identical
-  // for ANY thread count — not merely for a fixed one, as with the default
-  // double-precision buffers.  Costs a quantization of ~2^-32 per
-  // contribution and a few % throughput.
+  // Deterministic force accumulation (the scheme Anton runs in silicon):
+  // every contribution whose accumulation order could depend on the thread
+  // decomposition is quantized to fixed point before summing — per-pair
+  // short-range forces/energies to 32.32, GSE mesh densities to 24.40 and
+  // mesh energy/virial sums to 48.16.  Fixed-point addition is exactly
+  // associative and commutative, so total (short- plus long-range) forces
+  // are bitwise identical for ANY thread count — not merely for a fixed
+  // one, as with the default double-precision buffers.  The FFT, the GSE
+  // gather and the direct-Ewald sum are data-parallel pure functions and
+  // bitwise stable without quantization.  Costs a quantization of ~2^-32
+  // per contribution and a few % throughput.
   bool deterministic_forces = false;
 
   // Ewald splitting.

@@ -157,4 +157,34 @@ void ForceWorkspace::ensure_fixed_threads(unsigned nthreads, size_t n_atoms) {
   partials_fx_.assign(nthreads, PairEnergyPartialFixed{});
 }
 
+void GseWorkspace::ensure(unsigned nthreads, int sx, int sy, int sz,
+                          size_t mesh_points, bool threaded_grids,
+                          bool fixed_grids) {
+  if (threads_.size() == nthreads && sx_ == sx && sy_ == sy && sz_ == sz &&
+      mesh_points_ == mesh_points && threaded_grids_ == threaded_grids &&
+      fixed_grids_ == fixed_grids) {
+    return;
+  }
+  threads_.assign(nthreads, GseThreadScratch{});
+  for (GseThreadScratch& t : threads_) {
+    t.wx.assign(static_cast<size_t>(sx), 0.0);
+    t.wy.assign(static_cast<size_t>(sy), 0.0);
+    t.wz.assign(static_cast<size_t>(sz), 0.0);
+    t.dxs.assign(static_cast<size_t>(sx), 0.0);
+    t.dys.assign(static_cast<size_t>(sy), 0.0);
+    t.dzs.assign(static_cast<size_t>(sz), 0.0);
+    t.ix.assign(static_cast<size_t>(sx), 0);
+    t.iy.assign(static_cast<size_t>(sy), 0);
+    t.iz.assign(static_cast<size_t>(sz), 0);
+    if (threaded_grids) t.rho.assign(mesh_points, 0.0);
+    if (fixed_grids) t.rho_fx.assign(mesh_points, MeshFixed{});
+  }
+  sx_ = sx;
+  sy_ = sy;
+  sz_ = sz;
+  mesh_points_ = mesh_points;
+  threaded_grids_ = threaded_grids;
+  fixed_grids_ = fixed_grids;
+}
+
 }  // namespace anton::md

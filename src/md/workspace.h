@@ -156,4 +156,59 @@ class ForceWorkspace {
   std::vector<Vec3> f_long_;
 };
 
+// Mesh-density accumulator for the deterministic GSE spread: 40 fractional
+// bits give 9.1e-13 resolution with a ±2^23 range — mesh charge densities
+// are O(|q|/vol_cell), far inside that range, and the quantization error is
+// orders of magnitude below the mesh discretization error.
+using MeshFixed = Fixed<40>;
+// Accumulator for the deterministic k-space energy/virial reductions: 16
+// fractional bits leave ±1.4e14 of range for the per-point virial terms
+// (which scale with the Green's function times |ρ̂|²) at 1.5e-5 resolution.
+using MeshEnergyFixed = Fixed<16>;
+
+// Per-thread scratch for the GSE mesh solver.  The axis arrays are sized
+// (2r+1) per axis and hold the separable Gaussian weights, displacements and
+// pre-wrapped mesh indices for one atom at a time; the grids are the
+// per-thread charge-density accumulators for the threaded spread.
+struct GseThreadScratch {
+  std::vector<double> wx, wy, wz;     // per-axis Gaussian weights
+  std::vector<double> dxs, dys, dzs;  // per-axis displacements (gather)
+  std::vector<int> ix, iy, iz;        // pre-wrapped mesh indices
+  // Per-thread charge grid for the threaded spread (kept zeroed between
+  // uses by the zero-restoring merge), plus its fixed-point twin for the
+  // deterministic mode.
+  std::vector<double> rho;
+  std::vector<MeshFixed> rho_fx;
+  // Partial sums for the k-space virial multiply and the energy dot
+  // product, with deterministic twins.
+  double e = 0, w = 0;
+  MeshEnergyFixed e_fx, w_fx;
+};
+
+// Persistent scratch owned by GseMesh, mirroring ForceWorkspace for the
+// long-range path: sized once, then reused so the steady-state long-range
+// step performs no heap allocation.
+class GseWorkspace {
+ public:
+  // Sizes the per-thread scratch; idempotent for identical geometry.
+  // `threaded_grids` requests the per-thread double charge grids (threaded
+  // non-deterministic spread); `fixed_grids` the fixed-point twins
+  // (deterministic spread at any thread count).  Grids are zeroed when
+  // (re)created here and kept zeroed by the zero-restoring merge.
+  void ensure(unsigned nthreads, int sx, int sy, int sz, size_t mesh_points,
+              bool threaded_grids, bool fixed_grids);
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+  GseThreadScratch& thread(unsigned t) { return threads_[t]; }
+
+ private:
+  std::vector<GseThreadScratch> threads_;
+  size_t mesh_points_ = 0;
+  int sx_ = 0, sy_ = 0, sz_ = 0;
+  bool threaded_grids_ = false;
+  bool fixed_grids_ = false;
+};
+
 }  // namespace anton::md

@@ -132,6 +132,143 @@ TEST(Determinism, ForceComputeShortRangeBitwiseAcrossThreadCounts) {
   }
 }
 
+// Long-range path: the GSE mesh spread quantizes every grid contribution to
+// fixed point, so reciprocal-space forces are bitwise identical for any
+// thread count (the gather and FFT are data-parallel pure functions).
+TEST(Determinism, LongRangeMeshBitwiseAcross1_2_4_8Threads) {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.long_range = LongRangeMethod::kMesh;
+  p.deterministic_forces = true;
+
+  System sys = build_water_box(729, 11);
+  const size_t n = static_cast<size_t>(sys.num_atoms());
+
+  std::vector<Vec3> ref(n);
+  EnergyReport e_ref;
+  {
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, nullptr);
+    e_ref = force.compute_long(sys.positions(), ref);
+  }
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
+    std::vector<Vec3> f(n);
+    const EnergyReport e = force.compute_long(sys.positions(), f);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(ref[i].x, f[i].x) << "atom " << i;
+      ASSERT_EQ(ref[i].y, f[i].y) << "atom " << i;
+      ASSERT_EQ(ref[i].z, f[i].z) << "atom " << i;
+    }
+    EXPECT_EQ(e_ref.coulomb_kspace, e.coulomb_kspace);
+    EXPECT_EQ(e_ref.virial, e.virial);
+  }
+}
+
+// Direct Ewald is bitwise stable across thread counts by construction: each
+// S(k) is a serial sum in atom order and the force pass is per-atom pure.
+TEST(Determinism, DirectEwaldBitwiseAcrossThreadCounts) {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.long_range = LongRangeMethod::kDirect;
+  p.kspace_nmax = 4;
+  p.deterministic_forces = true;
+
+  System sys = build_water_box(216, 13);
+  const size_t n = static_cast<size_t>(sys.num_atoms());
+
+  std::vector<Vec3> ref(n);
+  EnergyReport e_ref;
+  {
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, nullptr);
+    e_ref = force.compute_long(sys.positions(), ref);
+  }
+  for (unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
+    std::vector<Vec3> f(n);
+    const EnergyReport e = force.compute_long(sys.positions(), f);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(ref[i].x, f[i].x) << "atom " << i;
+      ASSERT_EQ(ref[i].y, f[i].y) << "atom " << i;
+      ASSERT_EQ(ref[i].z, f[i].z) << "atom " << i;
+    }
+    EXPECT_EQ(e_ref.coulomb_kspace, e.coulomb_kspace);
+    EXPECT_EQ(e_ref.virial, e.virial);
+  }
+}
+
+// The acceptance property for the full pipeline: total (short- plus
+// long-range) forces bit-identical across thread counts 1/2/4/8.
+TEST(Determinism, TotalForcesBitwiseAcross1_2_4_8Threads) {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.long_range = LongRangeMethod::kMesh;
+  p.deterministic_forces = true;
+
+  System sys = build_water_box(729, 11);
+  const size_t n = static_cast<size_t>(sys.num_atoms());
+
+  std::vector<Vec3> ref(n);
+  {
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, nullptr);
+    force.compute_all(sys.positions(), ref);
+  }
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
+    std::vector<Vec3> f(n);
+    force.compute_all(sys.positions(), f);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(ref[i].x, f[i].x) << "atom " << i;
+      ASSERT_EQ(ref[i].y, f[i].y) << "atom " << i;
+      ASSERT_EQ(ref[i].z, f[i].z) << "atom " << i;
+    }
+  }
+}
+
+// The deterministic long-range result must track the double-precision path
+// to the fixed-point quantization scale, not perturb the physics.
+TEST(Determinism, LongRangeFixedPointTracksDoublePath) {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.long_range = LongRangeMethod::kMesh;
+
+  System sys = build_water_box(729, 11);
+  const size_t n = static_cast<size_t>(sys.num_atoms());
+  ThreadPool pool(4);
+
+  std::vector<Vec3> f_dbl(n), f_fxd(n);
+  EnergyReport e_dbl, e_fxd;
+  {
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
+    e_dbl = force.compute_long(sys.positions(), f_dbl);
+  }
+  p.deterministic_forces = true;
+  {
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
+    e_fxd = force.compute_long(sys.positions(), f_fxd);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double scale = std::max(
+        1.0, std::sqrt(std::max(norm2(f_dbl[i]), norm2(f_fxd[i]))));
+    EXPECT_NEAR(f_dbl[i].x, f_fxd[i].x, 1e-6 * scale) << "atom " << i;
+    EXPECT_NEAR(f_dbl[i].y, f_fxd[i].y, 1e-6 * scale) << "atom " << i;
+    EXPECT_NEAR(f_dbl[i].z, f_fxd[i].z, 1e-6 * scale) << "atom " << i;
+  }
+  const double escale = std::max(1.0, std::abs(e_dbl.coulomb_kspace));
+  EXPECT_NEAR(e_dbl.coulomb_kspace, e_fxd.coulomb_kspace, 1e-4 * escale);
+  EXPECT_NEAR(e_dbl.virial, e_fxd.virial,
+              1e-4 * std::max(1.0, std::abs(e_dbl.virial)));
+}
+
 // Repeated evaluation with the same workspace must also be stable (no state
 // leaks between deterministic evaluations).
 TEST(Determinism, RepeatedEvaluationIsStable) {

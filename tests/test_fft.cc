@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "fft/fft.h"
 
 namespace anton {
@@ -152,6 +153,163 @@ TEST(Fft3D, SeparablePlaneWave) {
           EXPECT_NEAR(mag, 0.0, 1e-7);
         }
       }
+    }
+  }
+}
+
+// Full-spectrum 3D reference DFT built by applying the O(n²) 1D reference
+// transform along each axis in turn.
+std::vector<Complex> dft3_reference(const std::vector<Complex>& in, int nx,
+                                    int ny, int nz) {
+  std::vector<Complex> data = in;
+  auto idx = [&](int x, int y, int z) {
+    return (static_cast<size_t>(z) * ny + y) * nx + x;
+  };
+  std::vector<Complex> line;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      line.assign(static_cast<size_t>(nx), Complex{});
+      for (int x = 0; x < nx; ++x) line[static_cast<size_t>(x)] = data[idx(x, y, z)];
+      const auto out = dft_reference(line, false);
+      for (int x = 0; x < nx; ++x) data[idx(x, y, z)] = out[static_cast<size_t>(x)];
+    }
+  }
+  for (int z = 0; z < nz; ++z) {
+    for (int x = 0; x < nx; ++x) {
+      line.assign(static_cast<size_t>(ny), Complex{});
+      for (int y = 0; y < ny; ++y) line[static_cast<size_t>(y)] = data[idx(x, y, z)];
+      const auto out = dft_reference(line, false);
+      for (int y = 0; y < ny; ++y) data[idx(x, y, z)] = out[static_cast<size_t>(y)];
+    }
+  }
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      line.assign(static_cast<size_t>(nz), Complex{});
+      for (int z = 0; z < nz; ++z) line[static_cast<size_t>(z)] = data[idx(x, y, z)];
+      const auto out = dft_reference(line, false);
+      for (int z = 0; z < nz; ++z) data[idx(x, y, z)] = out[static_cast<size_t>(z)];
+    }
+  }
+  return data;
+}
+
+std::vector<double> random_real(size_t n, uint64_t seed) {
+  Rng rng(seed, 0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+// The r2c half-spectrum must agree with the reference DFT of the same real
+// data on the stored region, across a range of (including degenerate) sizes.
+TEST(Fft3D, RealForwardMatchesReferenceDft) {
+  struct Dims {
+    int nx, ny, nz;
+  };
+  for (const Dims d : {Dims{8, 4, 4}, Dims{4, 8, 2}, Dims{2, 2, 8},
+                       Dims{16, 4, 2}, Dims{8, 8, 8}}) {
+    SCOPED_TRACE(testing::Message()
+                 << d.nx << "x" << d.ny << "x" << d.nz);
+    Fft3D fft(d.nx, d.ny, d.nz);
+    const auto real_in =
+        random_real(fft.num_points(), 100 + static_cast<uint64_t>(d.nx));
+    std::vector<Complex> full(fft.num_points());
+    for (size_t i = 0; i < full.size(); ++i) full[i] = {real_in[i], 0.0};
+    const auto ref = dft3_reference(full, d.nx, d.ny, d.nz);
+
+    std::vector<Complex> half(fft.half_points());
+    fft.forward_real(real_in, half);
+    for (int z = 0; z < d.nz; ++z) {
+      for (int y = 0; y < d.ny; ++y) {
+        for (int hx = 0; hx < fft.half_nx(); ++hx) {
+          const Complex got = half[fft.half_index(hx, y, z)];
+          const Complex want =
+              ref[(static_cast<size_t>(z) * d.ny + y) * d.nx + hx];
+          EXPECT_NEAR(got.real(), want.real(), 1e-9);
+          EXPECT_NEAR(got.imag(), want.imag(), 1e-9);
+        }
+      }
+    }
+  }
+}
+
+// forward_real followed by inverse_real must reproduce the input.
+TEST(Fft3D, RealRoundTripIsIdentity) {
+  for (int nx : {2, 4, 8, 16}) {
+    SCOPED_TRACE(nx);
+    Fft3D fft(nx, 8, 4);
+    const auto orig = random_real(fft.num_points(), 7 + static_cast<uint64_t>(nx));
+    std::vector<Complex> half(fft.half_points());
+    fft.forward_real(orig, half);
+    std::vector<double> back(fft.num_points());
+    fft.inverse_real(half, back);
+    for (size_t i = 0; i < orig.size(); ++i) {
+      EXPECT_NEAR(back[i], orig[i], 1e-10);
+    }
+  }
+}
+
+// The half-spectrum must match the full complex forward transform (the
+// pre-r2c code path) on the stored region — they are the same transform.
+TEST(Fft3D, RealForwardMatchesComplexForward) {
+  Fft3D fft(16, 8, 8);
+  const auto real_in = random_real(fft.num_points(), 55);
+  std::vector<Complex> full(fft.num_points());
+  for (size_t i = 0; i < full.size(); ++i) full[i] = {real_in[i], 0.0};
+  fft.forward(full);
+  std::vector<Complex> half(fft.half_points());
+  fft.forward_real(real_in, half);
+  for (int z = 0; z < fft.nz(); ++z) {
+    for (int y = 0; y < fft.ny(); ++y) {
+      for (int hx = 0; hx < fft.half_nx(); ++hx) {
+        const Complex got = half[fft.half_index(hx, y, z)];
+        const Complex want = full[fft.index(hx, y, z)];
+        EXPECT_NEAR(got.real(), want.real(), 1e-10);
+        EXPECT_NEAR(got.imag(), want.imag(), 1e-10);
+      }
+    }
+  }
+}
+
+// Threading must not change a single bit: every 1D line transform is a pure
+// function and lines are data-parallel, so the threaded transform equals the
+// serial one exactly for any thread count.
+TEST(Fft3D, ThreadedBitwiseEqualsSerial) {
+  const auto real_in = random_real(static_cast<size_t>(16) * 16 * 8, 99);
+  std::vector<Complex> cplx_in(real_in.size());
+  for (size_t i = 0; i < real_in.size(); ++i) cplx_in[i] = {real_in[i], 0.5};
+
+  Fft3D serial(16, 16, 8);
+  auto serial_cplx = cplx_in;
+  serial.forward(serial_cplx);
+  std::vector<Complex> serial_half(serial.half_points());
+  serial.forward_real(real_in, serial_half);
+  std::vector<double> serial_back(serial.num_points());
+  {
+    auto spec = serial_half;
+    serial.inverse_real(spec, serial_back);
+  }
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    Fft3D fft(16, 16, 8, &pool);
+    auto cplx = cplx_in;
+    fft.forward(cplx);
+    for (size_t i = 0; i < cplx.size(); ++i) {
+      ASSERT_EQ(cplx[i].real(), serial_cplx[i].real()) << i;
+      ASSERT_EQ(cplx[i].imag(), serial_cplx[i].imag()) << i;
+    }
+    std::vector<Complex> half(fft.half_points());
+    fft.forward_real(real_in, half);
+    for (size_t i = 0; i < half.size(); ++i) {
+      ASSERT_EQ(half[i].real(), serial_half[i].real()) << i;
+      ASSERT_EQ(half[i].imag(), serial_half[i].imag()) << i;
+    }
+    std::vector<double> back(fft.num_points());
+    fft.inverse_real(half, back);
+    for (size_t i = 0; i < back.size(); ++i) {
+      ASSERT_EQ(back[i], serial_back[i]) << i;
     }
   }
 }

@@ -217,5 +217,23 @@ TEST(Engine, ThreadedMatchesSerialTrajectory) {
   }
 }
 
+// NVE drift stays bounded when the long-range path runs threaded with
+// deterministic fixed-point reductions — the quantized mesh densities must
+// not inject energy.
+TEST(Engine, NveConservationThreadedDeterministic) {
+  ThreadPool pool(4);
+  System sys = build_water_box(125, 101);
+  MdParams p = fast_params();
+  p.deterministic_forces = true;
+  Simulation sim(std::move(sys), p, &pool);
+  sim.step(50);
+  const double e0 = sim.energies().total();
+  sim.step(200);
+  const double e1 = sim.energies().total();
+  const double ke = sim.system().kinetic_energy();
+  EXPECT_LT(std::abs(e1 - e0), 0.01 * ke)
+      << "E0=" << e0 << " E1=" << e1 << " KE=" << ke;
+}
+
 }  // namespace
 }  // namespace anton::md

@@ -4,6 +4,7 @@
 
 #include "chem/builder.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "common/units.h"
 #include "md/ewald.h"
 #include "md/gse.h"
@@ -222,6 +223,110 @@ TEST(GseMesh, SupportPointsReported) {
   GseMesh gse(box, 0.35, 1.0, 1.2);
   EXPECT_GT(gse.support_points(), 26);
   EXPECT_EQ(gse.nx(), 32);
+}
+
+// The threaded pipeline (per-thread spread grids, parallel k-space multiply,
+// parallel gather) must agree with the serial one to accumulation roundoff.
+TEST(GseMesh, ThreadedMatchesSerial) {
+  ChargeGas g(24, 16.0, 39);
+  GseMesh serial(g.box, 0.35, 0.8, 1.1);
+  std::vector<Vec3> f0(g.pos.size());
+  EnergyReport e0;
+  serial.compute(*g.top, g.pos, f0, e0);
+  double rms = 0;
+  for (const auto& fi : f0) rms += norm2(fi);
+  rms = std::sqrt(rms / static_cast<double>(f0.size()));
+  for (unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    GseMesh gse(g.box, 0.35, 0.8, 1.1, &pool);
+    std::vector<Vec3> f(g.pos.size());
+    EnergyReport e;
+    gse.compute(*g.top, g.pos, f, e);
+    EXPECT_NEAR(e.coulomb_kspace, e0.coulomb_kspace,
+                1e-9 * std::abs(e0.coulomb_kspace) + 1e-9);
+    EXPECT_NEAR(e.virial, e0.virial, 1e-9 * std::abs(e0.virial) + 1e-9);
+    for (size_t i = 0; i < f.size(); ++i) {
+      EXPECT_NEAR(f[i].x, f0[i].x, 1e-9 * rms + 1e-10) << "atom " << i;
+      EXPECT_NEAR(f[i].y, f0[i].y, 1e-9 * rms + 1e-10) << "atom " << i;
+      EXPECT_NEAR(f[i].z, f0[i].z, 1e-9 * rms + 1e-10) << "atom " << i;
+    }
+  }
+}
+
+// The threaded direct Ewald is bitwise equal to serial even without the
+// deterministic flag: S(k) sums run in atom order per k, the scalar
+// reduction is serial, and the force pass is per-atom pure.
+TEST(EwaldDirect, ThreadedBitwiseEqualsSerial) {
+  ChargeGas g(16, 14.0, 40);
+  EwaldDirect serial(g.box, 0.4, 8);
+  std::vector<Vec3> f0(g.pos.size());
+  EnergyReport e0;
+  serial.compute(*g.top, g.pos, f0, e0);
+  for (unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    EwaldDirect ewald(g.box, 0.4, 8, &pool);
+    std::vector<Vec3> f(g.pos.size());
+    EnergyReport e;
+    ewald.compute(*g.top, g.pos, f, e);
+    EXPECT_EQ(e.coulomb_kspace, e0.coulomb_kspace);
+    EXPECT_EQ(e.virial, e0.virial);
+    for (size_t i = 0; i < f.size(); ++i) {
+      ASSERT_EQ(f[i].x, f0[i].x) << "atom " << i;
+      ASSERT_EQ(f[i].y, f0[i].y) << "atom " << i;
+      ASSERT_EQ(f[i].z, f0[i].z) << "atom " << i;
+    }
+  }
+}
+
+// set_box must skip the table rebuild when the lengths are unchanged,
+// rebuild in place when the dimensions survive, and produce results bitwise
+// identical to a freshly constructed mesh in either case.
+TEST(GseMesh, SetBoxSkipsAndMatchesFreshMesh) {
+  ThreadPool pool(2);
+  GseMesh gse(Box::cube(16.0), 0.35, 1.0, 1.2, &pool);
+  EXPECT_EQ(gse.table_builds(), 1);
+  EXPECT_EQ(gse.nx(), 16);
+
+  // Unchanged lengths: everything skipped.
+  gse.set_box(Box::cube(16.0));
+  EXPECT_EQ(gse.table_builds(), 1);
+
+  // Barostat-scale resize: ceil(15.8 / 1.0) = 16 keeps the mesh dimensions,
+  // so the tables rebuild in place with no FFT re-plan or reallocation.
+  gse.set_box(Box::cube(15.8));
+  EXPECT_EQ(gse.table_builds(), 2);
+  EXPECT_EQ(gse.nx(), 16);
+
+  // Dimension change: FFT re-planned, buffers resized.
+  gse.set_box(Box::cube(17.0));
+  EXPECT_EQ(gse.table_builds(), 3);
+  EXPECT_EQ(gse.nx(), 32);
+
+  // The reboxed mesh must match a mesh constructed directly for that box.
+  ChargeGas g(12, 17.0, 41);
+  GseMesh fresh(g.box, 0.35, 1.0, 1.2, &pool);
+  std::vector<Vec3> fa(g.pos.size()), fb(g.pos.size());
+  EnergyReport ea, eb;
+  gse.compute(*g.top, g.pos, fa, ea);
+  fresh.compute(*g.top, g.pos, fb, eb);
+  EXPECT_EQ(ea.coulomb_kspace, eb.coulomb_kspace);
+  EXPECT_EQ(ea.virial, eb.virial);
+  for (size_t i = 0; i < fa.size(); ++i) {
+    ASSERT_EQ(fa[i].x, fb[i].x) << "atom " << i;
+    ASSERT_EQ(fa[i].y, fb[i].y) << "atom " << i;
+    ASSERT_EQ(fa[i].z, fb[i].z) << "atom " << i;
+  }
+}
+
+// set_box on the direct Ewald rebuilds the k-vector list for the new cell.
+TEST(EwaldDirect, SetBoxMatchesFreshSum) {
+  ChargeGas g(8, 15.0, 42);
+  EwaldDirect ewald(Box::cube(12.0), 0.4, 6);
+  ewald.set_box(g.box);
+  EwaldDirect fresh(g.box, 0.4, 6);
+  EXPECT_EQ(ewald.energy_only(*g.top, g.pos), fresh.energy_only(*g.top, g.pos));
 }
 
 }  // namespace

@@ -234,5 +234,41 @@ TEST(Threaded, SteadyStateShortRangeIsAllocationFree) {
   EXPECT_EQ(during_build, 0) << "steady-state nlist build allocated";
 }
 
+// The long-range path — GSE spread, threaded r2c FFT, k-space multiply,
+// inverse FFT, gather — must also run allocation-free once warmed: the FFT
+// plan owns per-thread scratch, and the GSE workspace holds the per-thread
+// grids and axis-weight arrays persistently.
+TEST(Threaded, SteadyStateLongRangeIsAllocationFree) {
+  MdParams p;
+  p.cutoff = 6.5;
+  p.skin = 0.7;
+  p.long_range = LongRangeMethod::kMesh;
+  p.tabulate_erfc = true;
+  for (const bool deterministic : {false, true}) {
+    SCOPED_TRACE(deterministic ? "deterministic" : "fast");
+    p.deterministic_forces = deterministic;
+    ThreadPool pool(4);
+    System sys = build_water_box(729, 11);
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
+    force.warm(sys.positions());
+
+    std::vector<Vec3> f(static_cast<size_t>(sys.num_atoms()));
+    force.compute_long(sys.positions(), f);
+    force.compute_long(sys.positions(), f);
+
+    const std::int64_t before = g_allocs.load();
+    force.compute_long(sys.positions(), f);
+    const std::int64_t during = g_allocs.load() - before;
+    EXPECT_EQ(during, 0) << "steady-state compute_long allocated";
+
+    // The combined evaluation (short + long) is the per-step hot path.
+    force.compute_all(sys.positions(), f);
+    const std::int64_t before_all = g_allocs.load();
+    force.compute_all(sys.positions(), f);
+    const std::int64_t during_all = g_allocs.load() - before_all;
+    EXPECT_EQ(during_all, 0) << "steady-state compute_all allocated";
+  }
+}
+
 }  // namespace
 }  // namespace anton::md
