@@ -10,19 +10,59 @@
 using namespace anton;
 using namespace anton::bench;
 
-namespace {
-
-double rate(const arch::MachineConfig& cfg, const System& sys,
-            int respa_k = 2) {
-  return core::AntonMachine(cfg).estimate(sys, 2.5, respa_k).us_per_day();
-}
-
-}  // namespace
-
 int main() {
   const System& sys = dhfr_system();
   const auto base = machine_preset("anton2", 512);
-  const double baseline = rate(base, sys);
+
+  // All ablation points are collected up front and evaluated in one sweep;
+  // the sections below print results by index.
+  std::vector<core::EstimatePoint> pts;
+  const auto add = [&](const arch::MachineConfig& cfg, int respa_k = 2) {
+    pts.push_back({cfg, 2.5, respa_k});
+    return pts.size() - 1;
+  };
+
+  const size_t i_base = add(base);
+  auto c_uni = base;
+  c_uni.use_multicast = false;
+  const size_t i_unicast = add(c_uni);
+
+  const std::vector<int> respa_ks{1, 2, 3, 4};
+  std::vector<size_t> i_respa;
+  for (int k : respa_ks) i_respa.push_back(add(base, k));
+
+  const std::vector<double> spacings{1.0, 1.5, 2.0, 3.0, 4.0};
+  std::vector<size_t> i_spacing;
+  for (double spacing : spacings) {
+    auto c = base;
+    c.mesh_spacing = spacing;
+    i_spacing.push_back(add(c));
+  }
+
+  const std::vector<double> cutoffs{7.0, 9.0, 11.0, 13.0};
+  std::vector<size_t> i_cutoff;
+  for (double rc : cutoffs) {
+    auto c = base;
+    c.machine_cutoff = rc;
+    i_cutoff.push_back(add(c));
+  }
+
+  auto c_rand = base;
+  c_rand.noc.routing = noc::RoutingPolicy::kRandomizedOrder;
+  const size_t i_rand = add(c_rand);
+
+  const std::vector<double> triggers{2.0, 8.0, 32.0, 128.0};
+  std::vector<size_t> i_trig;
+  for (double trig : triggers) {
+    auto c = base;
+    c.sync_trigger_ns = trig;
+    i_trig.push_back(add(c));
+  }
+
+  const auto results = sweep_estimates(sys, pts);
+  const auto rate_at = [&](size_t i) { return results[i].us_per_day(); };
+  const double baseline = rate_at(i_base);
+
   BenchReport report("a1");
   report.record("baseline.us_per_day", baseline);
 
@@ -30,9 +70,7 @@ int main() {
   {
     TextTable t({"import mechanism", "us/day", "vs baseline"});
     t.add_row({"multicast tree (baseline)", TextTable::fmt(baseline), "1.00"});
-    auto c = base;
-    c.use_multicast = false;
-    const double v = rate(c, sys);
+    const double v = rate_at(i_unicast);
     report.record("unicast_import.vs_baseline", v / baseline);
     t.add_row({"unicast per destination", TextTable::fmt(v),
                TextTable::fmt(v / baseline, 2)});
@@ -42,11 +80,11 @@ int main() {
   print_header("A1b", "RESPA long-range cadence");
   {
     TextTable t({"k (FFT every k steps)", "us/day", "vs k=1"});
-    const double k1 = rate(base, sys, 1);
-    for (int k : {1, 2, 3, 4}) {
-      const double v = rate(base, sys, k);
-      report.record("respa.us_per_day.k" + std::to_string(k), v);
-      t.add_row({TextTable::fmt_int(k), TextTable::fmt(v),
+    const double k1 = rate_at(i_respa[0]);
+    for (size_t j = 0; j < respa_ks.size(); ++j) {
+      const double v = rate_at(i_respa[j]);
+      report.record("respa.us_per_day.k" + std::to_string(respa_ks[j]), v);
+      t.add_row({TextTable::fmt_int(respa_ks[j]), TextTable::fmt(v),
                  TextTable::fmt(v / k1, 2)});
     }
     t.print(std::cout);
@@ -55,14 +93,12 @@ int main() {
   print_header("A1c", "mesh spacing (FFT size vs spreading traffic)");
   {
     TextTable t({"target spacing (A)", "mesh", "us/day"});
-    for (double spacing : {1.0, 1.5, 2.0, 3.0, 4.0}) {
-      auto c = base;
-      c.mesh_spacing = spacing;
-      const core::Workload w = core::Workload::build(sys, c);
-      const double v = rate(c, sys);
-      t.add_row({TextTable::fmt(spacing, 1),
+    for (size_t j = 0; j < spacings.size(); ++j) {
+      const core::Workload w =
+          core::Workload::build(sys, pts[i_spacing[j]].config);
+      t.add_row({TextTable::fmt(spacings[j], 1),
                  TextTable::fmt_int(w.mesh_dim(0)) + "^3",
-                 TextTable::fmt(v)});
+                 TextTable::fmt(rate_at(i_spacing[j]))});
     }
     t.print(std::cout);
   }
@@ -70,14 +106,12 @@ int main() {
   print_header("A1d", "pairwise cutoff (HTIS load vs import volume)");
   {
     TextTable t({"cutoff (A)", "pairs/step (M)", "us/day"});
-    for (double rc : {7.0, 9.0, 11.0, 13.0}) {
-      auto c = base;
-      c.machine_cutoff = rc;
-      const core::Workload w = core::Workload::build(sys, c);
-      const double v = rate(c, sys);
-      t.add_row({TextTable::fmt(rc, 1),
+    for (size_t j = 0; j < cutoffs.size(); ++j) {
+      const core::Workload w =
+          core::Workload::build(sys, pts[i_cutoff[j]].config);
+      t.add_row({TextTable::fmt(cutoffs[j], 1),
                  TextTable::fmt(static_cast<double>(w.total_pairs()) / 1e6, 1),
-                 TextTable::fmt(v)});
+                 TextTable::fmt(rate_at(i_cutoff[j]))});
     }
     t.print(std::cout);
   }
@@ -87,9 +121,7 @@ int main() {
     TextTable t({"routing", "us/day", "vs baseline"});
     t.add_row({"dimension-order (baseline)", TextTable::fmt(baseline),
                "1.00"});
-    auto c = base;
-    c.noc.routing = noc::RoutingPolicy::kRandomizedOrder;
-    const double v = rate(c, sys);
+    const double v = rate_at(i_rand);
     report.record("randomized_routing.vs_baseline", v / baseline);
     t.add_row({"randomised axis order", TextTable::fmt(v),
                TextTable::fmt(v / baseline, 2)});
@@ -104,13 +136,12 @@ int main() {
   print_header("A1e", "event-dispatch cost sensitivity");
   {
     TextTable t({"sync trigger (ns)", "us/day", "vs baseline"});
-    for (double trig : {2.0, 8.0, 32.0, 128.0}) {
-      auto c = base;
-      c.sync_trigger_ns = trig;
-      const double v = rate(c, sys);
-      report.record("sync_trigger.vs_baseline.ns" + TextTable::fmt(trig, 0),
-                    v / baseline);
-      t.add_row({TextTable::fmt(trig, 0), TextTable::fmt(v),
+    for (size_t j = 0; j < triggers.size(); ++j) {
+      const double v = rate_at(i_trig[j]);
+      report.record(
+          "sync_trigger.vs_baseline.ns" + TextTable::fmt(triggers[j], 0),
+          v / baseline);
+      t.add_row({TextTable::fmt(triggers[j], 0), TextTable::fmt(v),
                  TextTable::fmt(v / baseline, 2)});
     }
     t.print(std::cout);

@@ -19,12 +19,25 @@ int main() {
   TextTable t({"nodes", "atoms/node", "half-shell imports/node",
                "NT imports/node", "NT saving", "import KB/node (HS)"});
   BenchReport report("a2");
-  for (int nodes : {8, 64, 216, 512}) {
-    const auto cfg = machine_preset("anton2", nodes);
-    const auto hs = core::analyze_decomposition(
-        sys, cfg, DecompositionScheme::kHalfShell);
-    const auto nt = core::analyze_decomposition(
-        sys, cfg, DecompositionScheme::kNeutralTerritory);
+  const std::vector<int> node_counts{8, 64, 216, 512};
+  struct Pair {
+    core::ImportStats hs, nt;
+  };
+  std::vector<Pair> results;
+  core::SweepRunner(sweep_pool())
+      .map(node_counts.size(), results, [&](size_t i) {
+        const auto cfg = machine_preset("anton2", node_counts[i]);
+        Pair p;
+        p.hs = core::analyze_decomposition(sys, cfg,
+                                           DecompositionScheme::kHalfShell);
+        p.nt = core::analyze_decomposition(
+            sys, cfg, DecompositionScheme::kNeutralTerritory);
+        return p;
+      });
+  for (size_t i = 0; i < node_counts.size(); ++i) {
+    const int nodes = node_counts[i];
+    const auto& hs = results[i].hs;
+    const auto& nt = results[i].nt;
     // Identical pair totals: both schemes cover every interaction.
     if (hs.total_pairs != nt.total_pairs) return 1;
     report.record("nt_import_saving.n" + std::to_string(nodes),

@@ -14,12 +14,18 @@ int main() {
   BenchReport report("f1");
   TextTable t({"nodes", "anton2 us/day", "anton1 us/day", "anton2/anton1",
                "anton2 step (ns)", "anton2 compute frac"});
+  const std::vector<int> node_counts{8, 16, 32, 64, 128, 256, 512};
+  std::vector<core::EstimatePoint> pts;
+  for (int nodes : node_counts) {
+    pts.push_back({machine_preset("anton2", nodes), 2.5, 2});
+    pts.push_back({machine_preset("anton1", nodes), 2.5, 2});
+  }
+  const auto results = sweep_estimates(sys, pts);
   double last_a2 = 0;
-  for (int nodes : {8, 16, 32, 64, 128, 256, 512}) {
-    const core::AntonMachine m2(machine_preset("anton2", nodes));
-    const core::AntonMachine m1(machine_preset("anton1", nodes));
-    const auto r2 = m2.estimate(sys, 2.5, 2);
-    const auto r1 = m1.estimate(sys, 2.5, 2);
+  for (size_t i = 0; i < node_counts.size(); ++i) {
+    const int nodes = node_counts[i];
+    const auto& r2 = results[2 * i];
+    const auto& r1 = results[2 * i + 1];
     last_a2 = r2.us_per_day();
     const std::string n = std::to_string(nodes);
     report.record("anton2.us_per_day.n" + n, r2.us_per_day());

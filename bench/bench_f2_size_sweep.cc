@@ -13,25 +13,43 @@ int main() {
   BenchReport report("f2");
   TextTable t({"atoms", "us/day", "step (ns)", "pairs/step (M)",
                "atoms/node", "compute frac"});
-  const core::AntonMachine m2(machine_preset("anton2", 512));
+  const auto cfg = machine_preset("anton2", 512);
 
-  double mm_atom_rate = 0;
-  for (int atoms : {23558, 92224, 262144, 524288, 1066628, 2217000,
-                    4194304}) {
+  // Each point builds its own system (the dominant cost at 4M atoms), so
+  // the whole pipeline — build, workload, estimate — runs inside the sweep.
+  struct SizePoint {
+    core::PerfReport report;
+    double pairs_m = 0;
+    double atoms_per_node = 0;
+  };
+  const std::vector<int> sizes{23558, 92224,  262144,  524288,
+                               1066628, 2217000, 4194304};
+  std::vector<SizePoint> results;
+  core::SweepRunner(sweep_pool()).map(sizes.size(), results, [&](size_t i) {
     BuilderOptions o;
-    o.total_atoms = atoms;
+    o.total_atoms = sizes[i];
     o.solute_fraction = 0.11;
     o.temperature_k = -1;  // timing only; skip velocity assignment
     o.seed = 2014;
     const System sys = build_solvated_system(o);
-    const auto r = m2.estimate(sys, 2.5, 2);
-    const core::Workload w = core::Workload::build(sys, m2.config());
+    const core::Workload w = core::Workload::build(sys, cfg);
+    SizePoint p;
+    p.report = core::AntonMachine(cfg).estimate(sys, 2.5, 2);
+    p.pairs_m = static_cast<double>(w.total_pairs()) / 1e6;
+    p.atoms_per_node = w.mean_atoms_per_node();
+    return p;
+  });
+
+  double mm_atom_rate = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const int atoms = sizes[i];
+    const auto& r = results[i].report;
     if (atoms >= 1000000 && mm_atom_rate == 0) mm_atom_rate = r.us_per_day();
     report.record("us_per_day.a" + std::to_string(atoms), r.us_per_day());
     t.add_row({TextTable::fmt_int(atoms), TextTable::fmt(r.us_per_day()),
                TextTable::fmt(r.avg_step_ns(), 0),
-               TextTable::fmt(static_cast<double>(w.total_pairs()) / 1e6, 1),
-               TextTable::fmt(w.mean_atoms_per_node(), 0),
+               TextTable::fmt(results[i].pairs_m, 1),
+               TextTable::fmt(results[i].atoms_per_node, 0),
                TextTable::fmt(r.full_step.exec.compute_fraction(), 3)});
   }
   t.print(std::cout);

@@ -17,11 +17,17 @@ int main() {
                "event step (ns)", "bsp step (ns)", "event compute frac",
                "bsp compute frac"});
   BenchReport report("f3");
-  for (int nodes : {8, 32, 64, 128, 256, 512}) {
-    const core::AntonMachine ev(machine_preset("anton2", nodes));
-    const core::AntonMachine bs(machine_preset("anton2-bsp", nodes));
-    const auto re = ev.estimate(sys, 2.5, 2);
-    const auto rb = bs.estimate(sys, 2.5, 2);
+  const std::vector<int> node_counts{8, 32, 64, 128, 256, 512};
+  std::vector<core::EstimatePoint> pts;
+  for (int nodes : node_counts) {
+    pts.push_back({machine_preset("anton2", nodes), 2.5, 2});
+    pts.push_back({machine_preset("anton2-bsp", nodes), 2.5, 2});
+  }
+  const auto results = sweep_estimates(sys, pts);
+  for (size_t i = 0; i < node_counts.size(); ++i) {
+    const int nodes = node_counts[i];
+    const auto& re = results[2 * i];
+    const auto& rb = results[2 * i + 1];
     report.record("event_driven_speedup.n" + std::to_string(nodes),
                   re.us_per_day() / rb.us_per_day());
     t.add_row({TextTable::fmt_int(nodes), TextTable::fmt(re.us_per_day()),

@@ -16,13 +16,21 @@ int main() {
     std::cout << "\n-- hop-latency sweep (link bandwidth fixed) --\n";
     TextTable t({"hop latency (ns)", "event us/day", "bsp us/day",
                  "event/bsp"});
-    for (double hop : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0}) {
+    const std::vector<double> hops{5.0, 10.0, 20.0, 40.0, 80.0, 160.0};
+    std::vector<core::EstimatePoint> pts;
+    for (double hop : hops) {
       auto ce = machine_preset("anton2", 512);
       auto cb = machine_preset("anton2-bsp", 512);
       ce.noc.hop_latency_ns = hop;
       cb.noc.hop_latency_ns = hop;
-      const auto re = core::AntonMachine(ce).estimate(sys, 2.5, 2);
-      const auto rb = core::AntonMachine(cb).estimate(sys, 2.5, 2);
+      pts.push_back({ce, 2.5, 2});
+      pts.push_back({cb, 2.5, 2});
+    }
+    const auto results = sweep_estimates(sys, pts);
+    for (size_t i = 0; i < hops.size(); ++i) {
+      const double hop = hops[i];
+      const auto& re = results[2 * i];
+      const auto& rb = results[2 * i + 1];
       report.record("event_over_bsp.hop_ns" + TextTable::fmt(hop, 0),
                     re.us_per_day() / rb.us_per_day());
       t.add_row({TextTable::fmt(hop, 0), TextTable::fmt(re.us_per_day()),
@@ -36,13 +44,21 @@ int main() {
     std::cout << "\n-- link-bandwidth sweep (hop latency fixed) --\n";
     TextTable t({"link BW (GB/s)", "event us/day", "bsp us/day",
                  "event/bsp"});
-    for (double bw : {4.0, 8.0, 16.0, 24.0, 48.0, 96.0}) {
+    const std::vector<double> bws{4.0, 8.0, 16.0, 24.0, 48.0, 96.0};
+    std::vector<core::EstimatePoint> pts;
+    for (double bw : bws) {
       auto ce = machine_preset("anton2", 512);
       auto cb = machine_preset("anton2-bsp", 512);
       ce.noc.link_bandwidth_gbs = bw;
       cb.noc.link_bandwidth_gbs = bw;
-      const auto re = core::AntonMachine(ce).estimate(sys, 2.5, 2);
-      const auto rb = core::AntonMachine(cb).estimate(sys, 2.5, 2);
+      pts.push_back({ce, 2.5, 2});
+      pts.push_back({cb, 2.5, 2});
+    }
+    const auto results = sweep_estimates(sys, pts);
+    for (size_t i = 0; i < bws.size(); ++i) {
+      const double bw = bws[i];
+      const auto& re = results[2 * i];
+      const auto& rb = results[2 * i + 1];
       report.record("event_over_bsp.bw_gbs" + TextTable::fmt(bw, 0),
                     re.us_per_day() / rb.us_per_day());
       t.add_row({TextTable::fmt(bw, 0), TextTable::fmt(re.us_per_day()),

@@ -13,12 +13,17 @@ void breakdown(const System& sys, const std::string& label,
             << " atoms, 512 nodes, full step) --\n";
   TextTable t({"phase", "anton2 busy/node (ns)", "anton2 phase end (ns)",
                "anton1 busy/node (ns)", "anton1 phase end (ns)"});
-  const auto c2 = machine_preset("anton2", 512);
-  const auto c1 = machine_preset("anton1", 512);
-  const core::Workload w2 = core::Workload::build(sys, c2);
-  const core::Workload w1 = core::Workload::build(sys, c1);
-  const auto t2 = core::simulate_step(w2, c2, {.include_long_range = true});
-  const auto t1 = core::simulate_step(w1, c1, {.include_long_range = true});
+  // Both machines' steps go through the sweep harness: each point builds
+  // its workload and simulates one full step, independently of the other.
+  const std::vector<arch::MachineConfig> cfgs{machine_preset("anton2", 512),
+                                              machine_preset("anton1", 512)};
+  std::vector<core::StepTiming> steps;
+  core::SweepRunner(sweep_pool()).map(cfgs.size(), steps, [&](size_t i) {
+    const core::Workload w = core::Workload::build(sys, cfgs[i]);
+    return core::simulate_step(w, cfgs[i], {.include_long_range = true});
+  });
+  const core::StepTiming& t2 = steps[0];
+  const core::StepTiming& t1 = steps[1];
   const double n = 512.0;
   for (const char* phase :
        {"pos_export", "pair_local", "pair_tile", "bonded", "spread", "fft",

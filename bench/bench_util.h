@@ -8,13 +8,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "arch/config.h"
 #include "chem/builder.h"
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "core/machine.h"
+#include "core/sweep.h"
 #include "obs/metrics.h"
 
 namespace anton::bench {
@@ -84,6 +88,26 @@ class BenchReport {
   std::string id_;
   obs::MetricsRegistry reg_;
 };
+
+// Shared worker pool for sweep parallelism.  ANTON_SWEEP_THREADS picks the
+// width (0/unset = hardware concurrency, 1 = serial); every bench maps its
+// estimate points through core::SweepRunner on this pool, so the printed
+// tables are bitwise identical at any setting.
+inline ThreadPool* sweep_pool() {
+  static const long requested = [] {
+    const char* env = std::getenv("ANTON_SWEEP_THREADS");
+    return env != nullptr && *env != '\0' ? std::strtol(env, nullptr, 10) : 0L;
+  }();
+  if (requested == 1) return nullptr;  // serial: skip pool construction
+  static ThreadPool pool(requested > 1 ? static_cast<unsigned>(requested) : 0);
+  return &pool;
+}
+
+// Estimate a batch of machine points on one system, in point order.
+inline std::vector<core::PerfReport> sweep_estimates(
+    const System& sys, std::span<const core::EstimatePoint> points) {
+  return core::SweepRunner(sweep_pool()).estimate(sys, points);
+}
 
 // Paper-anchored reference points quoted in the abstract; printed next to
 // measured values so every run shows paper-vs-reproduction at a glance.

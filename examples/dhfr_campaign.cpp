@@ -7,11 +7,14 @@
 //   ./build/examples/dhfr_campaign [max_nodes=512]
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "chem/builder.h"
 #include "common/config.h"
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "core/machine.h"
+#include "core/sweep.h"
 
 using namespace anton;
 
@@ -22,15 +25,26 @@ int main(int argc, char** argv) {
   std::printf("Building the standard 23,558-atom benchmark system...\n");
   const System sys = build_benchmark_system(dhfr_spec());
 
-  TextTable t({"nodes", "atoms/node", "us/day", "step (us)",
-               "noc bytes/step (KB)", "mean msg lat (ns)", "event/bsp"});
+  // All machine points run in one parallel sweep; the output is identical
+  // to a serial campaign, just produced sooner.
+  std::vector<int> node_counts;
+  std::vector<core::EstimatePoint> pts;
   for (int nodes = 8; nodes <= max_nodes; nodes *= 2) {
     int nx, ny, nz;
     core::torus_dims(nodes, &nx, &ny, &nz);
-    const core::AntonMachine ev(arch::MachineConfig::anton2(nx, ny, nz));
-    const core::AntonMachine bs(arch::MachineConfig::anton2_bsp(nx, ny, nz));
-    const auto re = ev.estimate(sys, 2.5, 2);
-    const auto rb = bs.estimate(sys, 2.5, 2);
+    node_counts.push_back(nodes);
+    pts.push_back({arch::MachineConfig::anton2(nx, ny, nz), 2.5, 2});
+    pts.push_back({arch::MachineConfig::anton2_bsp(nx, ny, nz), 2.5, 2});
+  }
+  ThreadPool pool;
+  const auto results = core::SweepRunner(&pool).estimate(sys, pts);
+
+  TextTable t({"nodes", "atoms/node", "us/day", "step (us)",
+               "noc bytes/step (KB)", "mean msg lat (ns)", "event/bsp"});
+  for (size_t i = 0; i < node_counts.size(); ++i) {
+    const int nodes = node_counts[i];
+    const auto& re = results[2 * i];
+    const auto& rb = results[2 * i + 1];
     t.add_row({TextTable::fmt_int(nodes),
                TextTable::fmt(23558.0 / nodes, 0),
                TextTable::fmt(re.us_per_day()),

@@ -53,7 +53,11 @@ step "threaded parity (serial vs threaded kernels, bitwise where promised)"
 ctest --test-dir build --output-on-failure -j"$JOBS" \
   -R 'test_md_threaded|test_determinism|test_fft'
 
-step "bench smoke (BENCH_f6.json + BENCH_f7.json)"
+step "DES core (zero-allocation steady state + sweep parity)"
+ctest --test-dir build --output-on-failure -j"$JOBS" \
+  -R 'DesNoAlloc|SweepRunner|EventQueue'
+
+step "bench smoke (BENCH_f6.json + BENCH_f7.json + BENCH_f8.json)"
 cmake --build build --target bench-smoke -j"$JOBS"
 python3 -c "
 import json
@@ -62,6 +66,16 @@ assert doc.get('schema') == 'anton.metrics.v1', doc.get('schema')
 speedup = doc['metrics']['f7.longrange.speedup_t4']['value']
 print(f'long-range combined speedup at 4 threads: {speedup:.2f}x')
 assert speedup >= 2.0, f'long-range speedup regressed: {speedup:.2f}x < 2x'
+"
+python3 -c "
+import json
+doc = json.load(open('build/BENCH_f8.json'))
+assert doc.get('schema') == 'anton.metrics.v1', doc.get('schema')
+m = doc['metrics']
+speedup = m['f8.queue.speedup']['value']
+print(f'event-queue speedup over legacy kernel: {speedup:.2f}x')
+assert speedup >= 2.0, f'event-queue speedup regressed: {speedup:.2f}x < 2x'
+assert m['f8.sweep.match']['value'] == 1, 'threaded sweep diverged from serial'
 "
 
 for san in $SANITIZERS; do

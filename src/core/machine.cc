@@ -110,20 +110,30 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
   double full_ns = 0, short_ns = 0;
   int full_n = 0, short_n = 0;
   double sim_time_us = 0;  // trace-timeline cursor over simulated steps
-  std::unique_ptr<Workload> w;
+  // Between workload refreshes the step graph is identical, so the runners
+  // persist and replay allocation-free; they rebuild only when the
+  // decomposition does.
+  std::unique_ptr<TimestepRunner> full_runner, short_runner;
   for (int s = 0; s < steps; ++s) {
     if (s % workload_refresh == 0) {
-      w = std::make_unique<Workload>(
-          Workload::build(sim.system(), config_));
+      const Workload w = Workload::build(sim.system(), config_);
+      StepOptions full_opts{.include_long_range = true};
+      StepOptions short_opts{.include_long_range = false};
+      if (telemetered) {
+        full_opts.metrics = short_opts.metrics = &reg;
+        full_opts.trace = short_opts.trace = trace.get();
+      }
+      full_runner = std::make_unique<TimestepRunner>(w, config_, full_opts);
+      short_runner =
+          md_params.respa_k > 1
+              ? std::make_unique<TimestepRunner>(w, config_, short_opts)
+              : nullptr;
     }
     const bool full = (s % md_params.respa_k == 0);
-    StepOptions opts{.include_long_range = full};
-    if (telemetered) {
-      opts.metrics = &reg;
-      opts.trace = trace.get();
-      opts.trace_ts_offset_us = sim_time_us;
-    }
-    const StepTiming t = simulate_step(*w, config_, opts);
+    TimestepRunner& runner = full ? *full_runner : *short_runner;
+    if (telemetered) runner.set_trace_offset_us(sim_time_us);
+    runner.run_timestep();
+    const StepTiming t = runner.timing();
     sim_time_us += t.step_ns * 1e-3;
     if (full) {
       full_ns += t.step_ns;

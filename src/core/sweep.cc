@@ -1,0 +1,15 @@
+#include "core/sweep.h"
+
+namespace anton::core {
+
+std::vector<PerfReport> SweepRunner::estimate(
+    const System& system, std::span<const EstimatePoint> points) const {
+  std::vector<PerfReport> out;
+  map(points.size(), out, [&](size_t i) {
+    const EstimatePoint& p = points[i];
+    return AntonMachine(p.config).estimate(system, p.dt_fs, p.respa_k);
+  });
+  return out;
+}
+
+}  // namespace anton::core

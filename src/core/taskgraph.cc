@@ -1,15 +1,34 @@
 #include "core/taskgraph.h"
 
 #include <algorithm>
+#include <cstring>
+#include <utility>
 
 #include "common/error.h"
 
 namespace anton::core {
 
+int TaskGraph::intern_phase(const char* phase) {
+  for (int i = 0; i < num_phases(); ++i) {
+    if (phase_names_[static_cast<size_t>(i)] == phase ||
+        std::strcmp(phase_names_[static_cast<size_t>(i)], phase) == 0) {
+      return i;
+    }
+  }
+  phase_names_.push_back(phase);
+  return num_phases() - 1;
+}
+
 int TaskGraph::add_task(int node, Unit unit, double busy_ns,
                         const char* phase) {
   ANTON_CHECK(node >= 0 && busy_ns >= 0 && phase != nullptr);
-  tasks_.push_back(Task{node, unit, busy_ns, phase});
+  Task t{};
+  t.node = node;
+  t.unit = unit;
+  t.busy_ns = busy_ns;
+  t.phase = phase;
+  t.phase_id = intern_phase(phase);
+  tasks_.push_back(std::move(t));
   return num_tasks() - 1;
 }
 
@@ -44,173 +63,176 @@ void TaskGraph::add_multicast(int from, const std::vector<int>& to,
   for (int dep : to) task(dep).deps++;
 }
 
+double Executor::dispatch_overhead(Unit unit) const {
+  switch (unit) {
+    case Unit::kHtis:
+      return config_->htis_task_overhead_ns +
+             (config_->sync == arch::SyncModel::kEventDriven
+                  ? config_->sync_trigger_ns
+                  : 0.0);
+    case Unit::kGc:
+      return config_->gc_task_overhead_ns +
+             (config_->sync == arch::SyncModel::kEventDriven
+                  ? config_->sync_trigger_ns
+                  : 0.0);
+    case Unit::kSync:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+// Task completion: release dependents.  Remote releases ride the torus as
+// pooled delivery callables — the multicast callback receives the
+// *destination index*, so dispatch is a plain lookup into the task's own
+// mcast_dependents array (no per-send container, no node→task map).
+// ANTON_HOT_NOALLOC
+void Executor::complete(int id) {
+  const TaskGraph::Task& t = graph_->task(id);
+  for (int dep : t.local_dependents) notify(dep, id);
+  for (const auto& s : t.sends) {
+    const int dst_node = graph_->task(s.dst_task).node;
+    torus_->unicast(t.node, dst_node, s.bytes,
+                    [this, dst = s.dst_task, id] { notify(dst, id); });
+  }
+  if (!t.mcast_dependents.empty()) {
+    mcast_nodes_.clear();
+    for (int dep : t.mcast_dependents) {
+      mcast_nodes_.push_back(  // anton-lint: allow(hot-alloc) amortized
+          graph_->task(dep).node);
+    }
+    torus_->multicast(t.node, mcast_nodes_, t.mcast_bytes,
+                      [this, deps = &t.mcast_dependents, id](int i) {
+                        notify((*deps)[static_cast<size_t>(i)], id);
+                      });
+  }
+}
+
+// ANTON_HOT_NOALLOC
+void Executor::notify(int id, int from) {
+  ANTON_CHECK(deps_left_[static_cast<size_t>(id)] > 0);
+  if (--deps_left_[static_cast<size_t>(id)] == 0) ready(id, from);
+}
+
+// ANTON_HOT_NOALLOC
+void Executor::ready(int id, int released_by) {
+  const TaskGraph::Task& t = graph_->task(id);
+  const size_t unit_key =
+      static_cast<size_t>(t.node) * kNumUnits + static_cast<size_t>(t.unit);
+  const double overhead = dispatch_overhead(t.unit);
+  const sim::SimTime dispatch = std::max(queue_->now(), unit_free_[unit_key]);
+  const sim::SimTime start = dispatch + overhead;
+  const sim::SimTime end = start + t.busy_ns;
+  // The releasing predecessor: the final dependency to arrive — unless the
+  // hardware unit itself was the bottleneck, in which case whoever held
+  // the unit last is what this task actually waited for.
+  if (unit_free_[unit_key] > queue_->now() &&
+      unit_last_task_[unit_key] >= 0) {
+    released_by = unit_last_task_[unit_key];
+  }
+  dispatch_time_[static_cast<size_t>(id)] = dispatch;
+  end_time_[static_cast<size_t>(id)] = end;
+  crit_pred_[static_cast<size_t>(id)] = released_by;
+  unit_last_task_[unit_key] = id;
+  unit_free_[unit_key] = end;
+  const double occupied = overhead + t.busy_ns;
+  node_busy_[static_cast<size_t>(t.node)] += occupied;
+  phase_busy_[static_cast<size_t>(t.phase_id)] += occupied;
+  double& end_ns = phase_end_[static_cast<size_t>(t.phase_id)];
+  end_ns = std::max(end_ns, static_cast<double>(end));
+  tasks_executed_++;
+  if (trace_ != nullptr) emit_span(t, unit_key, dispatch, end);
+  queue_->schedule_at(end, [this, id] { complete(id); });
+}
+
+void Executor::emit_span(const TaskGraph::Task& t, size_t unit_key,
+                         sim::SimTime dispatch, sim::SimTime end) {
+  if (!tid_named_[unit_key]) {
+    tid_named_[unit_key] = true;
+    static constexpr const char* kUnitNames[kNumUnits] = {"htis", "gc",
+                                                          "sync"};
+    trace_->thread_name(trace_pid_, static_cast<int>(unit_key),
+                        "n" + std::to_string(t.node) + "/" +
+                            kUnitNames[static_cast<int>(t.unit)]);
+  }
+  trace_->complete(t.phase, "des", (dispatch - t0_) * 1e-3,
+                   (end - dispatch) * 1e-3, trace_pid_,
+                   static_cast<int>(unit_key),
+                   {{"busy_ns", t.busy_ns}});
+}
+
 namespace {
-
-struct ExecState {
-  TaskGraph* graph;
-  const arch::MachineConfig* config;
-  noc::Torus* torus;
-  sim::EventQueue* queue;
-  std::vector<int> deps_left;
-  std::vector<sim::SimTime> unit_free;  // (node * kNumUnits + unit)
-  std::vector<double> node_busy;
-  ExecStats stats;
-  // Critical-path bookkeeping: per-task dispatch/end times and the releasing
-  // predecessor (-1 for seed tasks released at t0).
-  std::vector<sim::SimTime> dispatch_time;
-  std::vector<sim::SimTime> end_time;
-  std::vector<int> crit_pred;
-  std::vector<int> unit_last_task;  // prior occupant per (node, unit)
-  sim::SimTime t0 = 0;
-  obs::TraceWriter* trace = nullptr;
-  int trace_pid = obs::kPidMachine;
-  std::vector<bool> tid_named;
-
-  double dispatch_overhead(Unit unit) const {
-    switch (unit) {
-      case Unit::kHtis:
-        return config->htis_task_overhead_ns +
-               (config->sync == arch::SyncModel::kEventDriven
-                    ? config->sync_trigger_ns
-                    : 0.0);
-      case Unit::kGc:
-        return config->gc_task_overhead_ns +
-               (config->sync == arch::SyncModel::kEventDriven
-                    ? config->sync_trigger_ns
-                    : 0.0);
-      case Unit::kSync:
-        return 0.0;
-    }
-    return 0.0;
+// Keeps stats maps warm across runs: stale keys get zeroed in place (std::map
+// insertion only allocates for *new* keys, so reused phase labels never
+// touch the heap again).
+void zero_values(std::map<std::string, double>& m) {
+  for (auto& [k, v] : m) {
+    (void)k;
+    v = 0;
   }
-
-  void complete(int id) {
-    const TaskGraph::Task& t = graph->task(id);
-    for (int dep : t.local_dependents) notify(dep, id);
-    for (const auto& s : t.sends) {
-      const int dst_node = graph->task(s.dst_task).node;
-      torus->unicast(t.node, dst_node, s.bytes,
-                     [this, dst = s.dst_task, id] { notify(dst, id); });
-    }
-    if (!t.mcast_dependents.empty()) {
-      std::vector<int> dst_nodes;
-      dst_nodes.reserve(t.mcast_dependents.size());
-      for (int dep : t.mcast_dependents) {
-        dst_nodes.push_back(graph->task(dep).node);
-      }
-      // Map delivery node back to the dependent task (nodes are unique per
-      // multicast in our graphs; assert to be safe).
-      std::map<int, int> node_to_task;
-      for (size_t i = 0; i < dst_nodes.size(); ++i) {
-        ANTON_CHECK_MSG(
-            node_to_task.emplace(dst_nodes[i], t.mcast_dependents[i]).second,
-            "multicast with two dependents on one node");
-      }
-      torus->multicast(t.node, dst_nodes, t.mcast_bytes,
-                       [this, node_to_task, id](int node) {
-                         notify(node_to_task.at(node), id);
-                       });
-    }
-  }
-
-  void notify(int id, int from) {
-    ANTON_CHECK(deps_left[static_cast<size_t>(id)] > 0);
-    if (--deps_left[static_cast<size_t>(id)] == 0) ready(id, from);
-  }
-
-  void ready(int id, int released_by) {
-    const TaskGraph::Task& t = graph->task(id);
-    const size_t unit_key =
-        static_cast<size_t>(t.node) * kNumUnits + static_cast<size_t>(t.unit);
-    const double overhead = dispatch_overhead(t.unit);
-    const sim::SimTime dispatch = std::max(queue->now(), unit_free[unit_key]);
-    const sim::SimTime start = dispatch + overhead;
-    const sim::SimTime end = start + t.busy_ns;
-    // The releasing predecessor: the final dependency to arrive — unless the
-    // hardware unit itself was the bottleneck, in which case whoever held
-    // the unit last is what this task actually waited for.
-    if (unit_free[unit_key] > queue->now() &&
-        unit_last_task[unit_key] >= 0) {
-      released_by = unit_last_task[unit_key];
-    }
-    dispatch_time[static_cast<size_t>(id)] = dispatch;
-    end_time[static_cast<size_t>(id)] = end;
-    crit_pred[static_cast<size_t>(id)] = released_by;
-    unit_last_task[unit_key] = id;
-    unit_free[unit_key] = end;
-    const double occupied = overhead + t.busy_ns;
-    node_busy[static_cast<size_t>(t.node)] += occupied;
-    stats.phase_busy_ns[t.phase] += occupied;
-    auto& end_ns = stats.phase_end_ns[t.phase];
-    end_ns = std::max(end_ns, static_cast<double>(end));
-    stats.tasks_executed++;
-    if (trace != nullptr) emit_span(t, unit_key, dispatch, end);
-    queue->schedule_at(end, [this, id] { complete(id); });
-  }
-
-  void emit_span(const TaskGraph::Task& t, size_t unit_key,
-                 sim::SimTime dispatch, sim::SimTime end) {
-    if (!tid_named[unit_key]) {
-      tid_named[unit_key] = true;
-      static constexpr const char* kUnitNames[kNumUnits] = {"htis", "gc",
-                                                            "sync"};
-      trace->thread_name(trace_pid, static_cast<int>(unit_key),
-                         "n" + std::to_string(t.node) + "/" +
-                             kUnitNames[static_cast<int>(t.unit)]);
-    }
-    trace->complete(t.phase, "des", (dispatch - t0) * 1e-3,
-                    (end - dispatch) * 1e-3, trace_pid,
-                    static_cast<int>(unit_key),
-                    {{"busy_ns", t.busy_ns}});
-  }
-};
-
+}
 }  // namespace
 
-ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
-                  noc::Torus& torus, sim::EventQueue& queue,
-                  obs::TraceWriter* trace, int trace_pid) {
-  ExecState st;
-  st.graph = &graph;
-  st.config = &config;
-  st.torus = &torus;
-  st.queue = &queue;
-  st.deps_left.resize(static_cast<size_t>(graph.num_tasks()));
+const ExecStats& Executor::run(TaskGraph& graph,
+                               const arch::MachineConfig& config,
+                               noc::Torus& torus, sim::EventQueue& queue,
+                               obs::TraceWriter* trace, int trace_pid) {
+  graph_ = &graph;
+  config_ = &config;
+  torus_ = &torus;
+  queue_ = &queue;
+  trace_ = trace;
+  trace_pid_ = trace_pid;
+
+  const size_t n = static_cast<size_t>(graph.num_tasks());
+  deps_left_.resize(n);
   for (int i = 0; i < graph.num_tasks(); ++i) {
-    st.deps_left[static_cast<size_t>(i)] = graph.task(i).deps;
+    deps_left_[static_cast<size_t>(i)] = graph.task(i).deps;
   }
-  st.unit_free.assign(
-      static_cast<size_t>(torus.num_nodes()) * kNumUnits, 0.0);
-  st.node_busy.assign(static_cast<size_t>(torus.num_nodes()), 0.0);
-  st.dispatch_time.assign(static_cast<size_t>(graph.num_tasks()), 0.0);
-  st.end_time.assign(static_cast<size_t>(graph.num_tasks()), 0.0);
-  st.crit_pred.assign(static_cast<size_t>(graph.num_tasks()), -1);
-  st.unit_last_task.assign(st.unit_free.size(), -1);
-  st.trace = trace;
-  st.trace_pid = trace_pid;
-  st.tid_named.assign(st.unit_free.size(), false);
+  unit_free_.assign(static_cast<size_t>(torus.num_nodes()) * kNumUnits, 0.0);
+  node_busy_.assign(static_cast<size_t>(torus.num_nodes()), 0.0);
+  dispatch_time_.assign(n, 0.0);
+  end_time_.assign(n, 0.0);
+  crit_pred_.assign(n, -1);
+  unit_last_task_.assign(unit_free_.size(), -1);
+  tid_named_.assign(unit_free_.size(), false);
+  const size_t num_phases = static_cast<size_t>(graph.num_phases());
+  phase_busy_.assign(num_phases, 0.0);
+  phase_end_.assign(num_phases, 0.0);
+  crit_phase_.assign(num_phases, 0.0);
+  crit_touched_.assign(num_phases, false);
+  tasks_executed_ = 0;
+
+  stats_.makespan_ns = 0;
+  zero_values(stats_.phase_busy_ns);
+  zero_values(stats_.phase_end_ns);
+  zero_values(stats_.critical_path_ns);
+  stats_.max_node_busy_ns = 0;
+  stats_.mean_node_busy_ns = 0;
+  stats_.tasks_executed = 0;
+  stats_.critical_wait_ns = 0;
+  stats_.noc = noc::NocStats{};
 
   torus.reset_stats();
   const sim::SimTime t0 = queue.now();
-  st.t0 = t0;
+  t0_ = t0;
   // Seed all zero-dependency tasks.
   for (int i = 0; i < graph.num_tasks(); ++i) {
-    if (graph.task(i).deps == 0) st.ready(i, -1);
+    if (graph.task(i).deps == 0) ready(i, -1);
   }
   const sim::SimTime t_end = queue.run();
 
-  st.stats.makespan_ns = t_end - t0;
+  stats_.makespan_ns = t_end - t0;
   double sum = 0;
-  for (double b : st.node_busy) {
-    st.stats.max_node_busy_ns = std::max(st.stats.max_node_busy_ns, b);
+  for (double b : node_busy_) {
+    stats_.max_node_busy_ns = std::max(stats_.max_node_busy_ns, b);
     sum += b;
   }
-  st.stats.mean_node_busy_ns = sum / static_cast<double>(st.node_busy.size());
-  ANTON_CHECK_MSG(st.stats.tasks_executed ==
-                      static_cast<uint64_t>(graph.num_tasks()),
-                  "deadlock: " << graph.num_tasks() - st.stats.tasks_executed
+  stats_.mean_node_busy_ns = sum / static_cast<double>(node_busy_.size());
+  stats_.tasks_executed = tasks_executed_;
+  ANTON_CHECK_MSG(tasks_executed_ == static_cast<uint64_t>(graph.num_tasks()),
+                  "deadlock: " << graph.num_tasks() - tasks_executed_
                                << " tasks never ran");
-  st.stats.noc = torus.stats();
+  stats_.noc = torus.stats();
 
   // Critical-path walk-back from the last-finishing task.  Each hop
   // attributes the task's unit occupancy to its phase and the gap to its
@@ -220,24 +242,44 @@ ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
   if (graph.num_tasks() > 0) {
     int cur = 0;
     for (int i = 1; i < graph.num_tasks(); ++i) {
-      if (st.end_time[static_cast<size_t>(i)] >
-          st.end_time[static_cast<size_t>(cur)]) {
+      if (end_time_[static_cast<size_t>(i)] >
+          end_time_[static_cast<size_t>(cur)]) {
         cur = i;
       }
     }
     while (cur >= 0) {
       const size_t c = static_cast<size_t>(cur);
-      st.stats.critical_path_ns[graph.task(cur).phase] +=
-          st.end_time[c] - st.dispatch_time[c];
-      const int pred = st.crit_pred[c];
+      crit_phase_[static_cast<size_t>(graph.task(cur).phase_id)] +=
+          end_time_[c] - dispatch_time_[c];
+      crit_touched_[static_cast<size_t>(graph.task(cur).phase_id)] = true;
+      const int pred = crit_pred_[c];
       const double released_at =
-          pred >= 0 ? st.end_time[static_cast<size_t>(pred)] : t0;
-      st.stats.critical_wait_ns +=
-          std::max(0.0, st.dispatch_time[c] - released_at);
+          pred >= 0 ? end_time_[static_cast<size_t>(pred)] : t0;
+      stats_.critical_wait_ns +=
+          std::max(0.0, dispatch_time_[c] - released_at);
       cur = pred;
     }
   }
-  return st.stats;
+
+  // Fold the dense per-phase accumulators into the string-keyed maps the
+  // public API exposes.  Phases the critical path never touched are left
+  // out of critical_path_ns (matching the original lazy accumulation).
+  for (int p = 0; p < graph.num_phases(); ++p) {
+    const size_t pi = static_cast<size_t>(p);
+    stats_.phase_busy_ns[graph.phase_name(p)] = phase_busy_[pi];
+    stats_.phase_end_ns[graph.phase_name(p)] = phase_end_[pi];
+    if (crit_touched_[pi]) {
+      stats_.critical_path_ns[graph.phase_name(p)] += crit_phase_[pi];
+    }
+  }
+  return stats_;
+}
+
+ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
+                  noc::Torus& torus, sim::EventQueue& queue,
+                  obs::TraceWriter* trace, int trace_pid) {
+  Executor ex;
+  return ex.run(graph, config, torus, queue, trace, trace_pid);
 }
 
 }  // namespace anton::core

@@ -12,6 +12,12 @@
 // global coordination, computation overlapping communication wherever the
 // dependency structure allows.  Bulk-synchronous execution is expressed in
 // the same graph language by inserting global barrier tasks between phases.
+//
+// The Executor is a persistent object: its per-task bookkeeping vectors and
+// phase accumulators (interned to dense ids at graph-build time) are reused
+// across run() calls, so replaying a same-shaped graph — the steady state of
+// AntonMachine::run and of sweep replicas — performs zero heap allocations
+// on the task-release path.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +51,7 @@ class TaskGraph {
     Unit unit;
     double busy_ns;
     const char* phase;
+    int phase_id;  // dense index into the graph's interned phase table
     int deps = 0;
     std::vector<int> local_dependents;
     std::vector<Send> sends;          // unicast messages fired at completion
@@ -76,8 +83,17 @@ class TaskGraph {
   const Task& task(int id) const { return tasks_.at(static_cast<size_t>(id)); }
   Task& task(int id) { return tasks_.at(static_cast<size_t>(id)); }
 
+  // Interned phase labels (by string content; add_task assigns ids).
+  int num_phases() const { return static_cast<int>(phase_names_.size()); }
+  const char* phase_name(int id) const {
+    return phase_names_.at(static_cast<size_t>(id));
+  }
+
  private:
+  int intern_phase(const char* phase);
+
   std::vector<Task> tasks_;
+  std::vector<const char*> phase_names_;
 };
 
 struct ExecStats {
@@ -109,10 +125,65 @@ struct ExecStats {
   double critical_wait_ns = 0;
 };
 
-// Executes the graph to completion.  `torus` must have as many nodes as the
-// graph references.  Deterministic.  When `trace` is non-null every task
-// becomes a complete-event span on (trace_pid, tid = node * kNumUnits +
-// unit) named after its phase.
+// Persistent graph executor.  One run() plays the graph to completion on
+// (torus, queue); all internal buffers (dependency counters, unit/node
+// bookkeeping, per-phase accumulators, multicast scratch) are retained
+// between calls, so repeated runs of an equally-sized graph allocate
+// nothing.  Not reentrant; the graph must outlive the call.
+class Executor {
+ public:
+  // `torus` must have as many nodes as the graph references.
+  // Deterministic.  When `trace` is non-null every task becomes a
+  // complete-event span on (trace_pid, tid = node * kNumUnits + unit) named
+  // after its phase.  The returned reference stays valid (and is
+  // overwritten) across run() calls.
+  const ExecStats& run(TaskGraph& graph, const arch::MachineConfig& config,
+                       noc::Torus& torus, sim::EventQueue& queue,
+                       obs::TraceWriter* trace = nullptr,
+                       int trace_pid = obs::kPidMachine);
+
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  double dispatch_overhead(Unit unit) const;
+  void complete(int id);
+  void notify(int id, int from);
+  void ready(int id, int released_by);
+  void emit_span(const TaskGraph::Task& t, size_t unit_key,
+                 sim::SimTime dispatch, sim::SimTime end);
+
+  // Bound for the duration of run().
+  TaskGraph* graph_ = nullptr;
+  const arch::MachineConfig* config_ = nullptr;
+  noc::Torus* torus_ = nullptr;
+  sim::EventQueue* queue_ = nullptr;
+  obs::TraceWriter* trace_ = nullptr;
+  int trace_pid_ = obs::kPidMachine;
+  sim::SimTime t0_ = 0;
+
+  // Persistent per-task / per-unit bookkeeping (sized on each run, reused).
+  std::vector<int> deps_left_;
+  std::vector<sim::SimTime> unit_free_;  // (node * kNumUnits + unit)
+  std::vector<double> node_busy_;
+  std::vector<sim::SimTime> dispatch_time_;
+  std::vector<sim::SimTime> end_time_;
+  std::vector<int> crit_pred_;       // releasing predecessor (-1 for seeds)
+  std::vector<int> unit_last_task_;  // prior occupant per (node, unit)
+  std::vector<bool> tid_named_;
+  std::vector<int> mcast_nodes_;     // multicast destination scratch
+  // Per-phase accumulation by interned id (folded into the stats_ maps —
+  // which stay warm, values zeroed in place — after the queue drains).
+  std::vector<double> phase_busy_;
+  std::vector<double> phase_end_;
+  std::vector<double> crit_phase_;
+  std::vector<bool> crit_touched_;
+  uint64_t tasks_executed_ = 0;
+
+  ExecStats stats_;
+};
+
+// Convenience wrapper: executes on a throwaway Executor and copies the
+// stats out.  Prefer a persistent Executor anywhere the graph replays.
 ExecStats execute(TaskGraph& graph, const arch::MachineConfig& config,
                   noc::Torus& torus, sim::EventQueue& queue,
                   obs::TraceWriter* trace = nullptr,

@@ -50,12 +50,13 @@ double barrier_cost_ns(const arch::MachineConfig& config) {
          2.0 * depth * n.hop_latency_ns;  // reduce + broadcast
 }
 
-StepTiming simulate_step(const Workload& w, const arch::MachineConfig& config,
-                         const StepOptions& options) {
+TaskGraph build_step_graph(const Workload& w,
+                           const arch::MachineConfig& config,
+                           bool include_long_range) {
   const DomainDecomp& dd = w.decomp();
   const int P = w.num_nodes();
   const bool bsp = config.sync == arch::SyncModel::kBulkSynchronous;
-  const bool lr = options.include_long_range;
+  const bool lr = include_long_range;
 
   TaskGraph g;
 
@@ -317,32 +318,47 @@ StepTiming simulate_step(const Workload& w, const arch::MachineConfig& config,
     }
   }
 
-  // --- execute ---------------------------------------------------------------
-  sim::EventQueue queue;
-  noc::Torus torus(config.noc, &queue);
+  return g;
+}
 
-  obs::MetricsRegistry* reg = options.metrics;
-  obs::TraceWriter* trace = options.trace;
+TimestepRunner::TimestepRunner(const Workload& workload,
+                               const arch::MachineConfig& config,
+                               const StepOptions& options)
+    : config_(config),
+      options_(options),
+      graph_(build_step_graph(workload, config, options.include_long_range)),
+      torus_(config.noc, &queue_) {
+  obs::MetricsRegistry* reg = options_.metrics;
+  obs::TraceWriter* trace = options_.trace;
   if (reg != nullptr || trace != nullptr) {
     sim::QueueTelemetry qt;
     if (reg != nullptr) {
       qt.executed = reg->counter("des.queue.executed");
       qt.depth = reg->histogram("des.queue.depth", 0.0, 4096.0, 64);
-      qt.horizon_ns = reg->histogram("des.queue.horizon_ns", 0.0, 50000.0, 100);
+      qt.horizon_ns = reg->histogram("des.queue.horizon_ns", 0.0, 50000.0,
+                                     100);
     }
     qt.trace = trace;
-    queue.set_telemetry(qt);
-    torus.set_telemetry(reg, "des.noc", trace);
+    queue_.set_telemetry(qt);
+    torus_.set_telemetry(reg, "des.noc", trace);
   }
-  if (trace != nullptr) trace->set_ts_offset_us(options.trace_ts_offset_us);
+}
 
-  StepTiming timing;
-  timing.exec = execute(g, config, torus, queue, trace);
-  timing.step_ns = timing.exec.makespan_ns;
+double TimestepRunner::run_timestep() {
+  // Fresh simulated clock: the queue clock restarts at zero and link
+  // busy-until horizons clear, so every replay sees an identical machine.
+  queue_.reset();
+  torus_.reset_time();
+  obs::TraceWriter* trace = options_.trace;
+  if (trace != nullptr) trace->set_ts_offset_us(options_.trace_ts_offset_us);
+
+  const ExecStats& ex =
+      executor_.run(graph_, config_, torus_, queue_, trace);
+  step_ns_ = ex.makespan_ns;
 
   if (trace != nullptr) trace->set_ts_offset_us(0.0);
+  obs::MetricsRegistry* reg = options_.metrics;
   if (reg != nullptr) {
-    const ExecStats& ex = timing.exec;
     reg->stat("des.step.makespan_ns")->add(ex.makespan_ns);
     reg->counter("des.step.tasks")->add(ex.tasks_executed);
     for (const auto& [phase, busy] : ex.phase_busy_ns) {
@@ -353,10 +369,24 @@ StepTiming simulate_step(const Workload& w, const arch::MachineConfig& config,
     }
     reg->stat("des.critical.wait_ns")->add(ex.critical_wait_ns);
     if (ex.makespan_ns > 0) {
-      torus.export_link_occupancy(reg, "des.noc", ex.makespan_ns);
+      torus_.export_link_occupancy(reg, "des.noc", ex.makespan_ns);
     }
   }
-  return timing;
+  return step_ns_;
+}
+
+StepTiming TimestepRunner::timing() const {
+  StepTiming t;
+  t.exec = executor_.stats();
+  t.step_ns = step_ns_;
+  return t;
+}
+
+StepTiming simulate_step(const Workload& w, const arch::MachineConfig& config,
+                         const StepOptions& options) {
+  TimestepRunner runner(w, config, options);
+  runner.run_timestep();
+  return runner.timing();
 }
 
 }  // namespace anton::core

@@ -17,13 +17,21 @@
 // A "short" step omits the long-range (mesh/FFT) phases — the RESPA inner
 // step; the full/short mix reproduces the machine's multiple-time-step
 // cadence.
+//
+// TimestepRunner is the persistent form: it builds the graph once and owns
+// the queue/torus/executor, so re-running the same step (the steady state
+// between workload refreshes, and every bench sweep replica) is
+// allocation-free with telemetry off.  simulate_step() wraps a throwaway
+// runner for one-shot callers.
 #pragma once
 
 #include "arch/config.h"
 #include "core/taskgraph.h"
 #include "core/workload.h"
+#include "noc/torus.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/event_queue.h"
 
 namespace anton::core {
 
@@ -50,7 +58,47 @@ struct StepTiming {
   }
 };
 
-// Simulates one timestep; deterministic.
+// Builds the task graph of one timestep (all tasks, dependencies, messages,
+// multicasts, and — in BSP mode — barriers) without executing it.
+TaskGraph build_step_graph(const Workload& workload,
+                           const arch::MachineConfig& config,
+                           bool include_long_range);
+
+// Persistent timestep simulator: one graph, one event queue, one torus, one
+// executor, re-run on demand.  run_timestep() resets the simulated clock and
+// link horizons, replays the graph, and returns the makespan; with telemetry
+// off, the second and later calls perform zero heap allocations.
+class TimestepRunner {
+ public:
+  TimestepRunner(const Workload& workload, const arch::MachineConfig& config,
+                 const StepOptions& options = {});
+
+  // Replays the step; returns makespan_ns.  Deterministic: every call
+  // produces identical timing.
+  double run_timestep();
+
+  // Stats of the last run_timestep() (valid after the first call).
+  const ExecStats& exec() const { return executor_.stats(); }
+  double step_ns() const { return step_ns_; }
+  // Convenience copy in the simulate_step() result shape.
+  StepTiming timing() const;
+
+  // Re-places this runner's steps on a shared trace timeline (each run
+  // starts its queue clock at zero).
+  void set_trace_offset_us(double us) { options_.trace_ts_offset_us = us; }
+
+ private:
+  arch::MachineConfig config_;
+  StepOptions options_;
+  TaskGraph graph_;
+  sim::EventQueue queue_;
+  noc::Torus torus_;
+  Executor executor_;
+  double step_ns_ = 0;
+};
+
+// Simulates one timestep; deterministic.  One-shot wrapper over
+// TimestepRunner.
 StepTiming simulate_step(const Workload& workload,
                          const arch::MachineConfig& config,
                          const StepOptions& options);

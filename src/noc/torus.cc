@@ -1,7 +1,6 @@
 #include "noc/torus.h"
 
 #include <algorithm>
-#include <map>
 
 namespace anton::noc {
 
@@ -14,6 +13,8 @@ Torus::Torus(const TorusConfig& config, sim::EventQueue* queue)
   link_free_.assign(static_cast<size_t>(num_nodes()) * 6, 0.0);
   link_busy_total_.assign(link_free_.size(), 0.0);
   link_derate_.assign(link_free_.size(), 1.0);
+  mcast_head_.assign(link_free_.size(), 0.0);
+  mcast_mark_.assign(link_free_.size(), 0);
   for (const auto& d : config.derated_links) {
     derate_link(d.node, d.dir, d.factor);
   }
@@ -38,9 +39,9 @@ std::pair<int, int> ring_steps(int from, int to, int n) {
 }
 }  // namespace
 
-std::vector<LinkId> Torus::route_ordered(int src, int dst,
-                                         const int (&axis_order)[3]) const {
-  std::vector<LinkId> links;
+// ANTON_HOT_NOALLOC (appends into caller-owned scratch; growth amortized)
+void Torus::route_ordered_into(int src, int dst, const int (&axis_order)[3],
+                               std::vector<LinkId>& out) const {
   int x, y, z, dx, dy, dz;
   coords(src, &x, &y, &z);
   coords(dst, &dx, &dy, &dz);
@@ -53,14 +54,22 @@ std::vector<LinkId> Torus::route_ordered(int src, int dst,
     const auto [step, hops] = ring_steps(cur[axis], target[axis], dims[axis]);
     for (int h = 0; h < hops; ++h) {
       const int dir = axis * 2 + (step > 0 ? 0 : 1);
-      links.push_back({rank(cur[0], cur[1], cur[2]), dir});
+      out.push_back(  // anton-lint: allow(hot-alloc) amortized scratch growth
+          {rank(cur[0], cur[1], cur[2]), dir});
       cur[axis] = (cur[axis] + step + dims[axis]) % dims[axis];
     }
   }
+}
+
+std::vector<LinkId> Torus::route_ordered(int src, int dst,
+                                         const int (&axis_order)[3]) const {
+  std::vector<LinkId> links;
+  route_ordered_into(src, dst, axis_order, links);
   return links;
 }
 
-std::vector<LinkId> Torus::route(int src, int dst) const {
+// ANTON_HOT_NOALLOC
+void Torus::route_into(int src, int dst, std::vector<LinkId>& out) const {
   static constexpr int kOrders[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
                                         {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
   if (config_.routing == RoutingPolicy::kRandomizedOrder) {
@@ -73,9 +82,16 @@ std::vector<LinkId> Torus::route(int src, int dst) const {
     h ^= ++route_seq_;
     h *= 0xD2B74407B1CE6E93ull;
     h ^= h >> 29;
-    return route_ordered(src, dst, kOrders[h % 6]);
+    route_ordered_into(src, dst, kOrders[h % 6], out);
+    return;
   }
-  return route_ordered(src, dst, kOrders[0]);
+  route_ordered_into(src, dst, kOrders[0], out);
+}
+
+std::vector<LinkId> Torus::route(int src, int dst) const {
+  std::vector<LinkId> links;
+  route_into(src, dst, links);
+  return links;
 }
 
 int Torus::hop_count(int src, int dst) const {
@@ -91,6 +107,7 @@ int Torus::hop_count(int src, int dst) const {
   return hops;
 }
 
+// ANTON_HOT_NOALLOC
 sim::SimTime Torus::traverse(std::span<const LinkId> links,
                              double wire_bytes) {
   const double base_ser_ns =
@@ -117,8 +134,8 @@ sim::SimTime Torus::traverse(std::span<const LinkId> links,
   return head + last_ser_ns;
 }
 
-void Torus::unicast(int src, int dst, double bytes,
-                    std::function<void()> on_delivery) {
+// ANTON_HOT_NOALLOC
+sim::SimTime Torus::plan_unicast(int src, int dst, double bytes) {
   ANTON_CHECK(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
   ANTON_CHECK(bytes >= 0);
   const double wire_bytes = bytes + config_.packet_overhead_bytes;
@@ -127,9 +144,10 @@ void Torus::unicast(int src, int dst, double bytes,
   if (src == dst) {
     deliver = queue_->now() + config_.injection_overhead_ns;
   } else {
-    const auto links = route(src, dst);
-    hops = static_cast<int>(links.size());
-    deliver = traverse(links, wire_bytes);
+    route_scratch_.clear();
+    route_into(src, dst, route_scratch_);
+    hops = static_cast<int>(route_scratch_.size());
+    deliver = traverse(route_scratch_, wire_bytes);
   }
   stats_.messages++;
   // total_bytes counts link-bytes (payload × links traversed) so unicast and
@@ -138,26 +156,28 @@ void Torus::unicast(int src, int dst, double bytes,
   stats_.latency_ns.add(deliver - queue_->now());
   stats_.hops.add(hops);
   observe_delivery(src, dst, wire_bytes, hops, deliver);
-  ++injected_;
-  queue_->schedule_at(deliver, [this, cb = std::move(on_delivery)] {
-    ++delivered_;
-    cb();
-  });
+  return deliver;
 }
 
-void Torus::multicast(int src, std::span<const int> dsts, double bytes,
-                      std::function<void(int)> on_delivery) {
+// ANTON_HOT_NOALLOC
+void Torus::plan_multicast(int src, std::span<const int> dsts, double bytes) {
   ANTON_CHECK(bytes >= 0);
   const double wire_bytes = bytes + config_.packet_overhead_bytes;
   const double ser_ns = wire_bytes / config_.link_bandwidth_gbs;
 
   // Dimension-ordered tree: union of the unicast routes.  Each tree link is
   // charged once; a node's delivery time is the head arrival at that node
-  // plus the final serialization.
-  std::map<std::pair<int, int>, sim::SimTime> head_at_link;  // (node,dir)->start
+  // plus the final serialization.  The tree is tracked by generation stamp:
+  // mcast_mark_[link] == mcast_gen_ marks a link some earlier branch of
+  // *this* multicast already reserved.
+  ++mcast_gen_;
+  mcast_deliver_.resize(  // anton-lint: allow(hot-alloc) amortized scratch
+      dsts.size());
+  uint64_t tree_links = 0;
   const sim::SimTime inject = queue_->now() + config_.injection_overhead_ns;
 
-  for (int dst : dsts) {
+  for (size_t di = 0; di < dsts.size(); ++di) {
+    const int dst = dsts[di];
     ANTON_CHECK(dst >= 0 && dst < num_nodes());
     sim::SimTime head = inject;
     int hops = 0;
@@ -167,21 +187,23 @@ void Torus::multicast(int src, std::span<const int> dsts, double bytes,
       // relies on branches sharing route prefixes, which randomised axis
       // order would destroy.
       static constexpr int kDor[3] = {0, 1, 2};
-      for (const auto& l : route_ordered(src, dst, kDor)) {
-        const auto key = std::make_pair(l.node, l.dir);
+      route_scratch_.clear();
+      route_ordered_into(src, dst, kDor, route_scratch_);
+      for (const auto& l : route_scratch_) {
         const size_t idx = static_cast<size_t>(link_index(l));
         const double link_ser = ser_ns * link_derate_[idx];
-        const auto it = head_at_link.find(key);
-        if (it != head_at_link.end()) {
+        if (mcast_mark_[idx] == mcast_gen_) {
           // Link already carries the payload for an earlier branch; this
           // branch rides along.
-          head = it->second + config_.hop_latency_ns;
+          head = mcast_head_[idx] + config_.hop_latency_ns;
         } else {
           const sim::SimTime start = std::max(head, link_free_[idx]);
           link_free_[idx] = start + link_ser;
           link_busy_total_[idx] += link_ser;
           observe_link(l, start, link_ser);
-          head_at_link.emplace(key, start);
+          mcast_mark_[idx] = mcast_gen_;
+          mcast_head_[idx] = start;
+          ++tree_links;
           head = start + config_.hop_latency_ns;
         }
         last_ser_ns = link_ser;
@@ -189,18 +211,14 @@ void Torus::multicast(int src, std::span<const int> dsts, double bytes,
       }
     }
     const sim::SimTime deliver = head + (dst == src ? 0.0 : last_ser_ns);
+    mcast_deliver_[di] = deliver;
     stats_.messages++;
     stats_.latency_ns.add(deliver - queue_->now());
     stats_.hops.add(hops);
     observe_delivery(src, dst, wire_bytes, hops, deliver);
-    ++injected_;
-    queue_->schedule_at(deliver, [this, on_delivery, dst] {
-      ++delivered_;
-      on_delivery(dst);
-    });
   }
   // Actual tree traffic: one payload per tree link.
-  stats_.total_bytes += wire_bytes * static_cast<double>(head_at_link.size());
+  stats_.total_bytes += wire_bytes * static_cast<double>(tree_links);
 }
 
 void Torus::set_telemetry(obs::MetricsRegistry* registry,
@@ -274,13 +292,26 @@ void Torus::check_quiescent() const {
                   "packet conservation violated: injected "
                       << injected_ << " delivered " << delivered_ << " ("
                       << injected_ - delivered_ << " in flight)");
+  // Pool recycle half of the invariant: every delivered packet's callable
+  // slot must have been returned to the queue's free list — the arena
+  // balances (slots == free + pending) or a slot leaked / double-freed.
+  queue_->check_arena();
 }
 
 const NocStats& Torus::stats() {
-  // Conservation: the model must never deliver a packet it did not inject.
+  // Conservation: the model must never deliver a packet it did not inject,
+  // and every packet still in flight holds exactly one pending event (its
+  // pooled delivery callable) — fewer pending events than in-flight packets
+  // means a delivery event was lost or its slot recycled early.
   ANTON_CHECK_INVARIANT(delivered_ <= injected_,
                         "packet over-delivery: injected "
                             << injected_ << " delivered " << delivered_);
+  ANTON_CHECK_INVARIANT(injected_ - delivered_ <= queue_->pending(),
+                        "in-flight packets ("
+                            << injected_ - delivered_
+                            << ") exceed pending events ("
+                            << queue_->pending()
+                            << "): a pooled delivery callable was lost");
   stats_.max_link_busy_ns = busiest_link_ns();
   stats_.total_link_busy_ns = 0;
   for (double b : link_busy_total_) stats_.total_link_busy_ns += b;
@@ -297,7 +328,12 @@ void Torus::reset_stats() {
   stats_ = NocStats{};
   std::fill(link_busy_total_.begin(), link_busy_total_.end(), 0.0);
   // link_free_ deliberately *not* reset: occupancy persists across phases
-  // within a run; reset_stats only clears accounting.
+  // within a run; reset_stats only clears accounting (see reset_time()).
+}
+
+void Torus::reset_time() {
+  std::fill(link_free_.begin(), link_free_.end(), 0.0);
+  route_seq_ = 0;
 }
 
 }  // namespace anton::noc

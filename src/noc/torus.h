@@ -15,11 +15,17 @@
 // link.  Contention is modelled by per-link busy-until bookkeeping, which is
 // causally consistent because sends are issued from discrete events in time
 // order.
+//
+// The send path is allocation-free in steady state: timing is planned in
+// plan_unicast/plan_multicast using persistent route/tree scratch (the
+// multicast tree uses generation-stamped per-link arrays, not a map), and
+// delivery callbacks are templated through to the event queue's pooled
+// inline-callable arena.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -101,18 +107,51 @@ class Torus {
   int hop_count(int src, int dst) const;
 
   // Sends `bytes` from src to dst; on_delivery fires at the delivery time.
-  // src == dst delivers after a fixed local-loopback cost.
-  void unicast(int src, int dst, double bytes,
-               std::function<void()> on_delivery);
+  // src == dst delivers after a fixed local-loopback cost.  The callback is
+  // stored inline in the event queue's pooled arena — keep captures small
+  // (pointers/indices); oversized captures fail to compile.
+  // ANTON_HOT_NOALLOC
+  template <class F>
+  void unicast(int src, int dst, double bytes, F&& on_delivery) {
+    const sim::SimTime deliver = plan_unicast(src, dst, bytes);
+    ++injected_;
+    queue_->schedule_at(deliver,
+                        [this, cb = std::forward<F>(on_delivery)]() mutable {
+                          ++delivered_;
+                          cb();
+                        });
+  }
 
-  // Multicasts along the dimension-ordered tree; on_delivery(dst) fires per
-  // destination at its own delivery time.  Each tree link carries the
-  // payload once.
+  // Multicasts along the dimension-ordered tree; on_delivery(i) fires once
+  // per destination — i indexes into `dsts`, at dsts[i]'s own delivery time
+  // (index, not node id, so dispatch on the receiving side is a plain array
+  // lookup).  Each tree link carries the payload once.  `dsts` must stay
+  // valid until the multicast call returns; the callback is copied per
+  // destination, so it must be copyable and small.
+  // ANTON_HOT_NOALLOC
+  template <class F>
   void multicast(int src, std::span<const int> dsts, double bytes,
-                 std::function<void(int)> on_delivery);
+                 const F& on_delivery) {
+    plan_multicast(src, dsts, bytes);
+    for (size_t i = 0; i < dsts.size(); ++i) {
+      ++injected_;
+      queue_->schedule_at(mcast_deliver_[i],
+                          [this, cb = on_delivery, i]() mutable {
+                            ++delivered_;
+                            cb(static_cast<int>(i));
+                          });
+    }
+  }
 
   const NocStats& stats();
   void reset_stats();
+
+  // Zeroes per-link busy-until horizons (and the randomized-routing
+  // sequence) so a *reset* event queue can replay traffic from t = 0 —
+  // without this, links would appear occupied by a previous run.
+  // reset_stats() deliberately leaves horizons alone (occupancy persists
+  // across phases within a run); callers replaying a run want both.
+  void reset_time();
 
   // Attaches telemetry sinks.  Metrics registered under "<prefix>.":
   //   <prefix>.messages        counter, per delivery
@@ -147,11 +186,15 @@ class Torus {
   // packet is ever dropped or duplicated by the model:
   //   delivered <= injected  at all times, and
   //   delivered == injected  once the event queue has drained.
+  // An in-flight packet is exactly one pooled callable occupying one event
+  // arena slot, so conservation now also covers pool recycling: quiescence
+  // requires the queue's arena accounting to balance (no slot leaked, none
+  // double-freed).
   uint64_t packets_injected() const { return injected_; }
   uint64_t packets_delivered() const { return delivered_; }
   uint64_t packets_in_flight() const { return injected_ - delivered_; }
   // Always-on validator for tests and end-of-phase barriers: throws unless
-  // every injected packet has been delivered.
+  // every injected packet has been delivered and the event pool balances.
   void check_quiescent() const;
 
  private:
@@ -160,6 +203,18 @@ class Torus {
   }
   // Advances a message across `links`; returns delivery time.
   sim::SimTime traverse(std::span<const LinkId> links, double wire_bytes);
+
+  // Non-template halves of the send path: all routing, contention and stats
+  // bookkeeping, using persistent scratch.  plan_unicast returns the
+  // delivery time; plan_multicast fills mcast_deliver_[i] per destination.
+  sim::SimTime plan_unicast(int src, int dst, double bytes);
+  void plan_multicast(int src, std::span<const int> dsts, double bytes);
+
+  // Appends the policy-selected route to `out` (persistent-scratch variant
+  // of route()).
+  void route_into(int src, int dst, std::vector<LinkId>& out) const;
+  void route_ordered_into(int src, int dst, const int (&axis_order)[3],
+                          std::vector<LinkId>& out) const;
 
   TorusConfig config_;
   sim::EventQueue* queue_;
@@ -170,6 +225,17 @@ class Torus {
   uint64_t injected_ = 0;                 // packets handed to unicast/multicast
   uint64_t delivered_ = 0;                // on_delivery callbacks fired
   NocStats stats_;
+
+  // Send-path scratch (persistent; grown once, recycled every call).
+  mutable std::vector<LinkId> route_scratch_;
+  std::vector<sim::SimTime> mcast_deliver_;  // per-destination delivery time
+  // Generation-stamped multicast tree: mcast_mark_[link] == mcast_gen_
+  // means the link already carries this multicast's payload and
+  // mcast_head_[link] is the head departure time — replaces the per-call
+  // std::map<(node,dir), SimTime> the old path allocated.
+  std::vector<sim::SimTime> mcast_head_;
+  std::vector<uint64_t> mcast_mark_;
+  uint64_t mcast_gen_ = 0;
 
   // Telemetry sinks (all null when detached).
   obs::Counter* tel_messages_ = nullptr;

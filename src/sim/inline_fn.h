@@ -1,0 +1,117 @@
+// Small-buffer-optimized, move-only, type-erased callable.
+//
+// The DES hot path schedules millions of closures per simulated step;
+// std::function heap-allocates any capture larger than its ~16-byte SSO and
+// must stay copyable, which forces a closure copy out of
+// priority_queue::top().  InlineFn stores the callable inline in a
+// fixed-size buffer (no heap, ever — oversized captures fail to compile),
+// relocates by move, and needs no copy constructor, so the event queue can
+// pool events in a flat arena and move them out on pop.
+//
+// The type erasure is a manual three-entry vtable (invoke / relocate /
+// destroy) selected per callable type at compile time; an engaged InlineFn
+// costs one indirect call to invoke, exactly like std::function, without
+// the allocation or the copyability tax.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace anton::sim {
+
+// Capacity of a pooled event callable.  Sized for the executor's largest
+// capture (task-release closures: this + a span/pointer + two ids) with
+// headroom for user events; a capture that exceeds it is a compile error —
+// shrink the capture (capture pointers, not containers) rather than raising
+// this casually, every pending event pays for the full buffer.
+inline constexpr std::size_t kEventInlineBytes = 64;
+
+template <std::size_t Capacity = kEventInlineBytes>
+class InlineFn {
+ public:
+  InlineFn() = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  // Replaces the stored callable.  The callable must fit the inline buffer
+  // and be nothrow-movable (relocation happens during arena growth).
+  template <class F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable capture exceeds the inline event buffer; "
+                  "capture pointers/indices instead of values");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callable cannot live in the event buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callables must be nothrow-movable");
+    reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    vt_ = vtable_for<Fn>();
+  }
+
+  // Invokes the stored callable; undefined when empty (callers — the event
+  // queue — only invoke slots they know are engaged).
+  void operator()() { vt_->invoke(buf_); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <class Fn>
+  static const VTable* vtable_for() {
+    static constexpr VTable vt{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) {
+          Fn* s = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+    return &vt;
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace anton::sim

@@ -1,0 +1,189 @@
+// Zero-allocation guarantee for the discrete-event core.
+//
+// This binary overrides the global allocator with a counting hook so the
+// steady-state tests can assert that a warmed event queue, torus, and
+// TimestepRunner perform no heap allocation at all while simulating — the
+// DES analogue of the short-range pipeline's guarantee in
+// test_md_threaded.cc.  Every schedule draws a pooled arena slot, every
+// delivery recycles it, and replaying a step graph touches only memory the
+// first run left warm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "arch/config.h"
+#include "chem/builder.h"
+#include "core/timestep.h"
+#include "core/workload.h"
+#include "noc/torus.h"
+#include "sim/event_queue.h"
+
+namespace {
+std::atomic<std::int64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace anton {
+namespace {
+
+// Self-scheduling chain event: each firing frees its arena slot, then
+// reclaims it for the follow-up — the torus delivery pattern in miniature.
+struct Hopper {
+  sim::EventQueue* q;
+  int remaining;
+  void operator()() const {
+    if (remaining > 0) {
+      q->schedule_after(1.0 + 0.5 * (remaining % 3),
+                        Hopper{q, remaining - 1});
+    }
+  }
+};
+
+TEST(DesNoAlloc, WarmedQueueStormAllocatesNothing) {
+  sim::EventQueue q;
+  auto storm = [&] {
+    for (int c = 0; c < 32; ++c) {
+      q.schedule_after(1.0 + 0.25 * c, Hopper{&q, 50});
+    }
+    q.run();
+  };
+  storm();  // grows arena + heap to steady-state capacity
+  q.check_arena();
+
+  const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+  storm();
+  const std::int64_t delta =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(delta, 0) << "steady-state event storm allocated";
+  q.check_arena();
+  EXPECT_EQ(q.arena_free(), q.arena_slots());
+}
+
+struct CountDelivery {
+  uint64_t* n;
+  void operator()() const { ++*n; }
+};
+
+struct CountMcastDelivery {
+  uint64_t* n;
+  void operator()(int) const { ++*n; }
+};
+
+TEST(DesNoAlloc, WarmedTorusTrafficAllocatesNothing) {
+  sim::EventQueue q;
+  noc::TorusConfig tc;
+  tc.nx = tc.ny = tc.nz = 4;
+  noc::Torus torus(tc, &q);
+  const std::vector<int> dsts{1, 5, 21, 42, 63};
+  uint64_t delivered = 0;
+
+  auto storm = [&] {
+    for (int i = 0; i < 48; ++i) {
+      torus.unicast((i * 7) % 64, (i * 13 + 5) % 64, 256.0,
+                    CountDelivery{&delivered});
+      if (i % 4 == 0) {
+        torus.multicast((i * 11) % 64, dsts, 512.0,
+                        CountMcastDelivery{&delivered});
+      }
+    }
+    q.run();
+  };
+  storm();  // warms route scratch, multicast tree arrays, event arena
+  torus.check_quiescent();
+
+  const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+  storm();
+  const std::int64_t delta =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(delta, 0) << "steady-state torus traffic allocated";
+  torus.check_quiescent();
+  EXPECT_EQ(delivered, 2u * (48 + 12 * dsts.size()));
+}
+
+TEST(DesNoAlloc, WarmedTimestepRunnerAllocatesNothing) {
+  BuilderOptions opt;
+  opt.total_atoms = 2048;
+  opt.temperature_k = -1;  // positions only; velocities don't affect timing
+  const System sys = build_solvated_system(opt);
+  const arch::MachineConfig cfg = arch::MachineConfig::anton2(2, 2, 2);
+  const core::Workload workload = core::Workload::build(sys, cfg);
+
+  core::TimestepRunner runner(workload, cfg, {.include_long_range = true});
+  const double first = runner.run_timestep();
+  const double second = runner.run_timestep();
+
+  const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+  const double third = runner.run_timestep();
+  const std::int64_t delta =
+      g_allocs.load(std::memory_order_relaxed) - before;
+  EXPECT_EQ(delta, 0) << "steady-state run_timestep() allocated";
+
+  // Replay is exact, not approximate: same graph, same queue order, same
+  // link horizons from t = 0 every run.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second, third);
+  EXPECT_GT(third, 0.0);
+}
+
+TEST(DesNoAlloc, ShortStepRunnerAllocatesNothing) {
+  BuilderOptions opt;
+  opt.total_atoms = 2048;
+  opt.temperature_k = -1;
+  const System sys = build_solvated_system(opt);
+  const arch::MachineConfig cfg = arch::MachineConfig::anton2(2, 2, 2);
+  const core::Workload workload = core::Workload::build(sys, cfg);
+
+  core::TimestepRunner runner(workload, cfg, {.include_long_range = false});
+  const double first = runner.run_timestep();
+  runner.run_timestep();
+
+  const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+  const double again = runner.run_timestep();
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0);
+  EXPECT_EQ(first, again);
+}
+
+}  // namespace
+}  // namespace anton

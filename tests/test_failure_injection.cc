@@ -60,8 +60,9 @@ TEST(FailureInjection, MulticastRoutesThroughDeratedLinkSlowly) {
   t.derate_link(t.rank(0, 0, 0), 0, 10.0);
   std::map<int, double> deliver;
   const std::vector<int> dsts{t.rank(1, 0, 0), t.rank(0, 1, 0)};
-  t.multicast(t.rank(0, 0, 0), dsts, 1000.0,
-              [&](int node) { deliver[node] = q.now(); });
+  t.multicast(t.rank(0, 0, 0), dsts, 1000.0, [&](int i) {
+    deliver[dsts[static_cast<size_t>(i)]] = q.now();
+  });
   q.run();
   // The +x branch crawls; the +y branch is unaffected.
   EXPECT_GT(deliver[t.rank(1, 0, 0)], 5 * deliver[t.rank(0, 1, 0)]);

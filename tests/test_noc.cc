@@ -104,7 +104,9 @@ TEST(Torus, MulticastDeliversToAll) {
   Torus t(small_config(), &q);
   std::vector<int> got;
   const std::vector<int> dsts{1, 2, 3, 17, 33};
-  t.multicast(0, dsts, 500.0, [&](int node) { got.push_back(node); });
+  // The callback receives the destination *index*; map back to the node.
+  t.multicast(0, dsts, 500.0,
+              [&](int i) { got.push_back(dsts[static_cast<size_t>(i)]); });
   q.run();
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, dsts);
@@ -212,6 +214,33 @@ TEST(Torus, ConservationSurvivesStatsReset) {
   EXPECT_EQ(t.packets_injected(), 1u);
   EXPECT_EQ(t.packets_delivered(), 1u);
   t.check_quiescent();
+}
+
+TEST(Torus, EventPoolRecyclesAcrossStorms) {
+  // Conservation now extends to the event arena: every in-flight packet is
+  // one pooled slot, quiescence balances the pool, and repeated storms reuse
+  // the same slots instead of growing the arena.
+  sim::EventQueue q;
+  Torus t(small_config(), &q);
+  const std::vector<int> dsts{1, 5, 9, 17};
+  uint64_t callbacks = 0;
+  auto storm = [&] {
+    for (int i = 0; i < 30; ++i) {
+      t.unicast((i * 7) % t.num_nodes(), (i * 13 + 5) % t.num_nodes(),
+                100.0 + i, [&] { ++callbacks; });
+    }
+    t.multicast(0, dsts, 500.0, [&](int) { ++callbacks; });
+    q.run();
+  };
+  storm();
+  const size_t warm = q.arena_slots();
+  EXPECT_GT(warm, 0u);
+  for (int r = 0; r < 4; ++r) storm();
+  EXPECT_EQ(q.arena_slots(), warm);
+  EXPECT_EQ(q.arena_free(), q.arena_slots());
+  q.check_arena();
+  t.check_quiescent();
+  EXPECT_EQ(callbacks, 5u * (30 + dsts.size()));
 }
 
 TEST(Torus, CoordsRoundTrip) {

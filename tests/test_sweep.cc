@@ -1,0 +1,156 @@
+// SweepRunner: deterministic parallel sweep harness.
+//
+// The contract under test: out[i] depends only on i, results land in index
+// order regardless of scheduling, and a threaded sweep is *bitwise*
+// identical to a serial one at any thread count — down to every double in
+// the per-phase breakdown maps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/config.h"
+#include "chem/builder.h"
+#include "common/threadpool.h"
+#include "core/machine.h"
+#include "core/sweep.h"
+
+namespace anton::core {
+namespace {
+
+const System& small_system() {
+  static const System sys = [] {
+    BuilderOptions opt;
+    opt.total_atoms = 2048;
+    opt.temperature_k = -1;
+    return build_solvated_system(opt);
+  }();
+  return sys;
+}
+
+std::vector<EstimatePoint> study_points() {
+  std::vector<EstimatePoint> pts;
+  pts.push_back({arch::MachineConfig::anton2(2, 2, 2), 2.5, 2});
+  pts.push_back({arch::MachineConfig::anton2_bsp(2, 2, 2), 2.5, 2});
+  pts.push_back({arch::MachineConfig::anton2(2, 2, 4), 2.5, 3});
+  pts.push_back({arch::MachineConfig::anton1(2, 2, 2), 2.0, 2});
+  pts.push_back({arch::MachineConfig::anton2(4, 2, 2), 2.5, 1});
+  return pts;
+}
+
+// Every double must match to the last bit — including the map-valued phase
+// breakdowns, which exercise the merge path end to end.
+void expect_bitwise_equal(const PerfReport& a, const PerfReport& b) {
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.atoms, b.atoms);
+  for (const StepTiming* s : {&a.full_step, &a.short_step}) {
+    const StepTiming* t = s == &a.full_step ? &b.full_step : &b.short_step;
+    EXPECT_EQ(s->step_ns, t->step_ns);
+    EXPECT_EQ(s->exec.makespan_ns, t->exec.makespan_ns);
+    EXPECT_EQ(s->exec.tasks_executed, t->exec.tasks_executed);
+    EXPECT_EQ(s->exec.phase_busy_ns, t->exec.phase_busy_ns);
+    EXPECT_EQ(s->exec.phase_end_ns, t->exec.phase_end_ns);
+    EXPECT_EQ(s->exec.critical_path_ns, t->exec.critical_path_ns);
+    EXPECT_EQ(s->exec.critical_wait_ns, t->exec.critical_wait_ns);
+    EXPECT_EQ(s->exec.noc.messages, t->exec.noc.messages);
+    EXPECT_EQ(s->exec.noc.total_bytes, t->exec.noc.total_bytes);
+  }
+  EXPECT_EQ(a.avg_step_ns(), b.avg_step_ns());
+  EXPECT_EQ(a.us_per_day(), b.us_per_day());
+}
+
+TEST(SweepRunner, MapFillsSlotsInIndexOrder) {
+  ThreadPool pool(4);
+  const SweepRunner runner(&pool);
+  // Wildly uneven work so the dynamic ticket genuinely reorders execution.
+  std::vector<int> out;
+  runner.map(64, out, [](size_t i) {
+    volatile int spin = static_cast<int>((i * 37) % 5000);
+    while (spin > 0) spin = spin - 1;
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(out.size(), 64u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(SweepRunner, MapRunsEveryPointExactlyOnce) {
+  ThreadPool pool(3);
+  const SweepRunner runner(&pool);
+  std::atomic<int> calls{0};
+  std::vector<int> out;
+  runner.map(41, out, [&](size_t i) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int>(i);
+  });
+  EXPECT_EQ(calls.load(), 41);
+}
+
+TEST(SweepRunner, SerialFallbacksMatchPool) {
+  const SweepRunner no_pool(nullptr);
+  ThreadPool one(1);
+  const SweepRunner one_thread(&one);
+  std::vector<int> a, b;
+  no_pool.map(10, a, [](size_t i) { return static_cast<int>(3 * i + 1); });
+  one_thread.map(10, b, [](size_t i) { return static_cast<int>(3 * i + 1); });
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunner, RethrowsFirstExceptionAfterDraining) {
+  ThreadPool pool(4);
+  const SweepRunner runner(&pool);
+  std::atomic<int> completed{0};
+  std::vector<int> out;
+  EXPECT_THROW(runner.map(16, out,
+                          [&](size_t i) -> int {
+                            if (i == 5) throw std::runtime_error("point 5");
+                            completed.fetch_add(1,
+                                                std::memory_order_relaxed);
+                            return static_cast<int>(i);
+                          }),
+               std::runtime_error);
+  // The failing point doesn't cancel the rest of the sweep.
+  EXPECT_EQ(completed.load(), 15);
+
+  const SweepRunner serial(nullptr);
+  EXPECT_THROW(
+      serial.map(4, out,
+                 [](size_t) -> int { throw std::runtime_error("serial"); }),
+      std::runtime_error);
+}
+
+TEST(SweepRunner, EstimateMatchesDirectMachineCall) {
+  const auto pts = study_points();
+  ThreadPool pool(2);
+  const auto swept =
+      SweepRunner(&pool).estimate(small_system(), std::span(pts));
+  ASSERT_EQ(swept.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const PerfReport direct = AntonMachine(pts[i].config)
+                                  .estimate(small_system(), pts[i].dt_fs,
+                                            pts[i].respa_k);
+    expect_bitwise_equal(swept[i], direct);
+  }
+}
+
+TEST(SweepRunner, BitwiseIdenticalAcrossThreadCounts) {
+  const auto pts = study_points();
+  const auto serial =
+      SweepRunner(nullptr).estimate(small_system(), std::span(pts));
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const auto parallel =
+        SweepRunner(&pool).estimate(small_system(), std::span(pts));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      expect_bitwise_equal(serial[i], parallel[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anton::core

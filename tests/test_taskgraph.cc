@@ -151,6 +151,46 @@ TEST(TaskGraph, DispatchOverheadsCharged) {
   EXPECT_NEAR(s.makespan_ns, 110.0, 1e-9);
 }
 
+TEST(TaskGraph, ExecutorReuseIsDeterministic) {
+  // One persistent Executor replaying the same graph must reproduce every
+  // statistic exactly — makespan, both phase maps, and the critical path —
+  // and leave the event pool balanced.  This is the machine run loop's
+  // steady state (TimestepRunner replays its graph every step).
+  const auto c = bare_machine();
+  TaskGraph g;
+  const int a = g.add_task(0, Unit::kGc, 100, "import");
+  const int b = g.add_task(1, Unit::kHtis, 80, "pairs");
+  const int d = g.add_task(1, Unit::kGc, 30, "update");
+  g.add_message(a, b, 200.0);
+  g.add_local_dep(b, d);
+  std::vector<int> sinks;
+  for (int n = 2; n < 6; ++n) {
+    sinks.push_back(g.add_task(n, Unit::kGc, 5, "bcast"));
+  }
+  g.add_multicast(a, sinks, 64.0);
+
+  sim::EventQueue q;
+  noc::Torus t(c.noc, &q);
+  Executor ex;
+  const ExecStats first = ex.run(g, c, t, q);  // copy before the replay
+  const size_t warm_slots = q.arena_slots();
+  for (int rep = 0; rep < 3; ++rep) {
+    q.reset();
+    t.reset_time();
+    const ExecStats& again = ex.run(g, c, t, q);
+    EXPECT_EQ(first.makespan_ns, again.makespan_ns);
+    EXPECT_EQ(first.tasks_executed, again.tasks_executed);
+    EXPECT_EQ(first.phase_busy_ns, again.phase_busy_ns);
+    EXPECT_EQ(first.phase_end_ns, again.phase_end_ns);
+    EXPECT_EQ(first.critical_path_ns, again.critical_path_ns);
+    EXPECT_EQ(first.critical_wait_ns, again.critical_wait_ns);
+    EXPECT_EQ(first.max_node_busy_ns, again.max_node_busy_ns);
+  }
+  EXPECT_EQ(q.arena_slots(), warm_slots);
+  q.check_arena();
+  t.check_quiescent();
+}
+
 TEST(TaskGraph, LocalDepAcrossNodesRejected) {
   TaskGraph g;
   const int a = g.add_task(0, Unit::kGc, 1, "a");

@@ -36,6 +36,13 @@ Rules
                    layer owns the single timing source: phase attribution,
                    the disabled-path zero-cost guarantee, and deterministic
                    replay all assume no code times itself on the side.
+  des-std-function No std::function in the discrete-event core (src/sim/,
+                   src/noc/).  Events live in the queue's pooled
+                   inline-callable arena (sim::InlineFn); a std::function
+                   parameter or member re-introduces a heap allocation per
+                   event (any capture past its ~16-byte SSO) and defeats the
+                   zero-allocation steady state.  Take a deduced template
+                   parameter on the hot path, or store sim::InlineFn.
 
 Suppressions
 ------------
@@ -52,7 +59,7 @@ import re
 import sys
 
 RULES = ("hot-alloc", "unordered-iter", "fixed-literal", "iostream-lib",
-         "raw-clock")
+         "raw-clock", "des-std-function")
 
 SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
 
@@ -92,6 +99,13 @@ RAW_CLOCK = re.compile(
 )
 # The telemetry layer is the one sanctioned home of the wall clock.
 RAW_CLOCK_ALLOWED_DIRS = ("src/obs/",)
+
+DES_STD_FUNCTION = re.compile(r"\bstd\s*::\s*function\s*<")
+# The discrete-event core: every callable here rides the event queue's
+# pooled inline arena, so std::function is banned file-wide (not just in
+# annotated hot functions).  lint_fixtures is scanned so the seeded
+# violation keeps the rule honest.
+DES_NOFUNCTION_DIRS = ("src/sim/", "src/noc/", "tools/lint_fixtures/")
 
 ALLOW_RE = re.compile(r"//\s*anton-lint:\s*allow\(([^)]*)\)")
 SKIP_FILE_RE = re.compile(r"//\s*anton-lint:\s*skip-file")
@@ -298,6 +312,25 @@ def check_raw_clock(path, raw_lines, code_lines, violations):
             "the telemetry layer"))
 
 
+def check_des_std_function(path, raw_lines, code_lines, violations):
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    if not any("/" + d in norm or norm.startswith(d)
+               for d in DES_NOFUNCTION_DIRS):
+        return
+    for i, code in enumerate(code_lines):
+        m = DES_STD_FUNCTION.search(code)
+        if not m:
+            continue
+        if "des-std-function" in allowed_rules(raw_lines, i):
+            continue
+        violations.append(Violation(
+            path, i + 1, "des-std-function",
+            "std::function in the discrete-event core: it heap-allocates "
+            "any capture past its SSO buffer, breaking the pooled "
+            "zero-allocation event path (take a deduced template parameter "
+            "or store sim::InlineFn)"))
+
+
 def lint_file(path, rules, lib_roots):
     try:
         with open(path, "r", encoding="utf-8", errors="replace") as f:
@@ -319,6 +352,8 @@ def lint_file(path, rules, lib_roots):
         check_iostream(path, raw_lines, code_lines, violations, lib_roots)
     if "raw-clock" in rules:
         check_raw_clock(path, raw_lines, code_lines, violations)
+    if "des-std-function" in rules:
+        check_des_std_function(path, raw_lines, code_lines, violations)
     return violations
 
 

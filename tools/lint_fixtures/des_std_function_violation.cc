@@ -1,0 +1,15 @@
+// Fixture: std::function in the discrete-event core (parameter and member).
+// The path filter treats this directory as DES-core code.
+#include <functional>
+
+namespace anton::sim_fixture {
+
+// violation: std::function parameter on a scheduling entry point
+void schedule_at(double t, std::function<void()> fn);
+
+struct Event {
+  double time;
+  std::function<void()> fn;  // violation: std::function member per event
+};
+
+}  // namespace anton::sim_fixture
