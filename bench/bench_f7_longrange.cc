@@ -397,23 +397,7 @@ void ewald_compute(const Box& box, const Topology& top,
 
 }  // namespace legacy
 
-namespace {
-
-// Minimum over `reps` timed repetitions of `iters` calls — the stable
-// statistic on hosts with bursty background load.
-template <typename Fn>
-double time_min_ms(int reps, int iters, Fn&& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const double t0 = obs::wall_seconds();
-    for (int it = 0; it < iters; ++it) fn();
-    const double dt = (obs::wall_seconds() - t0) / iters;
-    best = std::min(best, dt);
-  }
-  return best * 1e3;
-}
-
-}  // namespace
+// Timing statistic: bench::time_min_ms (bench_util.h), shared with f6/f8.
 }  // namespace anton::bench
 
 int main() {

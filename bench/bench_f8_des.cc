@@ -198,19 +198,18 @@ template <class Storm>
 StormResult run_storm(int reps, int chains, int depth) {
   StormResult r;
   r.events = static_cast<uint64_t>(chains) * static_cast<uint64_t>(depth);
-  double best = 1e300;
-  for (int rep = 0; rep < reps; ++rep) {
+  // Shared min-of-reps statistic (bench_util.h).  Each timed call builds a
+  // fresh storm — construction is identical for the legacy and new variants,
+  // so the gated ratio is unaffected — then schedules and drains it.
+  r.ms = time_min_ms(reps, 1, [&] {
     Storm storm;
     storm.depth = depth;
-    const double t0 = obs::wall_seconds();
     for (int c = 0; c < chains; ++c) {
       storm.hop(static_cast<uint32_t>(c), 0);
     }
     r.final_t = storm.q.run();
-    best = std::min(best, obs::wall_seconds() - t0);
     ANTON_CHECK(storm.delivered == r.events);
-  }
-  r.ms = best * 1e3;
+  });
   return r;
 }
 

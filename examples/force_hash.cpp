@@ -1,0 +1,80 @@
+// Prints a bit-exact digest of the forces and energies of one deterministic
+// force evaluation.  Two builds that claim bitwise-identical physics — e.g.
+// the AVX2 and scalar SIMD backends, or different thread counts under
+// deterministic_forces — must print byte-identical output; scripts/check.sh
+// diffs this across the two backend trees as the cross-configuration parity
+// smoke test.
+//
+//   ./build/examples/force_hash [molecules=729] [threads=4] [seed=11]
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "chem/builder.h"
+#include "common/config.h"
+#include "common/threadpool.h"
+#include "md/forces.h"
+
+using namespace anton;
+
+namespace {
+
+// FNV-1a over the raw little-endian bytes of a double sequence.
+struct Digest {
+  uint64_t h = 1469598103934665603ull;
+  void add(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+uint64_t bits_of(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int molecules = static_cast<int>(cfg.get_int("molecules", 729));
+  const int threads = static_cast<int>(cfg.get_int("threads", 4));
+  const uint64_t seed = static_cast<uint64_t>(cfg.get_int("seed", 11));
+
+  System sys = build_water_box(molecules, seed);
+  MdParams md;
+  md.cutoff = 9.0;
+  md.skin = 1.0;
+  md.tabulate_erfc = true;
+  md.deterministic_forces = true;
+  md.long_range = LongRangeMethod::kMesh;
+
+  ThreadPool pool(static_cast<unsigned>(threads));
+  md::ForceCompute fc(sys.topology_ptr(), sys.box(), md, &pool);
+  std::vector<Vec3> forces(static_cast<size_t>(sys.num_atoms()), Vec3{});
+  fc.warm(sys.positions());
+  const EnergyReport e = fc.compute_all(sys.positions(), forces);
+
+  Digest d;
+  for (const Vec3& f : forces) {
+    d.add(f.x);
+    d.add(f.y);
+    d.add(f.z);
+  }
+  std::printf("atoms %d threads %d\n", sys.num_atoms(), threads);
+  std::printf("force_digest %016" PRIx64 "\n", d.h);
+  std::printf("f0 %016" PRIx64 " %016" PRIx64 " %016" PRIx64 "\n",
+              bits_of(forces[0].x), bits_of(forces[0].y),
+              bits_of(forces[0].z));
+  std::printf("e_lj %016" PRIx64 "\n", bits_of(e.lj));
+  std::printf("e_coul_real %016" PRIx64 "\n", bits_of(e.coulomb_real));
+  std::printf("e_coul_kspace %016" PRIx64 "\n", bits_of(e.coulomb_kspace));
+  std::printf("e_coul_excl %016" PRIx64 "\n", bits_of(e.coulomb_excl));
+  return 0;
+}

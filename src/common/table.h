@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace anton {
 
@@ -56,6 +57,61 @@ class CubicTable {
     const double t3 = t2 * t;
     return (2 * t3 - 3 * t2 + 1) * a.v + (t3 - 2 * t2 + t) * h_ * a.d +
            (-2 * t3 + 3 * t2) * b.v + (t3 - t2) * h_ * b.d;
+  }
+
+  // Lane-gathered batch evaluation: out[i] = (*this)(x[i]) for i < count,
+  // bitwise identical to the scalar operator() for finite inputs (same
+  // clamped index computation, same Hermite basis in the same evaluation
+  // order, per lane).  The ragged tail pads the last abscissa into the
+  // unused lanes and stores only the live ones.
+  void eval_batch(const double* x, double* out, int count) const {
+    using simd::VecD;
+    using simd::VecI;
+    constexpr int W = simd::kLanesD;
+    const double* base = reinterpret_cast<const double*>(nodes_.data());
+    const VecD v_x0 = VecD::broadcast(x0_);
+    const VecD v_inv_h = VecD::broadcast(inv_h_);
+    const VecD v_h = VecD::broadcast(h_);
+    const VecD v_smax = VecD::broadcast(static_cast<double>(n_ - 1));
+    const VecD v_zero = VecD::zero();
+    const VecD v_one = VecD::broadcast(1.0);
+    const VecD v_two = VecD::broadcast(2.0);
+    const VecD v_three = VecD::broadcast(3.0);
+    const VecI vi_zero = VecI::broadcast(0);
+    const VecI vi_two = VecI::broadcast(2);
+    const VecI vi_nmax = VecI::broadcast(n_ - 2);
+    for (int c = 0; c < count; c += W) {
+      const int cnt = count - c < W ? count - c : W;
+      double xbuf[W];
+      const double* xp = x + c;
+      if (cnt < W) {
+        for (int l = 0; l < W; ++l) xbuf[l] = xp[l < cnt ? l : cnt - 1];
+        xp = xbuf;
+      }
+      VecD s = (VecD::loadu(xp) - v_x0) * v_inv_h;
+      s = min(max(s, v_zero), v_smax);
+      const VecI k = min(max(truncate(s), vi_zero), vi_nmax);
+      const VecD t = s - VecD::from_int(k);
+      // Nodes k and k+1 are 4 consecutive doubles {a.v, a.d, b.v, b.d}:
+      // one record load per chunk (k is clamped to n-2, so node+3 is
+      // in-range).
+      const VecI node = k * vi_two;  // Node{v, d}: stride 2 doubles
+      VecD a_v, a_d, b_v, b_d;
+      simd::load_fields4(base, node, a_v, a_d, b_v, b_d);
+      const VecD t2 = t * t;
+      const VecD t3 = t2 * t;
+      const VecD r = (v_two * t3 - v_three * t2 + v_one) * a_v +
+                     (t3 - v_two * t2 + t) * v_h * a_d +
+                     (v_three * t2 - v_two * t3) * b_v +
+                     (t3 - t2) * v_h * b_d;
+      if (cnt == W) {
+        r.storeu(out + c);
+      } else {
+        double obuf[W];
+        r.storeu(obuf);
+        for (int l = 0; l < cnt; ++l) out[c + l] = obuf[l];
+      }
+    }
   }
 
  private:

@@ -60,6 +60,13 @@ class FftPlan {
   int log2n_;
   std::vector<Complex> twiddles_;      // forward twiddles, n/2 entries
   std::vector<Complex> twiddles_inv_;  // conjugate table for the inverse
+  // Per-stage contiguous twiddle runs (stage s = butterflies of length
+  // 2^(s+1) holds 2^s entries at stage_off_[s]), so the vectorized butterfly
+  // loads twiddles with whole-lane loads instead of a strided walk through
+  // twiddles_.  n-1 entries total.
+  std::vector<Complex> stage_tw_;
+  std::vector<Complex> stage_tw_inv_;
+  std::vector<size_t> stage_off_;
   std::vector<uint32_t> bitrev_;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "common/units.h"
 
 namespace anton::md {
@@ -209,19 +210,30 @@ void GseMesh::spread_range(const Topology& top, std::span<const Vec3> pos,
     axis_weights(cy, ry_, ny_, h_.y, p.y, inv_two_sigma2, wy, nullptr, iy);
     axis_weights(cz, rz_, nz_, h_.z, p.z, inv_two_sigma2, wz, nullptr, iz);
     const double qn = q[i] * norm3;
+    // Innermost x loop: the separable weight products wx[c]·wyz are formed a
+    // vector at a time (per-lane multiplies, bitwise what the scalar loop
+    // computed), then scattered in c order so both the fixed-point
+    // quantization order and the double accumulation order are unchanged.
+    // The axis arrays are padded to a lane multiple (GseWorkspace::ensure),
+    // so whole-lane loads past sx stay in bounds; only live lanes scatter.
+    constexpr int W = static_cast<int>(simd::kLanesD);
     for (int a = 0; a < sz; ++a) {
       const size_t plane = static_cast<size_t>(iz[a]) * ny_;
       const double wzq = wz[a] * qn;
       for (int b = 0; b < sy; ++b) {
         const size_t row = (plane + static_cast<size_t>(iy[b])) * nx_;
-        const double wyz = wy[b] * wzq;
-        for (int c = 0; c < sx; ++c) {
-          const double v = wx[c] * wyz;
-          if constexpr (kFixed) {
-            rho_fx[row + static_cast<size_t>(ix[c])] +=
-                MeshFixed::from_double(v);
-          } else {
-            rho[row + static_cast<size_t>(ix[c])] += v;
+        const simd::VecD v_wyz = simd::VecD::broadcast(wy[b] * wzq);
+        for (int c = 0; c < sx; c += W) {
+          double vbuf[W];
+          (simd::VecD::loadu(wx + c) * v_wyz).storeu(vbuf);
+          const int lim = sx - c < W ? sx - c : W;
+          for (int l = 0; l < lim; ++l) {
+            if constexpr (kFixed) {
+              rho_fx[row + static_cast<size_t>(ix[c + l])] +=
+                  MeshFixed::from_double(vbuf[l]);
+            } else {
+              rho[row + static_cast<size_t>(ix[c + l])] += vbuf[l];
+            }
           }
         }
       }
@@ -412,20 +424,38 @@ void GseMesh::gather_range(const Topology& top, std::span<const Vec3> pos,
     axis_weights(cx, rx_, nx_, h_.x, p.x, inv_two_sigma2, wx, dxs, ix);
     axis_weights(cy, ry_, ny_, h_.y, p.y, inv_two_sigma2, wy, dys, iy);
     axis_weights(cz, rz_, nz_, h_.z, p.z, inv_two_sigma2, wz, dzs, iz);
+    // Vectorized over the innermost x axis: φ is gathered through the
+    // pre-wrapped indices, the x force component accumulates in vector
+    // lanes across the whole support, and the y/z components reuse the
+    // per-row Σ_c φ·w partial (their displacement factors are constant
+    // along x).  Padded lanes carry zero weight into index 0, contributing
+    // exact zeros.  Everything is per-atom pure, so the result stays
+    // bitwise independent of the thread count and of the SIMD backend.
+    using simd::VecD;
+    using simd::VecI;
+    constexpr int W = static_cast<int>(simd::kLanesD);
     Vec3 acc{};
+    VecD accx = VecD::zero();
     for (int a = 0; a < sz; ++a) {
       const size_t plane = static_cast<size_t>(iz[a]) * ny_;
       const double wzv = wz[a];
       for (int b = 0; b < sy; ++b) {
         const size_t row = (plane + static_cast<size_t>(iy[b])) * nx_;
-        const double wyz = wy[b] * wzv;
-        for (int c = 0; c < sx; ++c) {
-          const double w = wx[c] * wyz;
-          const double cphi = phi[row + static_cast<size_t>(ix[c])] * w;
-          acc += cphi * Vec3{dxs[c], dys[b], dzs[a]};
+        const VecD v_wyz = VecD::broadcast(wy[b] * wzv);
+        VecD rsum = VecD::zero();
+        for (int c = 0; c < sx; c += W) {
+          const VecD w = VecD::loadu(wx + c) * v_wyz;
+          const VecD cphi =
+              VecD::gather(phi + row, VecI::loadu(ix + c)) * w;
+          accx = fma(cphi, VecD::loadu(dxs + c), accx);
+          rsum = rsum + cphi;
         }
+        const double rs = rsum.reduce_ordered();
+        acc.y += rs * dys[b];
+        acc.z += rs * dzs[a];
       }
     }
+    acc.x = accx.reduce_ordered();
     forces[i] += (-q[i] * vol_cell * norm3 * inv_sigma2) * acc;
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
 #include "common/units.h"
 
 namespace anton::md {
@@ -74,6 +75,16 @@ void ForceWorkspace::build_cache(const Topology& top, double alpha,
           static_cast<size_t>(b)] = m;
     }
   }
+  lj_row_zero_.assign(static_cast<size_t>(ntypes), 1);
+  for (int a = 0; a < ntypes; ++a) {
+    for (int b = 0; b < ntypes; ++b) {
+      if (lj_[static_cast<size_t>(a) * static_cast<size_t>(ntypes) +
+              static_cast<size_t>(b)]
+              .eps > 0) {
+        lj_row_zero_[static_cast<size_t>(a)] = 0;
+      }
+    }
+  }
 
   const auto charges = top.charges();
   q_scaled_.resize(n);
@@ -137,6 +148,19 @@ void ForceWorkspace::build_cache(const Topology& top, double alpha,
   cache_ready_ = true;
 }
 
+void ForceWorkspace::stage_positions(std::span<const Vec3> pos,
+                                     std::span<const double> charges) {
+  const size_t n = pos.size();
+  if (soa_xyzq_.size() != 4 * n) soa_xyzq_.resize(4 * n);
+  for (size_t i = 0; i < n; ++i) {
+    double* rec = soa_xyzq_.data() + 4 * i;
+    rec[0] = pos[i].x;
+    rec[1] = pos[i].y;
+    rec[2] = pos[i].z;
+    rec[3] = charges[i];
+  }
+}
+
 void ForceWorkspace::ensure_threads(unsigned nthreads, size_t n_atoms) {
   if (thread_f_.size() == nthreads && partials_.size() == nthreads &&
       (nthreads == 0 || thread_f_[0].size() == n_atoms)) {
@@ -165,17 +189,25 @@ void GseWorkspace::ensure(unsigned nthreads, int sx, int sy, int sz,
       fixed_grids_ == fixed_grids) {
     return;
   }
+  // The per-axis arrays are padded to a full vector width so the spread and
+  // gather inner loops can read whole lanes past the live count.  Padding
+  // entries are zero weight at index 0 and never rewritten by axis_weights,
+  // so padded lanes contribute exact zeros through in-range gathers.
+  constexpr int W = static_cast<int>(simd::kLanesD);
+  auto pad = [](int s) {
+    return static_cast<size_t>((s + W - 1) / W * W);
+  };
   threads_.assign(nthreads, GseThreadScratch{});
   for (GseThreadScratch& t : threads_) {
-    t.wx.assign(static_cast<size_t>(sx), 0.0);
-    t.wy.assign(static_cast<size_t>(sy), 0.0);
-    t.wz.assign(static_cast<size_t>(sz), 0.0);
-    t.dxs.assign(static_cast<size_t>(sx), 0.0);
-    t.dys.assign(static_cast<size_t>(sy), 0.0);
-    t.dzs.assign(static_cast<size_t>(sz), 0.0);
-    t.ix.assign(static_cast<size_t>(sx), 0);
-    t.iy.assign(static_cast<size_t>(sy), 0);
-    t.iz.assign(static_cast<size_t>(sz), 0);
+    t.wx.assign(pad(sx), 0.0);
+    t.wy.assign(pad(sy), 0.0);
+    t.wz.assign(pad(sz), 0.0);
+    t.dxs.assign(pad(sx), 0.0);
+    t.dys.assign(pad(sy), 0.0);
+    t.dzs.assign(pad(sz), 0.0);
+    t.ix.assign(pad(sx), 0);
+    t.iy.assign(pad(sy), 0);
+    t.iz.assign(pad(sz), 0);
     if (threaded_grids) t.rho.assign(mesh_points, 0.0);
     if (fixed_grids) t.rho_fx.assign(mesh_points, MeshFixed{});
   }

@@ -50,11 +50,15 @@ struct PairEnergyPartialFixed {
 };
 
 // Premixed LJ parameters for one type pair. e_shift is the pair energy at
-// the cutoff (subtracted when shift_at_cutoff is on; zero otherwise).
+// the cutoff (subtracted when shift_at_cutoff is on; zero otherwise).  The
+// struct is padded to 4 doubles so the vectorized pair kernel can fetch a
+// whole record per lane with simd::load_fields4 (contiguous loads + in-
+// register transpose) instead of three hardware gathers.
 struct LjMixed {
   double eps = 0;
   double sigma2 = 0;
   double e_shift = 0;
+  double pad = 0;
 };
 
 // One interleaved Hermite node of the fused screened-Coulomb table: energy
@@ -92,11 +96,27 @@ class ForceWorkspace {
   // their geometry changes and are otherwise kept zeroed by the reduction.
   void ensure_threads(unsigned nthreads, size_t n_atoms);
 
+  // Restages positions (plus each atom's unscaled charge) into one
+  // interleaved [x y z q] record per atom for the vectorized pair kernel:
+  // a neighbor's displacement inputs and charge arrive with one
+  // simd::load_fields4 record load instead of four hardware gathers.  The
+  // buffer lives here (not per call) so the steady-state evaluation stays
+  // allocation-free; only a geometry change resizes it.
+  void stage_positions(std::span<const Vec3> pos,
+                       std::span<const double> charges);
+  const double* soa_xyzq() const { return soa_xyzq_.data(); }
+
   bool cache_ready() const { return cache_ready_; }
   int num_types() const { return ntypes_; }
   const LjMixed& lj(int ti, int tj) const {
     return lj_[static_cast<size_t>(ti) * static_cast<size_t>(ntypes_) +
                static_cast<size_t>(tj)];
+  }
+  // True when every pair row (ti, *) has eps == 0 (e.g. water hydrogens):
+  // the pair kernel skips the whole LJ evaluation for such i-rows, whose
+  // lanes would contribute exact +0.0 anyway.
+  bool lj_row_zero(int ti) const {
+    return lj_row_zero_[static_cast<size_t>(ti)] != 0;
   }
   std::span<const double> scaled_charges() const { return q_scaled_; }
   double coul_shift() const { return coul_shift_; }
@@ -133,6 +153,7 @@ class ForceWorkspace {
  private:
   // Immutable per-system caches.
   std::vector<LjMixed> lj_;
+  std::vector<char> lj_row_zero_;
   std::vector<double> q_scaled_;
   int ntypes_ = 0;
   double coul_shift_ = 0;
@@ -148,6 +169,7 @@ class ForceWorkspace {
   bool tables_ready_ = false;
 
   // Steady-state scratch.
+  std::vector<double> soa_xyzq_;
   std::vector<std::vector<Vec3>> thread_f_;
   std::vector<PairEnergyPartial> partials_;
   std::vector<std::vector<ForceFixed>> thread_fx_;

@@ -75,6 +75,38 @@ TEST(Determinism, BitwiseIdenticalForcesAcross1_2_8Threads) {
   }
 }
 
+// Same property on the tabulated pair path, which runs the vectorized
+// kernel (lane-gathered erfc tables + per-lane fixed-point quantization in
+// lane order).  This certifies the SIMD fixed-point accumulation: serial and
+// every thread count produce the same bits with tables enabled.
+TEST(Determinism, TabulatedBitwiseIdenticalForcesAcross1_2_4_8Threads) {
+  const System& sys = water2k();
+  NeighborList nlist(9.0, 1.0);
+  nlist.build(sys.box(), sys.positions(), sys.topology());
+
+  auto eval_tabulated = [&](ThreadPool* pool, ForceWorkspace* ws) {
+    ShortRange r;
+    r.f.assign(static_cast<size_t>(sys.num_atoms()), Vec3{});
+    compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(), 0.35,
+                      r.f, r.e, pool, /*shift_at_cutoff=*/true, ws,
+                      /*tabulate_erfc=*/true, /*deterministic=*/true);
+    compute_excluded_correction(sys.box(), sys.topology(), sys.positions(),
+                                0.35, r.f, r.e, pool, ws,
+                                /*deterministic=*/true);
+    return r;
+  };
+
+  ForceWorkspace ws_serial;
+  const ShortRange serial = eval_tabulated(nullptr, &ws_serial);
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    ForceWorkspace ws;
+    const ShortRange par = eval_tabulated(&pool, &ws);
+    expect_bitwise_equal(serial, par);
+  }
+}
+
 // Quantization must not meaningfully perturb the physics: the fixed-point
 // result tracks the double path to roughly the 32.32 resolution per pair.
 TEST(Determinism, FixedPointTracksDoublePath) {

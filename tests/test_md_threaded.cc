@@ -204,34 +204,42 @@ TEST(Threaded, NeedsRebuildMatchesSerial) {
   EXPECT_TRUE(nlist.needs_rebuild(sys.box(), moved, &pool));
 }
 
+// tabulate_erfc=true sends both modes through the vectorized pair kernel:
+// the SoA position staging and lane buffers live in ForceWorkspace (sized at
+// warm-up, not per call), so the steady state stays allocation-free for the
+// double-batch path and the deterministic fixed-point-batch path alike.
 TEST(Threaded, SteadyStateShortRangeIsAllocationFree) {
   MdParams p;
   p.cutoff = 6.5;
   p.skin = 0.7;
   p.long_range = LongRangeMethod::kMesh;
   p.tabulate_erfc = true;
-  ThreadPool pool(4);
-  System sys = build_water_box(729, 11);
-  ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
-  force.warm(sys.positions());
+  for (const bool deterministic : {false, true}) {
+    SCOPED_TRACE(deterministic ? "deterministic" : "fast");
+    p.deterministic_forces = deterministic;
+    ThreadPool pool(4);
+    System sys = build_water_box(729, 11);
+    ForceCompute force(sys.topology_ptr(), sys.box(), p, &pool);
+    force.warm(sys.positions());
 
-  std::vector<Vec3> f(static_cast<size_t>(sys.num_atoms()));
-  // Two warm-up evaluations let every lazily-touched buffer reach its
-  // steady-state size.
-  force.compute_short(sys.positions(), f);
-  force.compute_short(sys.positions(), f);
+    std::vector<Vec3> f(static_cast<size_t>(sys.num_atoms()));
+    // Two warm-up evaluations let every lazily-touched buffer reach its
+    // steady-state size.
+    force.compute_short(sys.positions(), f);
+    force.compute_short(sys.positions(), f);
 
-  const std::int64_t before = g_allocs.load();
-  force.compute_short(sys.positions(), f);
-  const std::int64_t during = g_allocs.load() - before;
-  EXPECT_EQ(during, 0) << "steady-state compute_short allocated";
+    const std::int64_t before = g_allocs.load();
+    force.compute_short(sys.positions(), f);
+    const std::int64_t during = g_allocs.load() - before;
+    EXPECT_EQ(during, 0) << "steady-state compute_short allocated";
 
-  // A rebuild at steady state reuses the persistent CSR and shard scratch.
-  const std::int64_t before_build = g_allocs.load();
-  NeighborList& nlist = const_cast<NeighborList&>(force.nlist());
-  nlist.build(sys.box(), sys.positions(), sys.topology(), &pool);
-  const std::int64_t during_build = g_allocs.load() - before_build;
-  EXPECT_EQ(during_build, 0) << "steady-state nlist build allocated";
+    // A rebuild at steady state reuses the persistent CSR and shard scratch.
+    const std::int64_t before_build = g_allocs.load();
+    NeighborList& nlist = const_cast<NeighborList&>(force.nlist());
+    nlist.build(sys.box(), sys.positions(), sys.topology(), &pool);
+    const std::int64_t during_build = g_allocs.load() - before_build;
+    EXPECT_EQ(during_build, 0) << "steady-state nlist build allocated";
+  }
 }
 
 // The long-range path — GSE spread, threaded r2c FFT, k-space multiply,

@@ -36,6 +36,12 @@ Rules
                    layer owns the single timing source: phase attribution,
                    the disabled-path zero-cost guarantee, and deterministic
                    replay all assume no code times itself on the side.
+  raw-intrinsics   No vendor SIMD intrinsics (<immintrin.h> and friends,
+                   _mm*/_MM_* calls, __m128/__m256/__m512 types) outside
+                   src/common/simd.h.  Every kernel goes through the portable
+                   simd:: wrappers so the scalar backend stays bitwise
+                   equivalent and a new ISA backend is a one-file change;
+                   a stray intrinsic in a kernel silently breaks both.
   des-std-function No std::function in the discrete-event core (src/sim/,
                    src/noc/).  Events live in the queue's pooled
                    inline-callable arena (sim::InlineFn); a std::function
@@ -59,7 +65,7 @@ import re
 import sys
 
 RULES = ("hot-alloc", "unordered-iter", "fixed-literal", "iostream-lib",
-         "raw-clock", "des-std-function")
+         "raw-clock", "raw-intrinsics", "des-std-function")
 
 SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
 
@@ -99,6 +105,19 @@ RAW_CLOCK = re.compile(
 )
 # The telemetry layer is the one sanctioned home of the wall clock.
 RAW_CLOCK_ALLOWED_DIRS = ("src/obs/",)
+
+RAW_INTRINSICS_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin|"
+    r"tmmintrin|smmintrin|nmmintrin|wmmintrin|ammintrin|avx\w*intrin)\.h>"
+)
+# Intrinsic calls (_mm_..., _mm256_...), control macros (_MM_HINT_T0,
+# _MM_SHUFFLE) and register types.  __builtin_prefetch is a compiler
+# builtin, not a vendor intrinsic, and deliberately does not match.
+RAW_INTRINSICS_USE = re.compile(
+    r"(?:\b_mm\d*_\w+|\b_MM_\w+|\b__m(?:64|128|256|512)[di]?\b)"
+)
+# The portable SIMD layer is the one sanctioned home of raw intrinsics.
+RAW_INTRINSICS_ALLOWED_FILES = ("src/common/simd.h",)
 
 DES_STD_FUNCTION = re.compile(r"\bstd\s*::\s*function\s*<")
 # The discrete-event core: every callable here rides the event queue's
@@ -312,6 +331,25 @@ def check_raw_clock(path, raw_lines, code_lines, violations):
             "the telemetry layer"))
 
 
+def check_raw_intrinsics(path, raw_lines, code_lines, violations):
+    norm = os.path.abspath(path).replace(os.sep, "/")
+    if any(norm.endswith("/" + f) for f in RAW_INTRINSICS_ALLOWED_FILES):
+        return
+    for i, code in enumerate(code_lines):
+        m = RAW_INTRINSICS_INCLUDE.search(code) or \
+            RAW_INTRINSICS_USE.search(code)
+        if not m:
+            continue
+        if "raw-intrinsics" in allowed_rules(raw_lines, i):
+            continue
+        violations.append(Violation(
+            path, i + 1, "raw-intrinsics",
+            f"raw vendor intrinsic `{m.group(0).strip()}` outside "
+            "src/common/simd.h: kernels must use the portable simd:: "
+            "wrappers so the scalar backend stays bitwise equivalent "
+            "(add the operation to simd.h if it is missing)"))
+
+
 def check_des_std_function(path, raw_lines, code_lines, violations):
     norm = os.path.abspath(path).replace(os.sep, "/")
     if not any("/" + d in norm or norm.startswith(d)
@@ -352,6 +390,8 @@ def lint_file(path, rules, lib_roots):
         check_iostream(path, raw_lines, code_lines, violations, lib_roots)
     if "raw-clock" in rules:
         check_raw_clock(path, raw_lines, code_lines, violations)
+    if "raw-intrinsics" in rules:
+        check_raw_intrinsics(path, raw_lines, code_lines, violations)
     if "des-std-function" in rules:
         check_des_std_function(path, raw_lines, code_lines, violations)
     return violations
