@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Pre-PR gate: default build + full ctest + anton-lint + sanitizer passes.
+# Pre-PR gate: default build + full ctest + anton-lint + callgraph + sanitizer
+# passes.
 #
 # Usage:
-#   scripts/check.sh                  # build, ctest, lint, then ASan + UBSan
+#   scripts/check.sh                  # everything: build, ctest, lint,
+#                                     # callgraph, scalar backend, ASan + UBSan
+#   scripts/check.sh --fast           # inner-loop subset: default build,
+#                                     # ctest, lint (+ fixtures), callgraph
+#                                     # gate; skips the scalar-backend
+#                                     # rebuild, force-parity diff, telemetry
+#                                     # smoke, bench smoke and all sanitizer
+#                                     # trees (minutes -> seconds of rebuild)
 #   ANTON_CHECK_SANITIZERS="address undefined thread" scripts/check.sh
 #   ANTON_CHECK_SANITIZERS="" scripts/check.sh   # skip sanitizer builds
 #
@@ -10,9 +18,19 @@
 # instrumented trees never collide with the default build/.  TSan is not in
 # the default list because it is an order of magnitude slower; add it via
 # ANTON_CHECK_SANITIZERS before merging thread-pool or kernel changes.
+# The callgraph gate builds its own tree too (build-cg/, GCC -O0 with
+# -fcallgraph-info=su) — see tools/anton_callgraph.py.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
 
 JOBS="${ANTON_CHECK_JOBS:-$(nproc)}"
 SANITIZERS="${ANTON_CHECK_SANITIZERS-address undefined}"
@@ -29,6 +47,26 @@ cmake --build build -j"$JOBS"
 step "ctest (default build)"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+step "anton-lint (src/ must be clean, fixtures must fail, suppressions hold)"
+python3 tools/anton_lint.py src
+if python3 tools/anton_lint.py -q tools/lint_fixtures; then
+  echo "error: lint fixtures passed — anton_lint.py has rotted into a no-op" >&2
+  exit 1
+fi
+echo "lint fixtures correctly rejected"
+python3 tools/anton_lint.py -q tools/lint_fixtures/passing
+echo "lint suppression fixtures correctly accepted"
+
+step "callgraph purity gate (build-cg/, -DANTON_CALLGRAPH=ON)"
+cmake -B build-cg -S . -DANTON_CALLGRAPH=ON >/dev/null
+cmake --build build-cg -j"$JOBS"
+ctest --test-dir build-cg --output-on-failure -j"$JOBS" -R 'anton_callgraph'
+
+if [ "$FAST" = 1 ]; then
+  step "fast gate passed (scalar backend, telemetry, bench and sanitizer passes skipped)"
+  exit 0
+fi
+
 step "scalar-backend build (build-scalar/, ANTON_SIMD=scalar)"
 cmake -B build-scalar -S . -DANTON_SIMD=scalar >/dev/null
 cmake --build build-scalar -j"$JOBS"
@@ -42,14 +80,6 @@ step "cross-backend force parity (native vs scalar, bitwise)"
 diff "$SCRATCH/force_hash_native.txt" "$SCRATCH/force_hash_scalar.txt"
 echo "force digests byte-identical across SIMD backends:"
 grep force_digest "$SCRATCH/force_hash_native.txt"
-
-step "anton-lint (src/ must be clean, fixtures must fail)"
-python3 tools/anton_lint.py src
-if python3 tools/anton_lint.py -q tools/lint_fixtures; then
-  echo "error: lint fixtures passed — anton_lint.py has rotted into a no-op" >&2
-  exit 1
-fi
-echo "lint fixtures correctly rejected"
 
 step "telemetry smoke (trace + metrics round-trip)"
 TELEMETRY_TMP="$SCRATCH"

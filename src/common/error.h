@@ -18,6 +18,11 @@ class Error : public std::runtime_error {
 };
 
 namespace detail {
+// The cold failure traps.  A function that fails a check is aborting the
+// run, so everything message-related (string building, stream formatting,
+// the throw itself) lives behind these [[noreturn]] symbols.  The callgraph
+// verifier (tools/anton_callgraph.py) cuts traversal at `anton::detail::fail`
+// — a hot function's fast path must stay pure, but its trap may format.
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
                               const std::string& msg) {
   std::ostringstream os;
@@ -25,23 +30,42 @@ namespace detail {
   if (!msg.empty()) os << " — " << msg;
   throw Error(os.str());
 }
+
+// Message-free overload: the only call ANTON_CHECK emits at its use site.
+// Takes no std::string, so the caller's failure branch is a bare call —
+// no allocation or stream construction appears in the caller's own body.
+[[noreturn]] inline void fail(const char* expr, const char* file, int line) {
+  fail(expr, file, line, std::string());
+}
+
+// ANTON_CHECK_MSG defers its stream formatting into a callable invoked here,
+// behind the cold cut, instead of expanding an ostringstream at the use site.
+template <class Emit>
+[[noreturn]] inline void fail_with(const char* expr, const char* file,
+                                   int line, Emit&& emit) {
+  std::ostringstream os;
+  emit(os);
+  fail(expr, file, line, os.str());
+}
 }  // namespace detail
 
 }  // namespace anton
 
 // Always-on invariant check. Use for API preconditions and cheap invariants.
-#define ANTON_CHECK(cond)                                            \
-  do {                                                               \
-    if (!(cond)) ::anton::detail::fail(#cond, __FILE__, __LINE__, ""); \
+#define ANTON_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::anton::detail::fail(#cond, __FILE__, __LINE__);     \
   } while (0)
 
-#define ANTON_CHECK_MSG(cond, msg)                               \
-  do {                                                           \
-    if (!(cond)) {                                               \
-      std::ostringstream anton_os_;                              \
-      anton_os_ << msg;                                          \
-      ::anton::detail::fail(#cond, __FILE__, __LINE__, anton_os_.str()); \
-    }                                                            \
+// The message expression is evaluated only on failure, inside the cold trap:
+// the macro packages it as a lambda streamed by detail::fail_with.
+#define ANTON_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::anton::detail::fail_with(                                      \
+          #cond, __FILE__, __LINE__,                                   \
+          [&](std::ostream& anton_os_) { anton_os_ << msg; });         \
+    }                                                                  \
   } while (0)
 
 // Debug-only check for hot loops.
@@ -80,4 +104,36 @@ inline constexpr bool kInvariantsEnabled = ANTON_ENABLE_INVARIANTS != 0;
 #else
 #define ANTON_ASSERT(cond) ((void)0)
 #define ANTON_CHECK_INVARIANT(cond, msg) ((void)0)
+#endif
+
+// ---------------------------------------------------------------------------
+// Hot-path purity annotation.
+//
+// `ANTON_HOT_NOALLOC();` as the first statement of a function body marks it
+// as a hot-path purity root: no allocation, no throw, no lock, and no
+// iostream traffic may be reachable from it in steady state.  Two checkers
+// consume the annotation:
+//
+//   * tools/anton_lint.py scans the function body intra-procedurally
+//     (regex rules: hot-alloc and friends);
+//   * tools/anton_callgraph.py proves the property interprocedurally in a
+//     -DANTON_CALLGRAPH=ON build tree, where this macro expands to a call
+//     to the marker function below.  Every annotated function then carries
+//     a call edge to the marker in its GCC -fcallgraph-info record, so the
+//     verifier extracts the roots with their exact mangled symbol names —
+//     no name-matching heuristics, and template roots enumerate one symbol
+//     per instantiation.
+//
+// In all other builds the macro compiles to nothing.
+#if defined(ANTON_CALLGRAPH)
+namespace anton::detail {
+// noinline so every annotated function keeps its own call edge to this
+// symbol; the empty asm pins the body against identical-code folding.
+__attribute__((noinline)) inline void hot_noalloc_root() { asm(""); }
+}  // namespace anton::detail
+#define ANTON_HOT_NOALLOC() ::anton::detail::hot_noalloc_root()
+#else
+#define ANTON_HOT_NOALLOC() \
+  do {                      \
+  } while (0)
 #endif

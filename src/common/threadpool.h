@@ -34,6 +34,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/error.h"
+
 namespace anton {
 
 class ThreadPool {
@@ -49,9 +51,9 @@ class ThreadPool {
 
   // Runs fn(begin, end) over [0, n) split into contiguous chunks, one per
   // thread (including the calling thread). Blocks until all chunks finish.
-  // ANTON_HOT_NOALLOC
   template <class F>
   void parallel_for(size_t n, F&& fn) {
+    ANTON_HOT_NOALLOC();
     if (n == 0) return;
     const size_t threads = std::min<size_t>(size(), n);
     if (threads <= 1) {
@@ -68,9 +70,9 @@ class ThreadPool {
 
   // Runs fn(thread_index) on every thread (the caller runs index 0); useful
   // for thread-local reduction buffers.
-  // ANTON_HOT_NOALLOC
   template <class F>
   void for_each_thread(F&& fn) {
+    ANTON_HOT_NOALLOC();
     using Fn = std::remove_reference_t<F>;
     dispatch([](void* ctx, unsigned t) { (*static_cast<Fn*>(ctx))(t); },
              const_cast<void*>(

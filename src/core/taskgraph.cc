@@ -85,8 +85,8 @@ double Executor::dispatch_overhead(Unit unit) const {
 // pooled delivery callables — the multicast callback receives the
 // *destination index*, so dispatch is a plain lookup into the task's own
 // mcast_dependents array (no per-send container, no node→task map).
-// ANTON_HOT_NOALLOC
 void Executor::complete(int id) {
+  ANTON_HOT_NOALLOC();
   const TaskGraph::Task& t = graph_->task(id);
   for (int dep : t.local_dependents) notify(dep, id);
   for (const auto& s : t.sends) {
@@ -107,14 +107,14 @@ void Executor::complete(int id) {
   }
 }
 
-// ANTON_HOT_NOALLOC
 void Executor::notify(int id, int from) {
+  ANTON_HOT_NOALLOC();
   ANTON_CHECK(deps_left_[static_cast<size_t>(id)] > 0);
   if (--deps_left_[static_cast<size_t>(id)] == 0) ready(id, from);
 }
 
-// ANTON_HOT_NOALLOC
 void Executor::ready(int id, int released_by) {
+  ANTON_HOT_NOALLOC();
   const TaskGraph::Task& t = graph_->task(id);
   const size_t unit_key =
       static_cast<size_t>(t.node) * kNumUnits + static_cast<size_t>(t.unit);

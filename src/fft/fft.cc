@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.h"
 #include "common/simd.h"
 #include "obs/profiler.h"
 
@@ -66,8 +67,8 @@ FftPlan::FftPlan(int n) : n_(n) {
   }
 }
 
-// ANTON_HOT_NOALLOC
 void FftPlan::transform(std::span<Complex> data, bool inverse) const {
+  ANTON_HOT_NOALLOC();
   ANTON_DCHECK(static_cast<int>(data.size()) == n_);
   const Complex* stw = inverse ? stage_tw_inv_.data() : stage_tw_.data();
   // Bit-reversal permutation.
@@ -144,8 +145,8 @@ void Fft3D::run_items(size_t n_items, F&& fn) {
   });
 }
 
-// ANTON_HOT_NOALLOC
 void Fft3D::pass_x(std::span<Complex> data, bool inverse) {
+  ANTON_HOT_NOALLOC();
   const size_t lines = static_cast<size_t>(nz_) * ny_;
   run_items(lines, [&](size_t l, unsigned) {
     px_.transform(
@@ -154,9 +155,9 @@ void Fft3D::pass_x(std::span<Complex> data, bool inverse) {
   });
 }
 
-// ANTON_HOT_NOALLOC
 void Fft3D::pass_lines(std::span<Complex> data, bool inverse, int axis,
                        int row_len) {
+  ANTON_HOT_NOALLOC();
   const int n = axis == 1 ? ny_ : nz_;
   if (n == 1) return;
   const FftPlan& plan = axis == 1 ? py_ : pz_;
@@ -202,8 +203,8 @@ void Fft3D::pass_lines(std::span<Complex> data, bool inverse, int axis,
   });
 }
 
-// ANTON_HOT_NOALLOC
 void Fft3D::transform(std::span<Complex> data, bool inverse) {
+  ANTON_HOT_NOALLOC();
   ANTON_CHECK(data.size() == num_points());
   double t0 = stat_x_ != nullptr ? obs::wall_seconds() : 0.0;
   pass_x(data, inverse);
@@ -222,9 +223,9 @@ void Fft3D::transform(std::span<Complex> data, bool inverse) {
   if (stat_z_ != nullptr) stat_z_->add(obs::wall_seconds() - t0);
 }
 
-// ANTON_HOT_NOALLOC
 void Fft3D::pass_x_forward_real(std::span<const double> in,
                                 std::span<Complex> out) {
+  ANTON_HOT_NOALLOC();
   const size_t lines = static_cast<size_t>(nz_) * ny_;
   const int hnx = half_nx();
   // Two real lines packed as the real/imaginary parts of one complex line;
@@ -262,9 +263,9 @@ void Fft3D::pass_x_forward_real(std::span<const double> in,
   });
 }
 
-// ANTON_HOT_NOALLOC
 void Fft3D::pass_x_inverse_real(std::span<Complex> spec,
                                 std::span<double> out) {
+  ANTON_HOT_NOALLOC();
   const size_t lines = static_cast<size_t>(nz_) * ny_;
   const int hnx = half_nx();
   run_items((lines + 1) / 2, [&](size_t p, unsigned thr) {
@@ -301,8 +302,8 @@ void Fft3D::pass_x_inverse_real(std::span<Complex> spec,
   });
 }
 
-// ANTON_HOT_NOALLOC
 void Fft3D::forward_real(std::span<const double> in, std::span<Complex> out) {
+  ANTON_HOT_NOALLOC();
   ANTON_CHECK(in.size() == num_points());
   ANTON_CHECK(out.size() == half_points());
   double t0 = stat_x_ != nullptr ? obs::wall_seconds() : 0.0;
@@ -322,8 +323,8 @@ void Fft3D::forward_real(std::span<const double> in, std::span<Complex> out) {
   if (stat_z_ != nullptr) stat_z_->add(obs::wall_seconds() - t0);
 }
 
-// ANTON_HOT_NOALLOC
 void Fft3D::inverse_real(std::span<Complex> spec, std::span<double> out) {
+  ANTON_HOT_NOALLOC();
   ANTON_CHECK(spec.size() == half_points());
   ANTON_CHECK(out.size() == num_points());
   double t0 = stat_z_ != nullptr ? obs::wall_seconds() : 0.0;

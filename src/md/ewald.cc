@@ -75,8 +75,8 @@ Cx EwaldDirect::phase(int nx, int ny, int nz, size_t i) const {
 // Per-atom axis phase tables: phase[axis][n][atom] = e^{i 2π n x/L} for
 // n = 0..nmax.  Each atom fills its own column, so the pass is
 // data-parallel and bitwise independent of the thread count.
-// ANTON_HOT_NOALLOC
 void EwaldDirect::fill_phases(std::span<const Vec3> pos) {
+  ANTON_HOT_NOALLOC();
   const size_t n = pos.size();
   const Vec3 lengths = box_.lengths();
   const int nmax = nmax_;
@@ -117,8 +117,8 @@ void EwaldDirect::fill_phases(std::span<const Vec3> pos) {
 // frequencies handled by flipping the imaginary sign (branch-free conjugate),
 // keeping the inner loop a straight-line multiply-accumulate over contiguous
 // memory.
-// ANTON_HOT_NOALLOC
 void EwaldDirect::accumulate_structure_factors(std::span<const double> q) {
+  ANTON_HOT_NOALLOC();
   const size_t n = n_atoms_;
   const size_t cap = capacity_;
   auto sum_range = [&](size_t begin, size_t end) {
@@ -146,9 +146,9 @@ void EwaldDirect::accumulate_structure_factors(std::span<const double> q) {
   }
 }
 
-// ANTON_HOT_NOALLOC
 void EwaldDirect::compute(const Topology& top, std::span<const Vec3> pos,
                           std::span<Vec3> forces, EnergyReport& energy) {
+  ANTON_HOT_NOALLOC();
   const size_t n = pos.size();
   ANTON_CHECK(static_cast<int>(n) == top.num_atoms());
   ensure_tables(n);

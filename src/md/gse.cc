@@ -24,9 +24,9 @@ int mesh_dim(double length, double spacing) {
 // pre-wrapped mesh index for each support cell.  Wrapping is a single
 // conditional (|k| <= r < n and c in [0, n)), replacing the two integer
 // modulos per mesh point of the original inner loops.
-// ANTON_HOT_NOALLOC
 void axis_weights(int c, int r, int n, double h, double pcoord,
                   double inv_two_sigma2, double* w, double* d, int* idx) {
+  ANTON_HOT_NOALLOC();
   for (int k = -r; k <= r; ++k) {
     const double dd = (c + k) * h - pcoord;
     const int j = k + r;
@@ -186,10 +186,10 @@ void GseMesh::update_mesh_gauges() {
 }
 
 template <bool kFixed>
-// ANTON_HOT_NOALLOC
 void GseMesh::spread_range(const Topology& top, std::span<const Vec3> pos,
                            size_t begin, size_t end, double* rho,
                            MeshFixed* rho_fx, GseThreadScratch& s) const {
+  ANTON_HOT_NOALLOC();
   const double inv_two_sigma2 = 1.0 / (2.0 * sigma_ * sigma_);
   const double norm3 = 1.0 / std::pow(2.0 * M_PI * sigma_ * sigma_, 1.5);
   const auto q = top.charges();
@@ -241,9 +241,9 @@ void GseMesh::spread_range(const Topology& top, std::span<const Vec3> pos,
   }
 }
 
-// ANTON_HOT_NOALLOC
 void GseMesh::spread(const Topology& top, std::span<const Vec3> pos,
                      bool deterministic) {
+  ANTON_HOT_NOALLOC();
   const size_t n = pos.size();
   const unsigned nthreads = ws_.num_threads();
   if (!deterministic && nthreads <= 1) {
@@ -307,8 +307,8 @@ void GseMesh::spread(const Topology& top, std::span<const Vec3> pos,
 // k-space virial.  Each half-spectrum point carries weight 2 except the
 // self-conjugate x columns (hx == 0 and hx == nx/2), which represent a
 // single full-spectrum point.
-// ANTON_HOT_NOALLOC
 void GseMesh::kspace_multiply(EnergyReport& energy, bool deterministic) {
+  ANTON_HOT_NOALLOC();
   const int hnx = fft_.half_nx();
   const int half_fx = nx_ / 2;
   const size_t hp = fft_.half_points();
@@ -356,8 +356,8 @@ void GseMesh::kspace_multiply(EnergyReport& energy, bool deterministic) {
 }
 
 // Σ_m ρ(m)·φ(m) over the real mesh, reduced per thread.
-// ANTON_HOT_NOALLOC
 double GseMesh::mesh_energy_dot(bool deterministic) {
+  ANTON_HOT_NOALLOC();
   const size_t np = mesh_points();
   const unsigned nthreads = ws_.num_threads();
   const size_t chunk = (np + nthreads - 1) / nthreads;
@@ -395,10 +395,10 @@ double GseMesh::mesh_energy_dot(bool deterministic) {
 // Gather forces: F_i = -q_i vol_cell / σ² Σ_m φ(m) G_σ(d) d, d = r_m - r_i.
 // Each atom reads the shared potential grid and writes only forces[i], so
 // the pass is data-parallel and bitwise independent of the thread count.
-// ANTON_HOT_NOALLOC
 void GseMesh::gather_range(const Topology& top, std::span<const Vec3> pos,
                            std::span<Vec3> forces, size_t begin, size_t end,
                            GseThreadScratch& s) const {
+  ANTON_HOT_NOALLOC();
   const double inv_two_sigma2 = 1.0 / (2.0 * sigma_ * sigma_);
   const double norm3 = 1.0 / std::pow(2.0 * M_PI * sigma_ * sigma_, 1.5);
   const double inv_sigma2 = 1.0 / (sigma_ * sigma_);
@@ -460,9 +460,9 @@ void GseMesh::gather_range(const Topology& top, std::span<const Vec3> pos,
   }
 }
 
-// ANTON_HOT_NOALLOC
 void GseMesh::gather(const Topology& top, std::span<const Vec3> pos,
                      std::span<Vec3> forces) {
+  ANTON_HOT_NOALLOC();
   const size_t n = pos.size();
   const unsigned nthreads = ws_.num_threads();
   if (nthreads <= 1) {
@@ -477,10 +477,10 @@ void GseMesh::gather(const Topology& top, std::span<const Vec3> pos,
   });
 }
 
-// ANTON_HOT_NOALLOC
 void GseMesh::compute(const Topology& top, std::span<const Vec3> pos,
                       std::span<Vec3> forces, EnergyReport& energy,
                       bool deterministic) {
+  ANTON_HOT_NOALLOC();
   ANTON_CHECK(static_cast<int>(pos.size()) == top.num_atoms());
   const unsigned nthreads = pool_ != nullptr ? pool_->size() : 1;
   ws_.ensure(nthreads, 2 * rx_ + 1, 2 * ry_ + 1, 2 * rz_ + 1, mesh_points(),

@@ -24,10 +24,10 @@ NeighborList::~NeighborList() = default;
 // Distances use the cell-image displacement wa - wb - shift, which avoids
 // the per-candidate divisions of Box::min_image and is exact for every pair
 // inside the list radius (see CellGrid::half_stencil_shifts).
-// ANTON_HOT_NOALLOC
 void NeighborList::collect_cells(const CellGrid& grid, const Topology& top,
                                  double rl2, int cell_begin, int cell_end,
                                  BuildShard& shard) const {
+  ANTON_HOT_NOALLOC();
   int sten_cells[14];
   Vec3 sten_shifts[14];
   const Vec3* wp = wrapped_.data();
@@ -223,10 +223,10 @@ void NeighborList::validate() const {
   }
 }
 
-// ANTON_HOT_NOALLOC
 bool NeighborList::needs_rebuild(const Box& box,
                                  std::span<const Vec3> positions,
                                  ThreadPool* pool) const {
+  ANTON_HOT_NOALLOC();
   if (ref_positions_.size() != positions.size()) return true;
   const double limit = 0.5 * skin_;
   const double limit2 = limit * limit;

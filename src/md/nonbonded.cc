@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.h"
 #include "common/simd.h"
 #include "common/units.h"
 #include "obs/profiler.h"
@@ -200,13 +201,13 @@ struct FixedBatchAcc {
 // exact 0.0.  Lanes under the table floor (r² < table_r2_min) are rare bad
 // geometry; they are zeroed in the vector pass and re-evaluated analytically
 // per lane, with the identical scalar expressions both backends compile.
-// ANTON_HOT_NOALLOC
 template <class Acc>
 void pair_kernel_simd(const Box& box, const ForceWorkspace& ws,
                       const NeighborList& nlist,
                       std::span<const int> types,
                       std::span<const double> charges, double alpha,
                       double cutoff2, size_t begin, size_t end, Acc& acc) {
+  ANTON_HOT_NOALLOC();
   using simd::MaskD;
   using simd::VecD;
   using simd::VecI;
@@ -440,13 +441,13 @@ void pair_kernel_simd(const Box& box, const ForceWorkspace& ws,
 // caches (premixed LJ table, prescaled charges), so the loop reads flat SoA
 // arrays only.  With kTable the screened-Coulomb energy/force factors come
 // from cubic-Hermite tables in r² (no sqrt, no erfc/exp on the hot path).
-// ANTON_HOT_NOALLOC
 template <bool kTable, class Acc>
 void pair_kernel(const Box& box, const ForceWorkspace& ws,
                  const NeighborList& nlist, std::span<const Vec3> pos,
                  std::span<const int> types, std::span<const double> charges,
                  double alpha, double cutoff2, size_t begin, size_t end,
                  Acc& acc) {
+  ANTON_HOT_NOALLOC();
   const auto q_scaled = ws.scaled_charges();
   const double coul_shift = ws.coul_shift();
   const int ntypes = ws.num_types();
@@ -548,11 +549,11 @@ void pair_kernel(const Box& box, const ForceWorkspace& ws,
 }
 
 // Excluded-pair correction kernel over the i-range [begin, end).
-// ANTON_HOT_NOALLOC
 template <class Acc>
 void excluded_kernel(const Box& box, const Topology& top,
                      std::span<const Vec3> pos, double alpha, size_t begin,
                      size_t end, Acc& acc) {
+  ANTON_HOT_NOALLOC();
   const Vec3 box_l = box.lengths();
   const Vec3 inv_l{1.0 / box_l.x, 1.0 / box_l.y, 1.0 / box_l.z};
   for (size_t i = begin; i < end; ++i) {
@@ -585,9 +586,9 @@ void excluded_kernel(const Box& box, const Topology& top,
 // Zero-restoring reduction: folds every per-thread buffer into `forces` and
 // leaves the buffers zeroed for the next evaluation.  Summation order over t
 // is fixed, so results are deterministic for a fixed thread count.
-// ANTON_HOT_NOALLOC
 void reduce_thread_forces(ThreadPool* pool, ForceWorkspace* ws, unsigned T,
                           std::span<Vec3> forces) {
+  ANTON_HOT_NOALLOC();
   pool->parallel_for(forces.size(), [&](size_t b, size_t e) {
     for (unsigned t = 0; t < T; ++t) {
       auto buf = ws->thread_force(t);
@@ -601,9 +602,9 @@ void reduce_thread_forces(ThreadPool* pool, ForceWorkspace* ws, unsigned T,
 
 // Fixed-point twin: sums the per-thread fixed accumulators exactly (order
 // cannot matter), converts once to double, and zero-restores the buffers.
-// ANTON_HOT_NOALLOC
 void reduce_thread_forces_fixed(ThreadPool* pool, ForceWorkspace* ws,
                                 unsigned T, std::span<Vec3> forces) {
+  ANTON_HOT_NOALLOC();
   auto fold = [&](size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) {
       ForceFixed sum{};

@@ -39,9 +39,10 @@ std::pair<int, int> ring_steps(int from, int to, int n) {
 }
 }  // namespace
 
-// ANTON_HOT_NOALLOC (appends into caller-owned scratch; growth amortized)
+// Appends into caller-owned scratch; growth amortized.
 void Torus::route_ordered_into(int src, int dst, const int (&axis_order)[3],
                                std::vector<LinkId>& out) const {
+  ANTON_HOT_NOALLOC();
   int x, y, z, dx, dy, dz;
   coords(src, &x, &y, &z);
   coords(dst, &dx, &dy, &dz);
@@ -68,8 +69,8 @@ std::vector<LinkId> Torus::route_ordered(int src, int dst,
   return links;
 }
 
-// ANTON_HOT_NOALLOC
 void Torus::route_into(int src, int dst, std::vector<LinkId>& out) const {
+  ANTON_HOT_NOALLOC();
   static constexpr int kOrders[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
                                         {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
   if (config_.routing == RoutingPolicy::kRandomizedOrder) {
@@ -107,9 +108,9 @@ int Torus::hop_count(int src, int dst) const {
   return hops;
 }
 
-// ANTON_HOT_NOALLOC
 sim::SimTime Torus::traverse(std::span<const LinkId> links,
                              double wire_bytes) {
+  ANTON_HOT_NOALLOC();
   const double base_ser_ns =
       wire_bytes / config_.link_bandwidth_gbs;  // B / (GB/s) = ns
   sim::SimTime head = queue_->now() + config_.injection_overhead_ns;
@@ -134,8 +135,8 @@ sim::SimTime Torus::traverse(std::span<const LinkId> links,
   return head + last_ser_ns;
 }
 
-// ANTON_HOT_NOALLOC
 sim::SimTime Torus::plan_unicast(int src, int dst, double bytes) {
+  ANTON_HOT_NOALLOC();
   ANTON_CHECK(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
   ANTON_CHECK(bytes >= 0);
   const double wire_bytes = bytes + config_.packet_overhead_bytes;
@@ -159,8 +160,8 @@ sim::SimTime Torus::plan_unicast(int src, int dst, double bytes) {
   return deliver;
 }
 
-// ANTON_HOT_NOALLOC
 void Torus::plan_multicast(int src, std::span<const int> dsts, double bytes) {
+  ANTON_HOT_NOALLOC();
   ANTON_CHECK(bytes >= 0);
   const double wire_bytes = bytes + config_.packet_overhead_bytes;
   const double ser_ns = wire_bytes / config_.link_bandwidth_gbs;

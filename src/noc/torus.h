@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "common/stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -110,9 +111,9 @@ class Torus {
   // src == dst delivers after a fixed local-loopback cost.  The callback is
   // stored inline in the event queue's pooled arena — keep captures small
   // (pointers/indices); oversized captures fail to compile.
-  // ANTON_HOT_NOALLOC
   template <class F>
   void unicast(int src, int dst, double bytes, F&& on_delivery) {
+    ANTON_HOT_NOALLOC();
     const sim::SimTime deliver = plan_unicast(src, dst, bytes);
     ++injected_;
     queue_->schedule_at(deliver,
@@ -128,10 +129,10 @@ class Torus {
   // lookup).  Each tree link carries the payload once.  `dsts` must stay
   // valid until the multicast call returns; the callback is copied per
   // destination, so it must be copyable and small.
-  // ANTON_HOT_NOALLOC
   template <class F>
   void multicast(int src, std::span<const int> dsts, double bytes,
                  const F& on_delivery) {
+    ANTON_HOT_NOALLOC();
     plan_multicast(src, dsts, bytes);
     for (size_t i = 0; i < dsts.size(); ++i) {
       ++injected_;

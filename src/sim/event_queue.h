@@ -45,9 +45,9 @@ class EventQueue {
   // Schedules fn at absolute time t (>= now).  The callable is stored
   // inline in a pooled arena slot; captures larger than kEventInlineBytes
   // fail to compile.
-  // ANTON_HOT_NOALLOC
   template <class F>
   void schedule_at(SimTime t, F&& fn) {
+    ANTON_HOT_NOALLOC();
     ANTON_CHECK_MSG(t >= now_ - 1e-9, "event scheduled in the past: t="
                                           << t << " now=" << now_);
     if (telemetry_.horizon_ns != nullptr)
@@ -66,9 +66,9 @@ class EventQueue {
     sift_up(heap_.size() - 1);
   }
 
-  // ANTON_HOT_NOALLOC
   template <class F>
   void schedule_after(SimTime delay, F&& fn) {
+    ANTON_HOT_NOALLOC();
     ANTON_CHECK(delay >= 0);
     schedule_at(now_ + delay, std::forward<F>(fn));
   }
@@ -79,15 +79,15 @@ class EventQueue {
   uint64_t executed() const { return executed_; }
 
   // Runs events until the queue drains; returns the final time.
-  // ANTON_HOT_NOALLOC
   SimTime run() {
+    ANTON_HOT_NOALLOC();
     while (!heap_.empty()) step();
     return now_;
   }
 
   // Executes the single earliest event.
-  // ANTON_HOT_NOALLOC
   void step() {
+    ANTON_HOT_NOALLOC();
     ANTON_CHECK(!heap_.empty());
     const Entry top = heap_.front();
     pop_root();
@@ -148,8 +148,8 @@ class EventQueue {
     return a.seq < b.seq;  // FIFO among equal timestamps
   }
 
-  // ANTON_HOT_NOALLOC
   void sift_up(size_t i) {
+    ANTON_HOT_NOALLOC();
     const Entry e = heap_[i];
     while (i > 0) {
       const size_t parent = (i - 1) / 4;
@@ -161,8 +161,8 @@ class EventQueue {
   }
 
   // Removes the root: the last entry sifts down into the hole.
-  // ANTON_HOT_NOALLOC
   void pop_root() {
+    ANTON_HOT_NOALLOC();
     const Entry last = heap_.back();
     heap_.pop_back();
     const size_t n = heap_.size();

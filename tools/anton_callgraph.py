@@ -1,0 +1,693 @@
+#!/usr/bin/env python3
+"""anton-callgraph: interprocedural hot-path purity verifier.
+
+anton_lint.py checks the ANTON_HOT_NOALLOC contract *intra*-procedurally with
+regexes: a hot function that calls a helper which allocates two frames down
+passes the lint and is only caught (maybe) at runtime by the alloc hook.
+This tool closes that hole with a whole-program call-graph proof.
+
+Pipeline
+--------
+A tree configured with -DANTON_CALLGRAPH=ON compiles every TU with GCC
+`-fcallgraph-info=su` (-O0, so no call edge is inlined away) and turns the
+`ANTON_HOT_NOALLOC()` marker macro (common/error.h) into a real call to
+`anton::detail::hot_noalloc_root()`.  This tool then:
+
+  1. parses every per-TU `.ci` file under the given build directories and
+     links them into one graph (external symbols merge across TUs; local
+     symbols stay TU-qualified);
+  2. collects the *roots*: every function with a call edge to the marker —
+     exact mangled symbol names, one per template instantiation;
+  3. runs reachability from each root to a banned-sink list:
+       cg-alloc   operator new/delete, malloc/free family
+       cg-throw   __cxa_throw / __cxa_allocate_exception / std::__throw_*
+       cg-lock    pthread_mutex/rwlock/spin/cond, std::mutex::lock family
+       cg-io      iostream operators, printf/fwrite family
+     and reports each violation with the full root -> sink call chain;
+  4. reports every *opaque edge* (indirect call through a function pointer
+     or sim::InlineFn dispatch) reachable from a root: the graph cannot see
+     through it, so it must carry an explicit suppression with a reason;
+  5. enforces a per-root *stack budget* using the `su` stack-usage records:
+     the worst-case acyclic call chain from each root must fit the bound,
+     and recursion reachable from a root is flagged (cg-recursion).
+
+Traversal cuts at the cold failure traps (`anton::detail::fail*`,
+__assert_fail, abort, std::terminate): a function that fails a check is
+aborting the run, so its trap may format and throw — the *fast path* is what
+must stay pure.
+
+Suppressions
+------------
+tools/callgraph_allow.txt, one per line, reason required:
+
+  allow(cg-alloc) root="glob" sink="glob" [via="glob"] reason="why"
+  allow(cg-opaque) caller="glob" [site="file:line:col-glob"] reason="why"
+  allow(cg-stack|cg-recursion) root="glob" reason="why"
+
+Globs (fnmatch) match demangled signatures.  Unused suppressions warn.
+
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import subprocess
+import sys
+from collections import deque
+
+MARKER = "anton::detail::hot_noalloc_root"
+
+RULES = ("cg-alloc", "cg-throw", "cg-lock", "cg-io", "cg-opaque",
+         "cg-stack", "cg-recursion")
+
+# --------------------------------------------------------------------------
+# .ci parsing
+# --------------------------------------------------------------------------
+
+_NODE_RE = re.compile(
+    r'node:\s*\{\s*title:\s*"((?:[^"\\]|\\.)*)"'
+    r'\s+label:\s*"((?:[^"\\]|\\.)*)"')
+_EDGE_RE = re.compile(
+    r'edge:\s*\{\s*sourcename:\s*"((?:[^"\\]|\\.)*)"'
+    r'\s+targetname:\s*"((?:[^"\\]|\\.)*)"'
+    r'(?:\s+label:\s*"((?:[^"\\]|\\.)*)")?')
+_STACK_RE = re.compile(r"^(\d+) bytes \((static|dynamic[^)]*)\)$")
+
+
+def _unescape(s):
+    return s.replace('\\"', '"').replace("\\\\", "\\")
+
+
+class Node:
+    __slots__ = ("title", "sig", "defloc", "stack", "stack_dynamic", "edges")
+
+    def __init__(self, title):
+        self.title = title
+        self.sig = title          # demangled signature once a label is seen
+        self.defloc = ""          # "file:line:col" of the definition
+        self.stack = 0            # worst-case own frame, bytes (su record)
+        self.stack_dynamic = False
+        self.edges = []           # (target_title, callsite_label)
+
+
+class Graph:
+    def __init__(self):
+        self.nodes = {}
+
+    def node(self, title):
+        n = self.nodes.get(title)
+        if n is None:
+            n = self.nodes[title] = Node(title)
+        return n
+
+    def add_ci(self, path):
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        for m in _NODE_RE.finditer(text):
+            title = _unescape(m.group(1))
+            label = _unescape(m.group(2))
+            n = self.node(title)
+            fields = label.split("\\n")
+            if fields and fields[0]:
+                n.sig = fields[0]
+            defloc = ""
+            has_stack = False
+            for field in fields[1:]:
+                sm = _STACK_RE.match(field)
+                if sm:
+                    # Same symbol across TUs compiles identically; keep max
+                    # to be safe against flag skew.
+                    has_stack = True
+                    n.stack = max(n.stack, int(sm.group(1)))
+                    if sm.group(2) != "static":
+                        n.stack_dynamic = True
+                elif not defloc and ":" in field:
+                    defloc = field
+            # A record with a stack field comes from the TU that *defines*
+            # the function; records from TUs that merely call it point at the
+            # declaration (often a header) and must not win the defloc.
+            if defloc and (has_stack or not n.defloc):
+                n.defloc = defloc
+        for m in _EDGE_RE.finditer(text):
+            src = _unescape(m.group(1))
+            tgt = _unescape(m.group(2))
+            label = _unescape(m.group(3)) if m.group(3) else ""
+            self.node(src).edges.append((tgt, label))
+            self.node(tgt)  # ensure target exists even if declaration-only
+
+    def dedup_edges(self):
+        # The same weak symbol parsed from N TUs accumulates N copies of
+        # every edge; collapse them (keeping one callsite label per pair).
+        for n in self.nodes.values():
+            seen = {}
+            for tgt, label in n.edges:
+                seen.setdefault(tgt, label)
+            n.edges = list(seen.items())
+
+    def demangle(self):
+        """Replaces node signatures with c++filt demanglings of the symbol
+        titles.  The .ci label signatures are unreliable (GCC emits bare ')'
+        for some variadic/template declarations); the mangled title is
+        authoritative.  Falls back to the label when c++filt is missing."""
+        bares = {}
+        for title in self.nodes:
+            bare = _strip_tu_prefix(title)
+            if bare.startswith("_Z"):
+                bares.setdefault(bare, None)
+        if bares:
+            try:
+                proc = subprocess.run(
+                    ["c++filt"], input="\n".join(bares) + "\n",
+                    capture_output=True, text=True, check=False)
+                out = proc.stdout.splitlines()
+                if len(out) == len(bares):
+                    for bare, dem in zip(list(bares), out):
+                        bares[bare] = dem
+            except OSError:
+                pass
+        for title, node in self.nodes.items():
+            bare = _strip_tu_prefix(title)
+            dem = bares.get(bare)
+            if dem:
+                node.sig = dem
+            elif not bare.startswith("_Z"):
+                node.sig = bare  # plain C symbol
+            # else: keep the label signature as a best effort
+
+
+# --------------------------------------------------------------------------
+# sink / cut classification
+# --------------------------------------------------------------------------
+
+_ALLOC_C = {"malloc", "calloc", "realloc", "free", "aligned_alloc",
+            "posix_memalign", "memalign", "valloc", "strdup", "strndup",
+            "reallocarray"}
+_THROW_C = {"__cxa_throw", "__cxa_rethrow", "__cxa_allocate_exception",
+            "__cxa_bad_cast", "__cxa_bad_typeid"}
+_LOCK_C = {"pthread_mutex_lock", "pthread_mutex_timedlock",
+           "pthread_rwlock_rdlock", "pthread_rwlock_wrlock",
+           "pthread_rwlock_timedrdlock", "pthread_rwlock_timedwrlock",
+           "pthread_spin_lock", "pthread_cond_wait",
+           "pthread_cond_timedwait", "sem_wait", "sem_timedwait", "flock",
+           "lockf"}
+_IO_C = {"printf", "fprintf", "vfprintf", "sprintf", "snprintf", "puts",
+         "fputs", "putchar", "fputc", "putc", "fwrite", "fread", "fopen",
+         "fclose", "fflush", "scanf", "fscanf", "getline"}
+
+_LOCK_SIG_PREFIXES = (
+    "std::mutex::lock()",
+    "std::recursive_mutex::lock()",
+    "std::timed_mutex::lock()",
+    "std::shared_mutex::lock()",
+    "std::shared_mutex::lock_shared()",
+    "__gthread_mutex_lock(",
+    "__gthread_recursive_mutex_lock(",
+    "std::condition_variable::wait(",
+)
+_IO_SIG_MARKERS = ("std::basic_ostream", "std::basic_istream",
+                   "std::basic_filebuf", "std::basic_fstream")
+
+# Placement new/delete construct in caller-provided storage — the pooled
+# InlineFn arena and fixed workspaces depend on them; they do not allocate.
+_PLACEMENT = {"_ZnwmPv", "_ZnamPv", "_ZdlPvS_", "_ZdaPvS_"}
+
+# Cold failure traps: traversal stops here.  A function that fails a check
+# is aborting the run; its unwind/format path is not steady-state.
+_CUT_C = {"abort", "exit", "_exit", "__assert_fail", "__cxa_pure_virtual",
+          "__stack_chk_fail"}
+_CUT_SIG_MARKERS = ("anton::detail::fail", "std::terminate()")
+
+
+def _strip_tu_prefix(title):
+    # Internal-linkage titles are "path/to/tu.cc:_ZL..."; the bare mangled
+    # (or C) name is the segment after the last ':'.
+    i = title.rfind(":")
+    return title[i + 1:] if i >= 0 else title
+
+
+def classify_sink(node):
+    """Returns a rule id if node is a banned sink, else None."""
+    bare = _strip_tu_prefix(node.title)
+    sig = node.sig
+    if bare in _PLACEMENT:
+        return None
+    if bare in _ALLOC_C:
+        return "cg-alloc"
+    # _Znw/_Zna: operator new / new[];  _Zdl/_Zda: operator delete forms.
+    if bare.startswith(("_Znw", "_Zna", "_Zdl", "_Zda")):
+        return "cg-alloc"
+    if bare in _THROW_C or sig.startswith("std::__throw_"):
+        return "cg-throw"
+    if bare in _LOCK_C or sig.startswith(_LOCK_SIG_PREFIXES):
+        return "cg-lock"
+    if bare in _IO_C or any(m in sig for m in _IO_SIG_MARKERS):
+        return "cg-io"
+    return None
+
+
+def is_cut(node):
+    bare = _strip_tu_prefix(node.title)
+    if bare in _CUT_C:
+        return True
+    return any(m in node.sig for m in _CUT_SIG_MARKERS)
+
+
+# --------------------------------------------------------------------------
+# suppressions
+# --------------------------------------------------------------------------
+
+_ALLOW_LINE = re.compile(r"^allow\(([\w-]+)\)\s*(.*)$")
+_KV = re.compile(r'(\w+)\s*=\s*"((?:[^"\\]|\\.)*)"')
+_ALLOWED_KEYS = {"root", "sink", "via", "caller", "site", "reason"}
+
+
+class Suppression:
+    def __init__(self, rule, kv, origin):
+        self.rule = rule
+        self.kv = kv
+        self.origin = origin
+        self.used = False
+
+    def matches(self, finding):
+        if self.rule != finding["rule"]:
+            return False
+        for key in ("root", "sink", "caller", "site"):
+            pat = self.kv.get(key)
+            if pat is None:
+                continue
+            val = finding.get(key, "")
+            if not fnmatch.fnmatchcase(val, pat):
+                return False
+        via = self.kv.get("via")
+        if via is not None:
+            chain = finding.get("chain_sigs", [])
+            if not any(fnmatch.fnmatchcase(c, via) for c in chain):
+                return False
+        return True
+
+
+def load_suppressions(path):
+    sups = []
+    if path is None or not os.path.exists(path):
+        return sups
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = _ALLOW_LINE.match(line)
+            if not m:
+                raise SystemExit(
+                    f"{path}:{lineno}: error: unparseable suppression "
+                    f"(expected `allow(rule) key=\"glob\" ... "
+                    f"reason=\"...\"`)")
+            rule = m.group(1)
+            if rule not in RULES:
+                raise SystemExit(
+                    f"{path}:{lineno}: error: unknown rule '{rule}' "
+                    f"(known: {', '.join(RULES)})")
+            kv = {km.group(1): _unescape(km.group(2))
+                  for km in _KV.finditer(m.group(2))}
+            unknown = set(kv) - _ALLOWED_KEYS
+            if unknown:
+                raise SystemExit(
+                    f"{path}:{lineno}: error: unknown key(s) "
+                    f"{', '.join(sorted(unknown))}")
+            if not kv.get("reason", "").strip():
+                raise SystemExit(
+                    f"{path}:{lineno}: error: suppression without a reason "
+                    f"— every allow() must say why the edge is sanctioned")
+            sups.append(Suppression(rule, kv, f"{path}:{lineno}"))
+    return sups
+
+
+# --------------------------------------------------------------------------
+# analysis
+# --------------------------------------------------------------------------
+
+def find_roots(graph):
+    """Maps root title -> callsite label of its marker edge."""
+    roots = {}
+    for n in graph.nodes.values():
+        for tgt, label in n.edges:
+            t = graph.nodes.get(tgt)
+            if t is not None and MARKER in t.sig:
+                roots[n.title] = label
+    return roots
+
+
+def _defloc(node):
+    # "file:line:col" -> "file:line" for GCC-style output
+    parts = node.defloc.rsplit(":", 1)
+    return parts[0] if len(parts) == 2 and parts[1].isdigit() else node.defloc
+
+
+def analyze_root(graph, root_title, findings):
+    """BFS from one root; records purity violations and opaque edges."""
+    root = graph.nodes[root_title]
+    parent = {root_title: None}     # title -> (parent_title, callsite)
+    queue = deque([root_title])
+    reached_sinks = set()
+    while queue:
+        title = queue.popleft()
+        node = graph.nodes[title]
+        for tgt, label in node.edges:
+            target = graph.nodes.get(tgt)
+            if target is None or MARKER in target.sig:
+                continue
+            if _strip_tu_prefix(tgt) == "__indirect_call":
+                findings.append({
+                    "rule": "cg-opaque",
+                    "root": root.sig,
+                    "caller": node.sig,
+                    "site": label,
+                    "file": _defloc(node),
+                    "chain_sigs": _chain_sigs(graph, parent, title),
+                    "message":
+                        f"opaque indirect call in `{node.sig}` at {label}: "
+                        "the callgraph cannot see through a function "
+                        "pointer; verify the possible targets and suppress "
+                        "with a reason",
+                })
+                continue
+            # Cut check first: a cold trap like fail_with<Emit> carries
+            # std::basic_ostream in its instantiated signature and would
+            # otherwise classify as a cg-io sink.
+            if is_cut(target):
+                continue  # cold failure trap: fast path ends here
+            rule = classify_sink(target)
+            if rule is not None:
+                if (tgt, rule) not in reached_sinks:
+                    reached_sinks.add((tgt, rule))
+                    chain = _chain_sigs(graph, parent, title) + [target.sig]
+                    findings.append({
+                        "rule": rule,
+                        "root": root.sig,
+                        "sink": target.sig,
+                        "site": label,
+                        "file": _defloc(root),
+                        "chain_sigs": chain,
+                        "chain": _chain_pretty(graph, parent, title,
+                                               target.sig, label),
+                        "message":
+                            f"hot root `{root.sig}` reaches banned sink "
+                            f"`{target.sig}`",
+                    })
+                continue  # do not descend past a sink
+            if tgt not in parent:
+                parent[tgt] = (title, label)
+                queue.append(tgt)
+    return parent
+
+
+def _chain_sigs(graph, parent, title):
+    chain = []
+    while title is not None:
+        chain.append(graph.nodes[title].sig)
+        entry = parent.get(title)
+        title = entry[0] if entry else None
+    return list(reversed(chain))
+
+
+def _chain_pretty(graph, parent, last_title, sink_sig, sink_site):
+    steps = []
+    title = last_title
+    site = sink_site
+    while title is not None:
+        steps.append((graph.nodes[title].sig, site))
+        entry = parent.get(title)
+        if entry is None:
+            break
+        title, site = entry
+    steps.reverse()
+    lines = []
+    for i, (sig, callsite) in enumerate(steps):
+        prefix = "    " + ("   " * i) + ("-> " if i else "")
+        lines.append(f"{prefix}{sig}")
+    lines.append("    " + "   " * len(steps) + f"-> {sink_sig}  [{sink_site}]")
+    return lines
+
+
+def analyze_stack(graph, root_title, budget, findings):
+    """Worst-case acyclic stack depth from root; flags recursion."""
+    root = graph.nodes[root_title]
+    memo = {}
+    on_stack = set()
+    cycles = []
+
+    def depth(title):
+        if title in memo:
+            return memo[title]
+        node = graph.nodes.get(title)
+        if node is None:
+            return 0
+        if title in on_stack:
+            cycles.append(node.sig)
+            return 0
+        on_stack.add(title)
+        best = 0
+        best_child = None
+        for tgt, _label in node.edges:
+            target = graph.nodes.get(tgt)
+            if target is None or MARKER in target.sig or is_cut(target) \
+                    or classify_sink(target) is not None \
+                    or _strip_tu_prefix(tgt) == "__indirect_call":
+                continue
+            d = depth(tgt)
+            if d > best:
+                best, best_child = d, tgt
+        on_stack.discard(title)
+        memo[title] = node.stack + best
+        chains[title] = best_child  # for worst-chain reconstruction
+        return memo[title]
+
+    chains = {}
+    total = depth(root_title)
+    for sig in sorted(set(cycles)):
+        findings.append({
+            "rule": "cg-recursion",
+            "root": root.sig,
+            "via": sig,
+            "file": _defloc(root),
+            "chain_sigs": [root.sig, sig],
+            "message":
+                f"recursion reachable from hot root `{root.sig}` "
+                f"(cycle through `{sig}`): worst-case stack is unbounded",
+        })
+    if budget and total > budget:
+        # reconstruct the worst chain
+        chain = []
+        t = root_title
+        while t is not None:
+            n = graph.nodes[t]
+            chain.append(f"{n.sig}  [{n.stack} bytes]")
+            t = chains.get(t)
+        findings.append({
+            "rule": "cg-stack",
+            "root": root.sig,
+            "file": _defloc(root),
+            "chain_sigs": [root.sig],
+            "chain": ["    " + ("-> " if i else "") + c
+                      for i, c in enumerate(chain)],
+            "message":
+                f"hot root `{root.sig}` worst-case stack {total} bytes "
+                f"exceeds budget {budget}",
+        })
+    return total
+
+
+# --------------------------------------------------------------------------
+# root cross-check against the annotated sources
+# --------------------------------------------------------------------------
+
+_SRC_MARKER_RE = re.compile(r"^\s*ANTON_HOT_NOALLOC\s*\(\s*\)\s*;")
+
+
+def crosscheck_roots(src_dir, graph, roots, errors):
+    """Every ANTON_HOT_NOALLOC() site in src must appear as >= 1 graph root
+    defined in that file (catches: annotated TU not compiled into the
+    callgraph tree, or an annotated template never instantiated)."""
+    sites = {}
+    for dirpath, dirnames, names in os.walk(src_dir):
+        dirnames[:] = [d for d in dirnames if not d.startswith((".", "build"))]
+        for name in sorted(names):
+            if not name.endswith((".h", ".hpp", ".cc", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            count = 0
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                for line in f:
+                    if _SRC_MARKER_RE.match(line):
+                        count += 1
+            if count:
+                sites[os.path.normpath(path)] = count
+    # distinct definition locations of roots, grouped per source file
+    root_locs = {}
+    for title in roots:
+        node = graph.nodes[title]
+        loc = node.defloc.rsplit(":", 1)[0]  # strip column
+        file = loc.rsplit(":", 1)[0] if ":" in loc else loc
+        root_locs.setdefault(os.path.normpath(file), set()).add(loc)
+    total_sites = 0
+    for path, count in sorted(sites.items()):
+        total_sites += count
+        # The same source file can appear under several path spellings across
+        # TUs (absolute vs build-relative deflocs), so merge every matching
+        # group and dedup by line number.
+        lines = set()
+        for file, locs in root_locs.items():
+            if file.endswith(path) or path.endswith(file):
+                lines.update(loc.rsplit(":", 1)[1] for loc in locs)
+        found = len(lines)
+        if found < count:
+            errors.append(
+                f"{path}: error: [cg-roots] {count} ANTON_HOT_NOALLOC() "
+                f"site(s) but only {found} verified root definition(s) in "
+                "the callgraph — a hot TU is missing from the build tree or "
+                "an annotated template is never instantiated")
+    return total_sites
+
+
+# --------------------------------------------------------------------------
+# main
+# --------------------------------------------------------------------------
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="anton-callgraph",
+        description="Interprocedural hot-path purity verifier (GCC "
+                    "-fcallgraph-info linker + reachability).")
+    ap.add_argument("paths", nargs="+",
+                    help="build directories (or .ci files) to link")
+    ap.add_argument("--allow", default=None,
+                    help="suppression file (tools/callgraph_allow.txt)")
+    ap.add_argument("--stack-budget", type=int, default=262144,
+                    help="max worst-case acyclic stack bytes per hot root "
+                         "(0 disables; default 256 KiB)")
+    ap.add_argument("--src", default=None,
+                    help="source dir to cross-check annotation sites "
+                         "against discovered roots")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as an anton.callgraph.v1 JSON doc")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress the summary")
+    args = ap.parse_args(argv)
+
+    ci_files = []
+    for p in args.paths:
+        if os.path.isfile(p):
+            ci_files.append(p)
+        elif os.path.isdir(p):
+            for dirpath, _dirnames, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(".ci"):
+                        ci_files.append(os.path.join(dirpath, name))
+        else:
+            print(f"anton-callgraph: no such path: {p}", file=sys.stderr)
+            return 2
+    if not ci_files:
+        print("anton-callgraph: no .ci files found — configure the tree "
+              "with -DANTON_CALLGRAPH=ON and build it first",
+              file=sys.stderr)
+        return 2
+
+    try:
+        suppressions = load_suppressions(args.allow)
+    except SystemExit as e:
+        print(e, file=sys.stderr)
+        return 2
+
+    graph = Graph()
+    for f in ci_files:
+        graph.add_ci(f)
+    graph.dedup_edges()
+    graph.demangle()
+
+    roots = find_roots(graph)
+    if not roots:
+        print("anton-callgraph: no hot roots found — was the tree built "
+              "with -DANTON_CALLGRAPH=ON (marker macro enabled)?",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    for title in sorted(roots):
+        analyze_root(graph, title, findings)
+        if args.stack_budget or True:
+            analyze_stack(graph, title, args.stack_budget, findings)
+
+    # Dedup (template instantiations of the same root produce identical
+    # chains up to instantiation arguments; keep them distinct — each is a
+    # separately compiled hot body — but drop exact duplicates from
+    # re-parsed weak symbols).
+    seen = set()
+    unique = []
+    for f in findings:
+        key = (f["rule"], f["root"], f.get("sink", ""), f.get("caller", ""),
+               f.get("site", ""))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(f)
+    findings = unique
+
+    errors = []
+    total_sites = None
+    if args.src:
+        total_sites = crosscheck_roots(args.src, graph, roots, errors)
+
+    kept = []
+    for f in findings:
+        sup = next((s for s in suppressions if s.matches(f)), None)
+        if sup is not None:
+            sup.used = True
+        else:
+            kept.append(f)
+
+    unused = [s for s in suppressions if not s.used]
+
+    if args.json:
+        json.dump({
+            "schema": "anton.callgraph.v1",
+            "ci_files": len(ci_files),
+            "nodes": len(graph.nodes),
+            "roots": len(roots),
+            "annotation_sites": total_sites,
+            "stack_budget": args.stack_budget,
+            "violations": [
+                {k: v for k, v in f.items() if k != "chain"}
+                for f in kept
+            ],
+            "root_errors": errors,
+            "unused_suppressions": [s.origin for s in unused],
+        }, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for f in kept:
+            print(f"{f.get('file', '?')}: error: [{f['rule']}] "
+                  f"{f['message']}")
+            for line in f.get("chain", []):
+                print(line)
+        for e in errors:
+            print(e)
+        for s in unused:
+            print(f"{s.origin}: warning: unused suppression "
+                  f"(allow({s.rule}))", file=sys.stderr)
+
+    if not args.quiet:
+        n_roots = len(roots)
+        print(f"anton-callgraph: linked {len(ci_files)} TU(s), "
+              f"{len(graph.nodes)} symbols; verified {n_roots} hot root(s)"
+              + (f" covering {total_sites} annotation site(s)"
+                 if total_sites is not None else "")
+              + f"; {len(kept)} violation(s), {len(errors)} root error(s), "
+              f"{len(findings) - len(kept)} suppressed",
+              file=sys.stderr)
+    return 1 if (kept or errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,10 +12,13 @@ Rules
 -----
   hot-alloc        No heap-allocating calls (`new`, push_back, emplace_back,
                    resize, reserve, assign, insert, make_unique, make_shared,
-                   std::function construction) inside a function annotated
-                   with `// ANTON_HOT_NOALLOC`.  The annotation marks the
-                   function whose signature follows it; its extent runs to the
-                   function's closing brace.
+                   std::function construction) inside a hot-annotated
+                   function.  The preferred annotation is the marker macro
+                   `ANTON_HOT_NOALLOC();` (common/error.h) as the first
+                   statement of the body — the same marker feeds the
+                   interprocedural verifier tools/anton_callgraph.py.  The
+                   legacy comment form `// ANTON_HOT_NOALLOC` alone on the
+                   line above the signature is still honoured.
   unordered-iter   No range-for iteration over std::unordered_map /
                    std::unordered_set variables: their order is
                    implementation-defined, so any accumulation they feed is
@@ -56,10 +59,17 @@ Suppressions
                                          directly above it
   // anton-lint: skip-file               anywhere in the first 10 lines
 
+Output
+------
+Diagnostics are GCC-style (`file:line: error: [rule-id] message`) so editors
+and CI annotators can parse the location; `--json` emits the same findings
+as an anton.lint.v1 JSON document instead.
+
 Exit status: 0 if clean, 1 if any violation, 2 on usage error.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -128,7 +138,15 @@ DES_NOFUNCTION_DIRS = ("src/sim/", "src/noc/", "tools/lint_fixtures/")
 
 ALLOW_RE = re.compile(r"//\s*anton-lint:\s*allow\(([^)]*)\)")
 SKIP_FILE_RE = re.compile(r"//\s*anton-lint:\s*skip-file")
-ANNOTATION_RE = re.compile(r"ANTON_HOT_NOALLOC")
+# Two annotation forms mark a hot no-alloc function:
+#   * macro form (preferred): `ANTON_HOT_NOALLOC();` as the first statement
+#     of the body — also consumed by tools/anton_callgraph.py, which needs
+#     the marker compiled into the callgraph.  The hot region is the
+#     enclosing brace pair.
+#   * comment form (legacy): `// ANTON_HOT_NOALLOC` alone on the line above
+#     the signature; the region runs from the next '{' to its match.
+ANNOTATION_COMMENT_RE = re.compile(r"^\s*//\s*ANTON_HOT_NOALLOC\s*$")
+ANNOTATION_MACRO_RE = re.compile(r"\bANTON_HOT_NOALLOC\s*\(\s*\)\s*;")
 
 
 class Violation:
@@ -139,7 +157,12 @@ class Violation:
         self.message = message
 
     def __str__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        # GCC-style so editors and CI annotators parse the location.
+        return f"{self.path}:{self.line}: error: [{self.rule}] {self.message}"
+
+    def to_json(self):
+        return {"file": self.path, "line": self.line, "rule": self.rule,
+                "severity": "error", "message": self.message}
 
 
 def strip_comments_and_strings(lines):
@@ -205,14 +228,16 @@ def allowed_rules(raw_lines, idx):
 
 def hot_regions(raw_lines, code_lines):
     """Yields (start_idx, end_idx) line-index ranges (inclusive) of functions
-    annotated // ANTON_HOT_NOALLOC.  The annotation may sit on its own
-    comment line directly above the signature or at the end of a signature
-    line; the region runs from the first '{' at or after the annotation to
-    its matching '}'."""
+    annotated hot.  Macro form (`ANTON_HOT_NOALLOC();` inside the body) maps
+    to the enclosing brace pair; comment form (`// ANTON_HOT_NOALLOC` on its
+    own line) maps from the first '{' at or after the annotation to its
+    match."""
     regions = []
     n = len(code_lines)
+
+    # --- comment form: forward scan from the annotation line -------------
     for idx, raw in enumerate(raw_lines):
-        if not ANNOTATION_RE.search(raw):
+        if not ANNOTATION_COMMENT_RE.match(raw):
             continue
         depth = 0
         start = None
@@ -233,6 +258,32 @@ def hot_regions(raw_lines, code_lines):
         if start is not None:
             # Unterminated brace (malformed file): hot to end of file.
             regions.append((start, end if end is not None else n - 1))
+
+    # --- macro form: the enclosing brace pair ----------------------------
+    # One char-level pass with a brace stack; when the marker statement is
+    # reached, the innermost open brace is the hot function's body.
+    stack = []       # line indices of currently-unmatched '{'
+    active = []      # [region_start_line, stack_depth_of_body]
+    for i, code in enumerate(code_lines):
+        m = ANNOTATION_MACRO_RE.search(code)
+        marker_col = m.start() if m else None
+        for col, ch in enumerate(code):
+            if marker_col is not None and col == marker_col and stack:
+                active.append([stack[-1], len(stack)])
+            if ch == "{":
+                stack.append(i)
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+                still = []
+                for reg in active:
+                    if len(stack) < reg[1]:
+                        regions.append((reg[0], i))
+                    else:
+                        still.append(reg)
+                active = still
+    for reg in active:
+        regions.append((reg[0], n - 1))
     return regions
 
 
@@ -426,6 +477,9 @@ def main(argv=None):
                     help="directory treated as library code for iostream-lib "
                          "(default: every scanned directory)")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--json", action="store_true",
+                    help="emit violations as a JSON document on stdout "
+                         "(for CI annotation) instead of GCC-style lines")
     ap.add_argument("-q", "--quiet", action="store_true",
                     help="suppress the summary line")
     args = ap.parse_args(argv)
@@ -463,8 +517,15 @@ def main(argv=None):
             seen.add(key)
             violations.append(v)
 
-    for v in violations:
-        print(v)
+    if args.json:
+        json.dump({"schema": "anton.lint.v1",
+                   "files_scanned": len(files),
+                   "violations": [v.to_json() for v in violations]},
+                  sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for v in violations:
+            print(v)
     if not args.quiet:
         print(f"anton-lint: scanned {len(files)} files, "
               f"{len(violations)} violation(s)", file=sys.stderr)

@@ -1,0 +1,35 @@
+// Seeded interprocedural purity violation for the anton_callgraph.fixture
+// ctest (WILL_FAIL): hot_accumulate is annotated ANTON_HOT_NOALLOC but
+// reaches operator new[] two calls down — exactly the shape anton_lint's
+// intra-procedural regexes cannot see, because the allocation is not in the
+// annotated function's own body.  tools/anton_callgraph.py must report a
+// cg-alloc chain hot_accumulate -> reserve_scratch -> grow_buffer ->
+// operator new[] when run over this TU's callgraph records.
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace anton::cgfix {
+namespace {
+
+// Level 2: the actual allocation, invisible to a per-function regex.
+double* grow_buffer(std::size_t n) { return new double[n]; }
+
+// Level 1: an innocent-looking helper.
+double* reserve_scratch(std::size_t n) { return grow_buffer(n); }
+
+}  // namespace
+
+double hot_accumulate(const double* xs, std::size_t n) {
+  ANTON_HOT_NOALLOC();
+  double* scratch = reserve_scratch(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch[i] = xs[i];
+    sum += scratch[i];
+  }
+  delete[] scratch;
+  return sum;
+}
+
+}  // namespace anton::cgfix

@@ -1,0 +1,51 @@
+// Fixture: every lint rule fires in this file and every hit carries an
+// `// anton-lint: allow(rule)` marker — the anton_lint.suppressions ctest
+// runs the linter over tools/lint_fixtures/passing and asserts exit 0, so
+// a regression that breaks suppression matching fails loudly instead of
+// shipping silently.
+#include "common/fixed_point.h"
+#include <iostream>     // anton-lint: allow(iostream-lib) exercises the suppression
+#include <immintrin.h>  // anton-lint: allow(raw-intrinsics) exercises the suppression
+#include <chrono>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+void hot_path(std::vector<int>& scratch) {
+  ANTON_HOT_NOALLOC();
+  if (scratch.empty()) {
+    scratch.reserve(64);  // anton-lint: allow(hot-alloc) amortized warmup
+  }
+  scratch.push_back(1);  // anton-lint: allow(hot-alloc) capacity reserved above
+}
+
+double checksum(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  // anton-lint: allow(unordered-iter) commutative sum — order cannot matter
+  for (const auto& [key, w] : weights) {
+    sum += w;
+    (void)key;
+  }
+  return sum;
+}
+
+void mixed_fixed() {
+  // anton-lint: allow(fixed-literal) documented calibration constant
+  anton::Fixed<16> half{0.5};
+  (void)half;
+}
+
+long legacy_timer() {
+  auto t = std::chrono::steady_clock::now();  // anton-lint: allow(raw-clock) exercises the suppression
+  return t.time_since_epoch().count();
+}
+
+void stored_callback() {
+  std::function<void()> cb = [] {};  // anton-lint: allow(des-std-function) exercises the suppression
+  cb();
+}
+
+// anton-lint: allow(raw-intrinsics) exercises the suppression
+__m256d raw_vector(__m256d a) {
+  return _mm256_add_pd(a, a);  // anton-lint: allow(raw-intrinsics) exercises the suppression
+}

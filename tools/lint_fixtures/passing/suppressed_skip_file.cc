@@ -1,0 +1,17 @@
+// Fixture: the skip-file escape hatch must keep working.  This file is
+// full of would-be violations; the anton_lint.suppressions ctest asserts
+// it lints clean solely because of the marker on the next line.
+// anton-lint: skip-file
+#include <iostream>
+#include <functional>
+#include <vector>
+
+// ANTON_HOT_NOALLOC
+void hot_but_skipped(std::vector<int>& v, int n) {
+  v.resize(static_cast<size_t>(n));
+  int* leak = new int[8];
+  (void)leak;
+  std::function<void()> fn = [] {};
+  fn();
+  std::cout << "skip-file silences all of this\n";
+}
