@@ -17,6 +17,8 @@
 #include "md/neighborlist.h"
 #include "md/nonbonded.h"
 #include "md/workspace.h"
+#include "obs/flightrecorder.h"
+#include "obs/perfcounters.h"
 
 namespace anton::md {
 
@@ -113,6 +115,46 @@ double pair_pass(const Box& box, const ForceWorkspace& ws,
 
 namespace {
 
+// Crash forensics for bench runs: a kill or invariant failure mid-run dumps
+// the flight-recorder rings (tools/validate_trace.py reads the dump).
+const bool g_flight_armed = [] {
+  obs::flight::install_crash_handler();
+  return true;
+}();
+
+// One shared hardware-counter group for the whole binary (benchmarks run
+// serially on the main thread).  Each kernel scopes a PerfTap over its
+// timing loop and exports "ipc" / "llc_miss_rate" counters alongside the
+// times — "perf" says whether the host allowed perf_event_open at all, so
+// downstream tooling (tools/bench_compare.py) knows when to skip them.
+obs::PerfCounters& perf_group() {
+  static obs::PerfCounters pc;
+  return pc;
+}
+
+class PerfTap {
+ public:
+  explicit PerfTap(benchmark::State& state) : state_(state) {
+    if (perf_group().available()) {
+      s0_ = perf_group().read();
+    }
+  }
+  ~PerfTap() {
+    state_.counters["perf"] = s0_.valid ? 1.0 : 0.0;
+    if (!s0_.valid) return;
+    const obs::PerfSample d = perf_group().read() - s0_;
+    if (!d.valid) return;
+    if (d.cycles > 0) state_.counters["ipc"] = d.ipc();
+    if (d.llc_loads > 0) state_.counters["llc_miss_rate"] = d.llc_miss_rate();
+  }
+  PerfTap(const PerfTap&) = delete;
+  PerfTap& operator=(const PerfTap&) = delete;
+
+ private:
+  benchmark::State& state_;
+  obs::PerfSample s0_;
+};
+
 const System& water4k() {
   static const System sys = build_water_box(1331, 7);  // 3,993 atoms
   return sys;
@@ -126,6 +168,7 @@ void BM_NeighborListBuild(benchmark::State& state) {
   ThreadPool pool(threads);
   ThreadPool* p = threads > 1 ? &pool : nullptr;
   NeighborList nlist(9.0, 1.0);
+  PerfTap tap(state);
   for (auto _ : state) {
     nlist.build(sys.box(), sys.positions(), sys.topology(), p);
     benchmark::DoNotOptimize(nlist.num_pairs());
@@ -157,6 +200,7 @@ void BM_NonbondedPairs(benchmark::State& state) {
     compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(), 0.35,
                       f, e, p, false, &ws, true);
   }
+  PerfTap tap(state);
   for (auto _ : state) {
     EnergyReport e;
     std::fill(f.begin(), f.end(), Vec3{});
@@ -194,6 +238,7 @@ void BM_PairKernelScalar(benchmark::State& state) {
                       f, e, nullptr, false, &ws, true);
   }
   const Topology& top = sys.topology();
+  PerfTap tap(state);
   for (auto _ : state) {
     std::fill(f.begin(), f.end(), Vec3{});
     const double e = legacy::pair_pass(sys.box(), ws, nlist, sys.positions(),
@@ -218,6 +263,7 @@ void BM_PairKernelSimd(benchmark::State& state) {
     compute_nonbonded(sys.box(), sys.topology(), nlist, sys.positions(), 0.35,
                       f, e, nullptr, false, &ws, true);
   }
+  PerfTap tap(state);
   for (auto _ : state) {
     EnergyReport e;
     std::fill(f.begin(), f.end(), Vec3{});
@@ -256,6 +302,7 @@ struct TableEvalFixture {
 void BM_TableEvalScalar(benchmark::State& state) {
   static TableEvalFixture fx(1 << 14);
   const int n = static_cast<int>(fx.xs.size());
+  PerfTap tap(state);
   for (auto _ : state) {
     for (int i = 0; i < n; ++i) fx.out[static_cast<size_t>(i)] =
         fx.tab(fx.xs[static_cast<size_t>(i)]);
@@ -271,6 +318,7 @@ BENCHMARK(BM_TableEvalScalar)->Unit(benchmark::kMicrosecond);
 void BM_TableEvalSimd(benchmark::State& state) {
   static TableEvalFixture fx(1 << 14);
   const int n = static_cast<int>(fx.xs.size());
+  PerfTap tap(state);
   for (auto _ : state) {
     fx.tab.eval_batch(fx.xs.data(), fx.out.data(), n);
     benchmark::DoNotOptimize(fx.out.data());
@@ -286,6 +334,7 @@ void BM_GseMesh(benchmark::State& state) {
   const System& sys = water4k();
   GseMesh gse(sys.box(), 0.35, 1.1, 1.2);
   std::vector<Vec3> f(static_cast<size_t>(sys.num_atoms()));
+  PerfTap tap(state);
   for (auto _ : state) {
     EnergyReport e;
     std::fill(f.begin(), f.end(), Vec3{});
@@ -300,6 +349,7 @@ void BM_Fft3D(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Fft3D fft(n, n, n);
   std::vector<Complex> data(fft.num_points(), Complex{1.0, 0.5});
+  PerfTap tap(state);
   for (auto _ : state) {
     fft.forward(data);
     fft.inverse(data);
@@ -312,6 +362,7 @@ void BM_ShakeWater(benchmark::State& state) {
   const System& sys = water4k();
   std::vector<Vec3> ref(sys.positions().begin(), sys.positions().end());
   Rng rng(3, 0);
+  PerfTap tap(state);
   for (auto _ : state) {
     state.PauseTiming();
     std::vector<Vec3> pos = ref;
@@ -339,6 +390,7 @@ void BM_FullStep(benchmark::State& state) {
   sim.step(2);
   // One full RESPA cycle (respa_k inner steps) per iteration, so every
   // iteration does the same work regardless of step parity.
+  PerfTap tap(state);
   for (auto _ : state) {
     sim.step(p.respa_k);
     benchmark::DoNotOptimize(sim.step_count());

@@ -19,6 +19,7 @@
 #include "common/threadpool.h"
 #include "core/machine.h"
 #include "core/sweep.h"
+#include "obs/flightrecorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 
@@ -72,7 +73,11 @@ inline arch::MachineConfig machine_preset(const std::string& name,
 class BenchReport {
  public:
   explicit BenchReport(std::string experiment_id)
-      : id_(std::move(experiment_id)) {}
+      : id_(std::move(experiment_id)) {
+    // A bench killed mid-run (timeout, OOM reaper, ^C) leaves a flight dump
+    // behind instead of nothing.
+    obs::flight::install_crash_handler();
+  }
   BenchReport(const BenchReport&) = delete;
   BenchReport& operator=(const BenchReport&) = delete;
   ~BenchReport() {

@@ -16,10 +16,15 @@
 #include "core/machine.h"
 #include "md/engine.h"
 #include "md/minimize.h"
+#include "obs/flightrecorder.h"
 
 using namespace anton;
 
 int main(int argc, char** argv) {
+  // Crash forensics: any fatal signal or invariant failure dumps the last-N
+  // flight-recorder events (ANTON_FLIGHT_PATH overrides the destination;
+  // ANTON_FLIGHT_EXIT_DUMP=1 also dumps on clean exit).
+  obs::flight::install_crash_handler();
   const Config cfg = Config::from_args(argc, argv);
   const int atoms = static_cast<int>(cfg.get_int("atoms", 6000));
   const int nodes = static_cast<int>(cfg.get_int("nodes", 64));

@@ -95,6 +95,11 @@ assert doc.get('metrics'), 'metrics snapshot is empty'
 print(f\"metrics snapshot OK: {len(doc['metrics'])} metrics\")
 "
 
+step "flight-recorder smoke (exit dump must validate as a flight trace)"
+ANTON_FLIGHT_EXIT_DUMP=1 ANTON_FLIGHT_PATH="$SCRATCH/flight.json" \
+  ./build/examples/quickstart atoms=1500 nodes=8 steps=2 >/dev/null
+python3 tools/validate_trace.py --flight "$SCRATCH/flight.json"
+
 step "threaded parity (serial vs threaded kernels, bitwise where promised)"
 ctest --test-dir build --output-on-failure -j"$JOBS" \
   -R 'test_md_threaded|test_determinism|test_fft'
@@ -142,6 +147,24 @@ print(f'event-queue speedup over legacy kernel: {speedup:.2f}x')
 assert speedup >= 2.0, f'event-queue speedup regressed: {speedup:.2f}x < 2x'
 assert m['f8.sweep.match']['value'] == 1, 'threaded sweep diverged from serial'
 "
+
+step "bench regression gate (tools/bench_compare.py)"
+# Fresh results vs committed baselines: advisory here because absolute times
+# vary host-to-host (the hard floors above are the portable gates), but the
+# full report lands in the log and one summary line per file in the history.
+for f in f6 f7 f8; do
+  python3 tools/bench_compare.py "bench/BENCH_$f.json" "build/BENCH_$f.json" \
+    --advisory --append-history "build/bench_history.jsonl"
+done
+# The gate itself must still have teeth: identical inputs pass, the seeded
+# half-speedup/2x-slower fixture fails.  Mirrors the lint-fixtures pattern.
+python3 tools/bench_compare.py bench/BENCH_f7.json bench/BENCH_f7.json -q
+if python3 tools/bench_compare.py bench/BENCH_f7.json \
+     tools/bench_fixtures/BENCH_f7_regressed.json -q >/dev/null 2>&1; then
+  echo "error: regressed fixture passed — bench_compare.py has rotted" >&2
+  exit 1
+fi
+echo "bench_compare fixture correctly rejected"
 
 # Sanitizer trees use the scalar SIMD backend: instrumentation composes
 # poorly with wide intrinsics (ASan shadow checks on 32-byte lanes), and the

@@ -5,6 +5,7 @@
 // release builds).
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,6 +19,29 @@ class Error : public std::runtime_error {
 };
 
 namespace detail {
+// Observer invoked from fail() before the throw — the flight recorder
+// (obs/flightrecorder.h) installs one so every ANTON_CHECK / invariant
+// failure tags the in-memory timeline and dumps it.  Lives here, below the
+// obs layer, so common/ stays dependency-free; must not throw (the real
+// failure is about to be raised) and must tolerate concurrent failures.
+using FailureHook = void (*)(const char* expr, const char* file,
+                             int line) noexcept;
+
+inline std::atomic<FailureHook>& failure_hook_slot() {
+  static std::atomic<FailureHook> hook{nullptr};
+  return hook;
+}
+
+inline void set_failure_hook(FailureHook hook) {
+  failure_hook_slot().store(hook, std::memory_order_release);
+}
+
+inline void notify_failure_hook(const char* expr, const char* file,
+                                int line) noexcept {
+  if (FailureHook h = failure_hook_slot().load(std::memory_order_acquire)) {
+    h(expr, file, line);
+  }
+}
 // The cold failure traps.  A function that fails a check is aborting the
 // run, so everything message-related (string building, stream formatting,
 // the throw itself) lives behind these [[noreturn]] symbols.  The callgraph
@@ -25,6 +49,7 @@ namespace detail {
 // — a hot function's fast path must stay pure, but its trap may format.
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
                               const std::string& msg) {
+  notify_failure_hook(expr, file, line);
   std::ostringstream os;
   os << "ANTON_CHECK failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;

@@ -32,6 +32,10 @@ Simulation::Simulation(System system, MdParams params, ThreadPool* pool)
     profiler_.enable(metrics_, "md", own_trace_.get(), obs::kPidMd);
     step_stat_ = metrics_->stat("md.step.seconds");
     force_->set_profiler(&profiler_);
+    if (params_.perf_counters || obs::PerfCounters::env_enabled()) {
+      perf_ = std::make_unique<obs::PerfCounters>();
+      profiler_.enable_perf(perf_.get());
+    }
   }
   // Build the neighbour list and size all workspace scratch now, so stepping
   // starts allocation-free from the first call.
@@ -59,6 +63,11 @@ void Simulation::use_telemetry(obs::MetricsRegistry* registry,
   profiler_.enable(metrics_, "md", trace, obs::kPidMd);
   step_stat_ = metrics_->stat("md.step.seconds");
   force_->set_profiler(&profiler_);
+  if (perf_ == nullptr &&
+      (params_.perf_counters || obs::PerfCounters::env_enabled())) {
+    perf_ = std::make_unique<obs::PerfCounters>();
+  }
+  if (perf_ != nullptr) profiler_.enable_perf(perf_.get());
 }
 
 void Simulation::write_metrics() const {

@@ -93,6 +93,11 @@ struct MdParams {
   bool telemetry = false;
   std::string trace_path;
   std::string metrics_path;
+  // Attach a hardware-counter group (perf_event_open) to the profiler:
+  // phases gain .ipc / .llc_miss_rate stats and the registry a
+  // "md.perf.available" gauge.  Requires telemetry; ANTON_PERF=1 in the
+  // environment turns it on too.  Degrades silently where perf is blocked.
+  bool perf_counters = false;
 };
 
 struct EnergyReport {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flightrecorder.h"
+
 namespace anton::noc {
 
 Torus::Torus(const TorusConfig& config, sim::EventQueue* queue)
@@ -246,6 +248,10 @@ void Torus::set_telemetry(obs::MetricsRegistry* registry,
 
 void Torus::observe_delivery(int src, int dst, double bytes, int hops,
                              sim::SimTime deliver) {
+  obs::flight::record_sim(
+      obs::flight::Kind::kNocSend, "noc.send", queue_->now(),
+      (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+          static_cast<uint32_t>(dst));
   if (tel_messages_ != nullptr) tel_messages_->add();
   if (tel_latency_ != nullptr) tel_latency_->add(deliver - queue_->now());
   if (tel_hops_ != nullptr) tel_hops_->add(double(hops));

@@ -100,12 +100,28 @@ void write_histo_fields(std::ostream& os, const Histogram& h) {
      << ",\"hi\":" << json_double(h.bin_hi(h.bins() - 1))
      << ",\"total\":" << h.total() << ",\"p50\":" << json_double(h.quantile(0.5))
      << ",\"p90\":" << json_double(h.quantile(0.9))
+     << ",\"p95\":" << json_double(h.quantile(0.95))
      << ",\"p99\":" << json_double(h.quantile(0.99)) << ",\"counts\":[";
   for (int b = 0; b < h.bins(); ++b) {
     if (b) os << ',';
     os << h.count(b);
   }
   os << ']';
+}
+
+// RFC-4180 field quoting: names containing a comma, quote, or newline would
+// otherwise shift every downstream column.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
 }
 
 }  // namespace
@@ -139,7 +155,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 void MetricsRegistry::write_csv(std::ostream& os) const {
   std::lock_guard<std::mutex> lk(mu_);
   os << "name,field,value\n";
-  for (const auto& [name, e] : entries_) {
+  for (const auto& [raw_name, e] : entries_) {
+    const std::string name = csv_field(raw_name);
     if (e.counter) {
       os << name << ",value," << e.counter->value() << '\n';
     } else if (e.gauge) {
@@ -157,6 +174,7 @@ void MetricsRegistry::write_csv(std::ostream& os) const {
       os << name << ",total," << h.total() << '\n'
          << name << ",p50," << json_double(h.quantile(0.5)) << '\n'
          << name << ",p90," << json_double(h.quantile(0.9)) << '\n'
+         << name << ",p95," << json_double(h.quantile(0.95)) << '\n'
          << name << ",p99," << json_double(h.quantile(0.99)) << '\n';
     }
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flightrecorder.h"
+
 namespace anton::obs {
 
 void PhaseProfiler::enable(MetricsRegistry* registry, std::string prefix,
@@ -20,17 +22,32 @@ void PhaseProfiler::disable() {
   std::lock_guard<std::mutex> lk(mu_);
   registry_ = nullptr;
   trace_ = nullptr;
+  perf_ = nullptr;
   cache_.clear();
 }
 
-Stat* PhaseProfiler::phase_stat(const char* phase) {
+void PhaseProfiler::enable_perf(PerfCounters* perf) {
+  std::lock_guard<std::mutex> lk(mu_);
+  perf_ = perf;
+  if (registry_ != nullptr && perf != nullptr) {
+    registry_->gauge(prefix_ + ".perf.available")
+        ->set(perf->available() ? 1.0 : 0.0);
+  }
+}
+
+PhaseProfiler::PhaseSinks* PhaseProfiler::phase_sinks(const char* phase) {
   if (registry_ == nullptr) return nullptr;
   std::lock_guard<std::mutex> lk(mu_);
   auto it = cache_.find(phase);
-  if (it != cache_.end()) return it->second;
-  Stat* s = registry_->stat(prefix_ + ".phase." + phase + ".seconds");
-  cache_.emplace(phase, s);
-  return s;
+  if (it != cache_.end()) return &it->second;
+  PhaseSinks sinks;
+  sinks.seconds = registry_->stat(prefix_ + ".phase." + phase + ".seconds");
+  return &cache_.emplace(phase, sinks).first->second;
+}
+
+Stat* PhaseProfiler::phase_stat(const char* phase) {
+  PhaseSinks* sinks = phase_sinks(phase);
+  return sinks != nullptr ? sinks->seconds : nullptr;
 }
 
 void PhaseProfiler::record_seconds(const char* phase, double seconds) {
@@ -42,10 +59,36 @@ void PhaseProfiler::finish(const char* phase, double t0, double t1) {
   Stat* s = phase_stat(phase);
   if (s == nullptr) return;  // disabled between scope open and close
   s->add(t1 - t0);
+  flight::record_phase(phase, t0, t1);
   if (trace_ != nullptr) {
     trace_->complete(phase, prefix_.c_str(), (t0 - epoch_) * 1e6,
                      (t1 - t0) * 1e6, pid_, tid_);
   }
+}
+
+void PhaseProfiler::finish_perf(const char* phase, const PerfSample& delta) {
+  if (!delta.valid || registry_ == nullptr) return;
+  Stat* ipc = nullptr;
+  Stat* llc = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (registry_ == nullptr) return;
+    PhaseSinks& sinks = cache_[phase];
+    if (sinks.seconds == nullptr) {
+      sinks.seconds = registry_->stat(prefix_ + ".phase." + phase + ".seconds");
+    }
+    if (delta.cycles > 0 && sinks.ipc == nullptr) {
+      sinks.ipc = registry_->stat(prefix_ + ".phase." + phase + ".ipc");
+    }
+    if (delta.llc_loads > 0 && sinks.llc_miss_rate == nullptr) {
+      sinks.llc_miss_rate =
+          registry_->stat(prefix_ + ".phase." + phase + ".llc_miss_rate");
+    }
+    ipc = sinks.ipc;
+    llc = sinks.llc_miss_rate;
+  }
+  if (delta.cycles > 0 && ipc != nullptr) ipc->add(delta.ipc());
+  if (delta.llc_loads > 0 && llc != nullptr) llc->add(delta.llc_miss_rate());
 }
 
 }  // namespace anton::obs

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/flightrecorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/inline_fn.h"
@@ -99,6 +100,9 @@ class EventQueue {
                               << top.time << " now=" << now_);
     now_ = std::max(now_, top.time);
     ++executed_;
+    // Flight record on the simulated clock: no wall-time read in this loop.
+    obs::flight::record_sim(obs::flight::Kind::kDesEvent, "des.event",
+                            top.time, top.seq);
     observe_step();
     // Move the callable out of its slot before invoking: the callback may
     // schedule new events, which can both reuse the freed slot and grow the

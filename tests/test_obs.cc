@@ -16,6 +16,7 @@
 #include "core/machine.h"
 #include "md/engine.h"
 #include "obs/metrics.h"
+#include "obs/perfcounters.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 
@@ -379,6 +380,162 @@ TEST(MdTelemetry, ExternalRegistryViaUseTelemetry) {
   sim.step(2);
   EXPECT_EQ(sim.metrics(), nullptr);
   EXPECT_EQ(reg.stat("md.step.seconds")->snapshot().count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// CSV escaping and histogram summary fields.
+
+TEST(MetricsRegistry, CsvEscapesNamesWithCommasAndQuotes) {
+  obs::MetricsRegistry reg;
+  reg.gauge("weird,name")->set(1.0);
+  reg.gauge("has\"quote")->set(2.0);
+  reg.counter("plain.name")->add(3);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("\"weird,name\",value,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"has\"\"quote\",value,2"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("plain.name,value,3"), std::string::npos) << csv;
+  // Every data row must still parse to exactly three RFC-4180 fields.
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    int fields = 1;
+    bool quoted = false;
+    for (char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++fields;
+    }
+    EXPECT_EQ(fields, 3) << line;
+  }
+}
+
+TEST(MetricsRegistry, HistogramExportsP95InJsonAndCsv) {
+  obs::MetricsRegistry reg;
+  obs::Histo* h = reg.histogram("h.lat", 0, 100, 100);
+  for (int i = 0; i < 100; ++i) h->add(i + 0.5);
+  const std::string j = reg.json();
+  EXPECT_NE(j.find("\"p95\":"), std::string::npos);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("h.lat,p95,"), std::string::npos) << csv;
+  // p95 of a uniform 0..100 fill lands in the mid-nineties bin.
+  const Histogram snap = h->snapshot();
+  EXPECT_GT(snap.quantile(0.95), 90.0);
+  EXPECT_LT(snap.quantile(0.95), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware counters: real where permitted, graceful everywhere else.
+
+TEST(PerfCounters, ForcedUnavailableFallsBackGracefully) {
+  obs::PerfCounters::force_unavailable_for_testing(true);
+  obs::PerfCounters pc;
+  obs::PerfCounters::force_unavailable_for_testing(false);
+  EXPECT_FALSE(pc.available());
+  EXPECT_FALSE(pc.unavailable_reason().empty());
+  EXPECT_EQ(pc.events_open(), 0);
+  const obs::PerfSample s = pc.read();
+  EXPECT_FALSE(s.valid);
+  EXPECT_EQ(s.cycles, 0.0);
+  EXPECT_EQ(s.ipc(), 0.0);
+  EXPECT_EQ(s.llc_miss_rate(), 0.0);
+}
+
+TEST(PerfCounters, SampleDeltaAndDerivedMetrics) {
+  obs::PerfSample a, b;
+  a.valid = b.valid = true;
+  a.cycles = 1000;
+  a.instructions = 2500;
+  a.llc_loads = 100;
+  a.llc_misses = 25;
+  b.cycles = 400;
+  b.instructions = 500;
+  b.llc_loads = 40;
+  b.llc_misses = 5;
+  const obs::PerfSample d = a - b;
+  EXPECT_TRUE(d.valid);
+  EXPECT_DOUBLE_EQ(d.ipc(), 2000.0 / 600.0);
+  EXPECT_DOUBLE_EQ(d.llc_miss_rate(), 20.0 / 60.0);
+  // Subtracting an invalid sample poisons the delta instead of lying.
+  obs::PerfSample invalid;
+  EXPECT_FALSE((a - invalid).valid);
+}
+
+TEST(PerfCounters, HostCountersEitherWorkOrExplain) {
+  obs::PerfCounters pc;
+  if (pc.available()) {
+    EXPECT_GT(pc.events_open(), 0);
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + i;
+    const obs::PerfSample s = pc.read();
+    EXPECT_TRUE(s.valid);
+    EXPECT_GT(s.cycles, 0.0);
+    EXPECT_GT(s.instructions, 0.0);
+    EXPECT_TRUE(pc.owned_by_this_thread());
+  } else {
+    EXPECT_FALSE(pc.unavailable_reason().empty());
+  }
+}
+
+TEST(PerfCounters, ProfilerDegradesToSecondsOnlyWhenUnavailable) {
+  obs::PerfCounters::force_unavailable_for_testing(true);
+  obs::PerfCounters pc;
+  obs::PerfCounters::force_unavailable_for_testing(false);
+  obs::MetricsRegistry reg;
+  obs::PhaseProfiler prof;
+  prof.enable(&reg, "md");
+  prof.enable_perf(&pc);
+  EXPECT_FALSE(prof.perf_sampling());
+  { auto s = prof.scope("pair"); }
+  EXPECT_EQ(reg.stat("md.phase.pair.seconds")->snapshot().count(), 1u);
+  EXPECT_EQ(reg.gauge("md.perf.available")->value(), 0.0);
+  for (const std::string& name : reg.names()) {
+    EXPECT_EQ(name.find(".ipc"), std::string::npos) << name;
+    EXPECT_EQ(name.find(".llc_miss_rate"), std::string::npos) << name;
+  }
+}
+
+TEST(PerfCounters, ProfilerExportsIpcWhenCountersWork) {
+  obs::PerfCounters pc;
+  if (!pc.available()) GTEST_SKIP() << pc.unavailable_reason();
+  obs::MetricsRegistry reg;
+  obs::PhaseProfiler prof;
+  prof.enable(&reg, "md");
+  prof.enable_perf(&pc);
+  EXPECT_TRUE(prof.perf_sampling());
+  {
+    auto s = prof.scope("pair");
+    volatile double x = 0;
+    for (int i = 0; i < 200000; ++i) x = x + i;
+  }
+  EXPECT_EQ(reg.gauge("md.perf.available")->value(), 1.0);
+  const RunningStat ipc = reg.stat("md.phase.pair.ipc")->snapshot();
+  EXPECT_EQ(ipc.count(), 1u);
+  EXPECT_GT(ipc.mean(), 0.0);
+  EXPECT_LT(ipc.mean(), 16.0);  // sanity: no CPU retires 16 inst/cycle here
+}
+
+TEST(MdTelemetry, PerfCountersParamExportsAvailabilityGauge) {
+  System sys = build_water_box(125, 14);
+  MdParams p;
+  p.cutoff = 6.0;
+  p.skin = 0.7;
+  p.long_range = LongRangeMethod::kNone;
+  p.telemetry = true;
+  p.perf_counters = true;
+  md::Simulation sim(std::move(sys), p);
+  sim.step(2);
+  ASSERT_NE(sim.metrics(), nullptr);
+  const double avail = sim.metrics()->gauge("md.perf.available")->value();
+  EXPECT_TRUE(avail == 0.0 || avail == 1.0);
+  if (avail == 1.0) {
+    // Scopes ran on the constructing thread, so IPC stats must have fed.
+    EXPECT_GT(sim.metrics()->stat("md.phase.pair.ipc")->snapshot().count(),
+              0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Statistical bench-regression gate.
+
+Compares a fresh bench result against a committed baseline and fails (exit 1)
+when any performance metric moved past its tolerance band in the bad
+direction.  Both bench output schemas are understood:
+
+  * anton.metrics.v1 snapshots (BENCH_f7.json, BENCH_f8.json, run metrics):
+    gauges compare by value, stats by mean, counters by value.
+  * google-benchmark JSON (BENCH_f6.json): each benchmark name compares by
+    the *minimum* real_time across its repetition entries — the same
+    statistic bench_util.h's time_min_ms uses, robust to bursty hosts.
+
+Direction is inferred from the metric name:
+
+  lower-better   *_ms, *_ns, *_us, *.seconds, *.real_time, *.cpu_time
+  higher-better  *speedup*, *_meps, *ipc, rates ("/s")
+  equality       *.match, *.points, *.atoms, *.dims (structure must not move)
+  info           everything else (reported, never gated)
+
+Tolerances come from a JSON config (default bench/bench_compare.json next to
+the baseline): {"default_tolerance": 0.25, "metrics": {"<name>": 0.10}}.
+A tolerance of 0.25 means a lower-better metric may grow 25% before the gate
+trips; equality metrics always use an exact match (with 1e-9 slack).
+
+Usage:
+  bench_compare.py BASELINE CURRENT [options]
+
+Options:
+  --config FILE        tolerance config (default: bench_compare.json beside
+                       the baseline, if present)
+  --advisory           report, but always exit 0 (CI on shared runners)
+  --update             copy CURRENT over BASELINE after the report
+  --append-history F   append one summary JSON line to F
+  -q, --quiet          only print regressions and the verdict
+"""
+
+import argparse
+import json
+import math
+import os
+import shutil
+import sys
+import time
+
+
+def load_metrics(path):
+    """Returns {name: value} for either bench schema."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    if "benchmarks" in doc:  # google-benchmark JSON
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type", "iteration") != "iteration":
+                continue
+            name = entry["name"]
+            t = entry.get("real_time")
+            if t is not None:
+                key = name + ".real_time"
+                out[key] = min(out.get(key, math.inf), float(t))
+        return out
+    if doc.get("schema") == "anton.metrics.v1":
+        for name, m in doc.get("metrics", {}).items():
+            kind = m.get("type")
+            if kind in ("gauge", "counter"):
+                out[name] = float(m["value"])
+            elif kind == "stat":
+                out[name] = float(m.get("mean", 0.0))
+            elif kind == "histogram":
+                out[name + ".p50"] = float(m.get("p50", 0.0))
+        return out
+    raise ValueError(f"{path}: neither google-benchmark nor anton.metrics.v1")
+
+
+def classify(name):
+    """'lower', 'higher', 'equal', or 'info'."""
+    n = name.lower()
+    leaf = n.rsplit(".", 1)[-1]
+    if leaf in ("match", "points", "atoms", "dims", "mesh", "constraints",
+                "steps_per_iter"):
+        return "equal"
+    if (n.endswith("_ms") or n.endswith("_ns") or n.endswith("_us")
+            or n.endswith(".seconds") or n.endswith(".real_time")
+            or n.endswith(".cpu_time") or n.endswith(".makespan_ns")):
+        return "lower"
+    if ("speedup" in n or n.endswith("_meps") or n.endswith(".ipc")
+            or n.endswith("/s") or n.endswith("_per_day")):
+        return "higher"
+    return "info"
+
+
+def load_config(path, baseline):
+    if path is None:
+        guess = os.path.join(os.path.dirname(os.path.abspath(baseline)),
+                             "bench_compare.json")
+        path = guess if os.path.exists(guess) else None
+    if path is None:
+        return 0.25, {}
+    with open(path) as f:
+        cfg = json.load(f)
+    per_metric = {k: float(v) for k, v in cfg.get("metrics", {}).items()}
+    return float(cfg.get("default_tolerance", 0.25)), per_metric
+
+
+def compare(base, cur, default_tol, per_metric):
+    """Returns (rows, regressions); each row is (status, name, detail)."""
+    rows = []
+    regressions = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            rows.append(("MISS", name, "present in baseline, absent now"))
+            regressions.append(name)
+            continue
+        if name not in base:
+            rows.append(("NEW", name, f"= {cur[name]:.6g} (no baseline)"))
+            continue
+        b, c = base[name], cur[name]
+        kind = classify(name)
+        tol = per_metric.get(name, default_tol)
+        if kind == "info":
+            rows.append(("info", name, f"{b:.6g} -> {c:.6g}"))
+            continue
+        if kind == "equal":
+            ok = abs(c - b) <= 1e-9 * max(1.0, abs(b))
+            rows.append(("ok" if ok else "FAIL", name,
+                         f"{b:.6g} -> {c:.6g} (must match)"))
+            if not ok:
+                regressions.append(name)
+            continue
+        if b == 0:
+            rows.append(("info", name, f"{b:.6g} -> {c:.6g} (zero baseline)"))
+            continue
+        ratio = c / b
+        # Fraction moved in the *bad* direction (negative = improvement).
+        bad = ratio - 1.0 if kind == "lower" else 1.0 - ratio
+        ok = bad <= tol
+        arrow = "slower" if kind == "lower" else "lower"
+        detail = (f"{b:.6g} -> {c:.6g}  ({100 * bad:+.1f}% {arrow},"
+                  f" tol {100 * tol:.0f}%)")
+        rows.append(("ok" if ok else "FAIL", name, detail))
+        if not ok:
+            regressions.append(name)
+    return rows, regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--config")
+    ap.add_argument("--advisory", action="store_true")
+    ap.add_argument("--update", action="store_true")
+    ap.add_argument("--append-history", metavar="FILE")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args()
+
+    try:
+        base = load_metrics(args.baseline)
+        cur = load_metrics(args.current)
+        default_tol, per_metric = load_config(args.config, args.baseline)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare(base, cur, default_tol, per_metric)
+    for status, name, detail in rows:
+        if args.quiet and status not in ("FAIL", "MISS"):
+            continue
+        print(f"  [{status:>4}] {name}: {detail}")
+
+    gated = sum(1 for s, _, _ in rows if s in ("ok", "FAIL", "MISS"))
+    if regressions:
+        verdict = "ADVISORY" if args.advisory else "FAIL"
+        print(f"bench_compare: {verdict} — {len(regressions)} of {gated} "
+              f"gated metrics regressed vs {args.baseline}")
+    else:
+        print(f"bench_compare: OK — {gated} gated metrics within tolerance "
+              f"vs {args.baseline}")
+
+    if args.append_history:
+        record = {
+            "time": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "baseline": os.path.basename(args.baseline),
+            "current": os.path.basename(args.current),
+            "gated": gated,
+            "regressions": regressions,
+            "metrics": {k: v for k, v in sorted(cur.items())
+                        if classify(k) != "info"},
+        }
+        with open(args.append_history, "a") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"bench_compare: baseline {args.baseline} updated")
+
+    if regressions and not args.advisory:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

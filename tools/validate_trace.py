@@ -12,6 +12,12 @@ actually load:
     (pid, tid), properly nested;
   * counter ("C") and metadata ("M") events carry their required fields.
 
+Flight-recorder dumps (obs/flightrecorder.h) are the same format plus a
+top-level "flight" object; when present it must carry the
+"anton.flight.v1" schema tag and thread/record counts consistent with the
+events in the file.  Pass --flight to additionally *require* the file to
+be a flight dump (crash-dump smoke tests).
+
 Exit status: 0 if valid, 1 if not, 2 on usage error.  Stdlib only.
 """
 
@@ -24,7 +30,7 @@ def fail(msg):
     return 1
 
 
-def validate(path):
+def validate(path, require_flight=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -39,6 +45,27 @@ def validate(path):
             return fail(f"{path}: no 'traceEvents' array")
     else:
         return fail(f"{path}: top level is neither object nor array")
+
+    flight = doc.get("flight") if isinstance(doc, dict) else None
+    if require_flight and flight is None:
+        return fail(f"{path}: not a flight dump (no 'flight' object)")
+    if flight is not None:
+        if flight.get("schema") != "anton.flight.v1":
+            return fail(f"{path}: flight schema is "
+                        f"{flight.get('schema')!r}, want 'anton.flight.v1'")
+        for field in ("threads", "records"):
+            if not isinstance(flight.get(field), int) or flight[field] < 0:
+                return fail(f"{path}: flight.{field} missing or negative")
+        n_records = sum(1 for ev in events
+                        if isinstance(ev, dict)
+                        and ev.get("cat") == "flight"
+                        and ev.get("name") != "flight.window"
+                        and ev.get("ph") != "M")
+        if n_records != flight["records"]:
+            return fail(f"{path}: flight.records={flight['records']} but "
+                        f"{n_records} flight events present")
+        if require_flight and flight["records"] == 0:
+            return fail(f"{path}: flight dump holds zero records")
 
     if not events:
         return fail(f"{path}: traceEvents is empty")
@@ -79,18 +106,22 @@ def validate(path):
         return fail(f"{path}: no span events (X or B/E) at all")
 
     summary = ", ".join(f"{ph}:{n}" for ph, n in sorted(counts.items()))
-    print(f"validate_trace: OK: {path}: {len(events)} events ({summary})")
+    tag = " [flight]" if flight is not None else ""
+    print(f"validate_trace: OK: {path}: {len(events)} events "
+          f"({summary}){tag}")
     return 0
 
 
 def main(argv):
-    if len(argv) < 2:
-        print("usage: validate_trace.py TRACE.json [TRACE.json...]",
-              file=sys.stderr)
+    args = [a for a in argv[1:] if a != "--flight"]
+    require_flight = "--flight" in argv[1:]
+    if not args:
+        print("usage: validate_trace.py [--flight] TRACE.json "
+              "[TRACE.json...]", file=sys.stderr)
         return 2
     rc = 0
-    for path in argv[1:]:
-        rc = max(rc, validate(path))
+    for path in args:
+        rc = max(rc, validate(path, require_flight))
     return rc
 
 
