@@ -1,0 +1,216 @@
+// F9 — Estimator service under load: the concurrent daemon (content-
+// addressed cache + request coalescing + admission control, src/svc/)
+// against the uncached-serial baseline it replaces.
+//
+// The baseline is compiled into this binary: the pre-service way to answer
+// an estimator query stream was a loop calling AntonMachine::estimate()
+// per request, no cache, no concurrency — exactly what examples and sweep
+// frontends did before src/svc/ existed.  Both sides replay the same mixed
+// trace: a small grid of distinct machine points queried over and over in
+// bursts, the shape a sweep frontend or an interactive what-if session
+// produces.  The trace mixes the three request classes the service
+// distinguishes — first-touch misses (must evaluate), duplicate in-flight
+// bursts (must coalesce), and repeats of settled points (must hit) — and
+// thousands of them run concurrently from many client threads.
+//
+// After the timed run, every distinct point's cached answer is checked
+// bitwise against a fresh single-threaded estimate (us/day, step times and
+// the per-phase maps) — the cache must never trade correctness for speed.
+//
+// Set ANTON_BENCH_SMOKE=1 to shrink the trace for CI.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "svc/service.h"
+
+namespace anton::bench {
+namespace {
+
+struct TracePoint {
+  std::shared_ptr<const arch::MachineConfig> config;
+  double dt_fs;
+};
+
+// The distinct sweep points: {event-driven, BSP} x node counts x dt.
+std::vector<TracePoint> build_grid(bool smoke) {
+  std::vector<TracePoint> grid;
+  const std::vector<int> node_counts =
+      smoke ? std::vector<int>{8, 16} : std::vector<int>{8, 16, 32};
+  for (const char* preset : {"anton2", "anton2-bsp"}) {
+    for (const int nodes : node_counts) {
+      for (const double dt : {2.0, 2.5}) {
+        grid.push_back({std::make_shared<const arch::MachineConfig>(
+                            machine_preset(preset, nodes)),
+                        dt});
+      }
+    }
+  }
+  return grid;
+}
+
+// trace[q] -> grid index.  Blocks of consecutive queries share a point so
+// concurrent clients pile onto the same key while it is still in flight
+// (coalescing), then keep re-asking it once settled (hits); walking the
+// blocks round-robin interleaves cold first-touches throughout the run.
+size_t trace_point(size_t q, size_t grid_size) {
+  constexpr size_t kBurst = 16;
+  return (q / kBurst) % grid_size;
+}
+
+// Compare every double the report carries, including the phase maps.
+bool bitwise_equal(const core::PerfReport& a, const core::PerfReport& b) {
+  bool ok = a.machine == b.machine && a.nodes == b.nodes &&
+            a.atoms == b.atoms && a.avg_step_ns() == b.avg_step_ns() &&
+            a.us_per_day() == b.us_per_day();
+  for (const core::StepTiming* s : {&a.full_step, &a.short_step}) {
+    const core::StepTiming* t =
+        s == &a.full_step ? &b.full_step : &b.short_step;
+    ok = ok && s->step_ns == t->step_ns &&
+         s->exec.makespan_ns == t->exec.makespan_ns &&
+         s->exec.phase_busy_ns == t->exec.phase_busy_ns &&
+         s->exec.phase_end_ns == t->exec.phase_end_ns &&
+         s->exec.critical_path_ns == t->exec.critical_path_ns;
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace anton::bench
+
+int main() {
+  using namespace anton;
+  using namespace anton::bench;
+
+  const bool smoke = std::getenv("ANTON_BENCH_SMOKE") != nullptr;
+  const size_t queries = smoke ? 384 : 4096;
+  const int clients = smoke ? 8 : 16;
+
+  print_header("F9", "Estimator service vs uncached-serial queries");
+  BenchReport report("f9");
+
+  BuilderOptions opt;
+  opt.total_atoms = 2048;
+  opt.temperature_k = -1;
+  const System sys = build_solvated_system(opt);
+  const auto grid = build_grid(smoke);
+  std::cout << "\ntrace: " << queries << " queries over " << grid.size()
+            << " distinct points, " << clients << " concurrent clients, "
+            << opt.total_atoms << "-atom system\n";
+
+  // ---- Baseline: the same trace answered the pre-service way — one
+  // uncached estimate() per query, serially on one thread.
+  double serial_ms = 0;
+  {
+    std::cout << "\n-- uncached-serial baseline --\n";
+    const double t0 = obs::wall_seconds();
+    double checksum = 0;
+    for (size_t q = 0; q < queries; ++q) {
+      const TracePoint& p = grid[trace_point(q, grid.size())];
+      const core::AntonMachine machine(p.config);
+      checksum += machine.estimate(sys, p.dt_fs).us_per_day();
+    }
+    serial_ms = (obs::wall_seconds() - t0) * 1e3;
+    std::cout << "serial: " << TextTable::fmt(serial_ms, 0) << " ms ("
+              << TextTable::fmt(queries / (serial_ms * 1e-3), 0)
+              << " q/s), checksum " << TextTable::fmt(checksum, 1) << "\n";
+  }
+
+  // ---- Service: same trace, replayed concurrently by `clients` threads.
+  double service_ms = 0;
+  obs::MetricsRegistry metrics;
+  svc::EstimatorService::Stats st;
+  {
+    ThreadPool pool;
+    svc::EstimatorService::Options sopt;
+    sopt.pool = &pool;
+    sopt.cache_bytes = 64 << 20;
+    sopt.queue_depth = 1024;  // never shed: throughput, not overload, here
+    sopt.metrics = &metrics;
+    svc::EstimatorService service(sopt);
+    const int sys_id = service.register_system(sys);
+    service.start();
+
+    const double t0 = obs::wall_seconds();
+    std::vector<std::thread> threads;
+    std::atomic<uint64_t> rejected{0};
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t q = static_cast<size_t>(c); q < queries;
+             q += static_cast<size_t>(clients)) {
+          const TracePoint& p = grid[trace_point(q, grid.size())];
+          const svc::QueryResult r = service.query(p.config, sys_id, p.dt_fs);
+          if (r.status == svc::Status::kShed ||
+              r.status == svc::Status::kShutdown) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    service_ms = (obs::wall_seconds() - t0) * 1e3;
+    ANTON_CHECK_MSG(rejected.load() == 0, "service rejected "
+                                              << rejected.load()
+                                              << " queries mid-benchmark");
+
+    // Verification: every distinct point's cached answer must be bitwise
+    // identical to a fresh single-threaded recompute.
+    bool match = true;
+    for (const TracePoint& p : grid) {
+      const svc::QueryResult cached = service.query(p.config, sys_id, p.dt_fs);
+      match = match && cached.status == svc::Status::kHit;
+      const core::AntonMachine machine(p.config);
+      match = match && bitwise_equal(cached.report,
+                                     machine.estimate(sys, p.dt_fs));
+    }
+    report.record("verify.match", match ? 1.0 : 0.0);
+    st = service.stats();
+    service.shutdown();
+    if (!match) {
+      std::cout << "\nERROR: cached result diverged from fresh recompute\n";
+      return 1;
+    }
+  }
+
+  const double speedup = serial_ms / service_ms;
+  const double qps = queries / (service_ms * 1e-3);
+  const Histogram lat =
+      metrics.histogram("svc.latency_ms", 0, 256, 1024)->snapshot();
+  const double hit_rate =
+      static_cast<double>(st.hits) / static_cast<double>(st.queries);
+
+  report.record("queries", static_cast<double>(queries));
+  report.record("distinct", static_cast<double>(grid.size()));
+  report.record("serial_ms", serial_ms);
+  report.record("service_ms", service_ms);
+  report.record("speedup", speedup);
+  report.record("qps", qps);
+  report.record("hit_rate", hit_rate);
+  report.record("coalesced", static_cast<double>(st.coalesced));
+  report.record("shed", static_cast<double>(st.shed));
+  report.record("evaluated", static_cast<double>(st.evaluated));
+  report.record("p50_ms", lat.quantile(0.5));
+  report.record("p95_ms", lat.quantile(0.95));
+  report.record("p99_ms", lat.quantile(0.99));
+
+  TextTable t({"variant", "ms/trace", "q/s", "speedup"});
+  t.add_row({"uncached serial loop", TextTable::fmt(serial_ms, 0),
+             TextTable::fmt(queries / (serial_ms * 1e-3), 0), "1.00"});
+  t.add_row({"estimator service", TextTable::fmt(service_ms, 0),
+             TextTable::fmt(qps, 0), TextTable::fmt(speedup, 2)});
+  t.print(std::cout);
+
+  std::cout << "\ntraffic: " << st.hits << " hits, " << st.misses
+            << " misses, " << st.coalesced << " coalesced, " << st.shed
+            << " shed; " << st.evaluated << " evaluations for "
+            << grid.size() << " distinct points\n";
+  std::cout << "latency: p50 " << TextTable::fmt(lat.quantile(0.5), 3)
+            << " ms, p95 " << TextTable::fmt(lat.quantile(0.95), 3)
+            << " ms, p99 " << TextTable::fmt(lat.quantile(0.99), 3)
+            << " ms\n";
+  std::cout << "cached answers verified bitwise against fresh recompute\n";
+  return 0;
+}

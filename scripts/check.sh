@@ -108,7 +108,35 @@ step "DES core (zero-allocation steady state + sweep parity)"
 ctest --test-dir build --output-on-failure -j"$JOBS" \
   -R 'DesNoAlloc|SweepRunner|EventQueue'
 
-step "bench smoke (BENCH_f6.json + BENCH_f7.json + BENCH_f8.json)"
+# The estimator service's concurrency claims (exactly-once evaluation,
+# coalescing, bounded queue, drain-on-shutdown) are only as good as their
+# TSan run, so the svc suite gets a targeted thread-sanitizer pass even
+# though full-tree TSan stays opt-in via ANTON_CHECK_SANITIZERS.
+step "estimator-service TSan pass (build-thread/, svc tests only)"
+cmake -B build-thread -S . -DANTON_SANITIZE=thread -DANTON_SIMD=scalar \
+      >/dev/null
+cmake --build build-thread --target test_svc -j"$JOBS"
+ctest --test-dir build-thread --output-on-failure -j"$JOBS" \
+  -L sanitize-thread -R 'EstimatorService|ResultCache|CacheKey'
+
+step "service load smoke (estimator daemon end-to-end)"
+./build/examples/sweep_service atoms=3000 queries=160 clients=8 \
+  --svc-threads 4 --svc-cache-mb 32 --svc-queue-depth 64 \
+  --metrics "$SCRATCH/svc_metrics.json"
+python3 -c "
+import json
+doc = json.load(open('$SCRATCH/svc_metrics.json'))
+m = doc['metrics']
+assert m['svc.queries']['value'] == 160, m['svc.queries']
+assert m['svc.shed']['value'] == 0, 'service shed under smoke load'
+hits = m['svc.hits']['value']
+assert hits > 100, f'cache ineffective: {hits} hits of 160'
+assert 'p99' in m['svc.latency_ms'], 'latency histogram lost its p99'
+print(f\"service smoke OK: {int(hits)}/160 hits, \"
+      f\"p99 {m['svc.latency_ms']['p99']:.2f} ms\")
+"
+
+step "bench smoke (BENCH_f6.json + BENCH_f7.json + BENCH_f8.json + BENCH_f9.json)"
 cmake --build build --target bench-smoke -j"$JOBS"
 python3 - <<'EOF'
 import json
@@ -147,12 +175,23 @@ print(f'event-queue speedup over legacy kernel: {speedup:.2f}x')
 assert speedup >= 2.0, f'event-queue speedup regressed: {speedup:.2f}x < 2x'
 assert m['f8.sweep.match']['value'] == 1, 'threaded sweep diverged from serial'
 "
+python3 -c "
+import json
+doc = json.load(open('build/BENCH_f9.json'))
+assert doc.get('schema') == 'anton.metrics.v1', doc.get('schema')
+m = doc['metrics']
+speedup = m['f9.speedup']['value']
+print(f'estimator service speedup over uncached-serial: {speedup:.2f}x')
+assert speedup >= 5.0, f'service throughput regressed: {speedup:.2f}x < 5x'
+assert m['f9.verify.match']['value'] == 1, 'cache hit diverged from recompute'
+assert m['f9.shed']['value'] == 0, 'service shed during the throughput run'
+"
 
 step "bench regression gate (tools/bench_compare.py)"
 # Fresh results vs committed baselines: advisory here because absolute times
 # vary host-to-host (the hard floors above are the portable gates), but the
 # full report lands in the log and one summary line per file in the history.
-for f in f6 f7 f8; do
+for f in f6 f7 f8 f9; do
   python3 tools/bench_compare.py "bench/BENCH_$f.json" "build/BENCH_$f.json" \
     --advisory --append-history "build/bench_history.jsonl"
 done

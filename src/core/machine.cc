@@ -56,9 +56,9 @@ void name_trace_tracks(obs::TraceWriter* trace) {
 PerfReport AntonMachine::estimate(const System& system, double dt_fs,
                                   int respa_k) const {
   ANTON_CHECK(respa_k >= 1);
-  const Workload w = Workload::build(system, config_);
+  const Workload w = Workload::build(system, *config_);
   PerfReport r;
-  r.machine = config_.name;
+  r.machine = config_->name;
   r.nodes = nodes();
   r.atoms = system.num_atoms();
   r.dt_fs = dt_fs;
@@ -66,9 +66,9 @@ PerfReport AntonMachine::estimate(const System& system, double dt_fs,
 
   obs::MetricsRegistry reg;
   std::unique_ptr<obs::TraceWriter> trace =
-      obs::TraceWriter::open(config_.trace_path);
+      obs::TraceWriter::open(config_->trace_path);
   name_trace_tracks(trace.get());
-  const bool telemetered = trace != nullptr || !config_.metrics_path.empty();
+  const bool telemetered = trace != nullptr || !config_->metrics_path.empty();
 
   StepOptions full{.include_long_range = true};
   StepOptions part{.include_long_range = false};
@@ -76,12 +76,12 @@ PerfReport AntonMachine::estimate(const System& system, double dt_fs,
     full.metrics = part.metrics = &reg;
     full.trace = part.trace = trace.get();
   }
-  r.full_step = simulate_step(w, config_, full);
+  r.full_step = simulate_step(w, *config_, full);
   // Lay the short step after the full one on the trace timeline.
   part.trace_ts_offset_us = r.full_step.step_ns * 1e-3;
-  r.short_step = simulate_step(w, config_, part);
+  r.short_step = simulate_step(w, *config_, part);
 
-  if (!config_.metrics_path.empty()) reg.save_json(config_.metrics_path);
+  if (!config_->metrics_path.empty()) reg.save_json(config_->metrics_path);
   return r;
 }
 
@@ -91,7 +91,7 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
   md::Simulation sim(system, md_params);
 
   PerfReport r;
-  r.machine = config_.name;
+  r.machine = config_->name;
   r.nodes = nodes();
   r.atoms = system.num_atoms();
   r.dt_fs = md_params.dt_fs;
@@ -102,9 +102,9 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
   // (sim-time spans), so a single Perfetto load shows both clock domains.
   obs::MetricsRegistry reg;
   std::unique_ptr<obs::TraceWriter> trace =
-      obs::TraceWriter::open(config_.trace_path);
+      obs::TraceWriter::open(config_->trace_path);
   name_trace_tracks(trace.get());
-  const bool telemetered = trace != nullptr || !config_.metrics_path.empty();
+  const bool telemetered = trace != nullptr || !config_->metrics_path.empty();
   if (telemetered) sim.use_telemetry(&reg, trace.get());
 
   double full_ns = 0, short_ns = 0;
@@ -116,17 +116,17 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
   std::unique_ptr<TimestepRunner> full_runner, short_runner;
   for (int s = 0; s < steps; ++s) {
     if (s % workload_refresh == 0) {
-      const Workload w = Workload::build(sim.system(), config_);
+      const Workload w = Workload::build(sim.system(), *config_);
       StepOptions full_opts{.include_long_range = true};
       StepOptions short_opts{.include_long_range = false};
       if (telemetered) {
         full_opts.metrics = short_opts.metrics = &reg;
         full_opts.trace = short_opts.trace = trace.get();
       }
-      full_runner = std::make_unique<TimestepRunner>(w, config_, full_opts);
+      full_runner = std::make_unique<TimestepRunner>(w, *config_, full_opts);
       short_runner =
           md_params.respa_k > 1
-              ? std::make_unique<TimestepRunner>(w, config_, short_opts)
+              ? std::make_unique<TimestepRunner>(w, *config_, short_opts)
               : nullptr;
     }
     const bool full = (s % md_params.respa_k == 0);
@@ -157,7 +157,7 @@ PerfReport AntonMachine::run(System& system, const MdParams& md_params,
   // Copy the evolved state back out.
   system = sim.system();
   if (telemetered) sim.use_telemetry(nullptr, nullptr);
-  if (!config_.metrics_path.empty()) reg.save_json(config_.metrics_path);
+  if (!config_->metrics_path.empty()) reg.save_json(config_->metrics_path);
   return r;
 }
 

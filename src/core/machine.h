@@ -13,6 +13,7 @@
 
 #include "arch/config.h"
 #include "chem/system.h"
+#include "common/error.h"
 #include "core/timestep.h"
 #include "core/workload.h"
 #include "md/params.h"
@@ -43,13 +44,35 @@ struct PerfReport {
 // Picks a near-cubic torus (nx, ny, nz) with nx*ny*nz == nodes.
 void torus_dims(int nodes, int* nx, int* ny, int* nz);
 
+// The calibrated machine model as an immutable shared object.  A
+// MachineConfig, once handed to an AntonMachine, is never mutated again:
+// the machine stores it behind a shared_ptr-to-const, so any number of
+// threads (the SweepRunner shards, the svc:: estimator workers) can hold
+// the same calibrated model and call estimate() concurrently without
+// copies or synchronization.  estimate() itself is const and builds every
+// piece of mutable state (workload, task graph, event queue, torus,
+// metrics scope) per call on the calling thread's stack.
 class AntonMachine {
  public:
   explicit AntonMachine(arch::MachineConfig config)
-      : config_(std::move(config)) {}
+      : config_(std::make_shared<const arch::MachineConfig>(
+            std::move(config))) {}
 
-  const arch::MachineConfig& config() const { return config_; }
-  int nodes() const { return config_.noc.num_nodes(); }
+  // Shares an existing immutable config instead of copying it — the
+  // estimator service constructs one AntonMachine per job and this keeps
+  // the per-job cost at one refcount bump, not a config deep copy.
+  explicit AntonMachine(std::shared_ptr<const arch::MachineConfig> config)
+      : config_(std::move(config)) {
+    ANTON_CHECK(config_ != nullptr);
+  }
+
+  const arch::MachineConfig& config() const { return *config_; }
+  // The shared immutable model, for callers that fan the same calibrated
+  // config out to many evaluators.
+  std::shared_ptr<const arch::MachineConfig> config_ptr() const {
+    return config_;
+  }
+  int nodes() const { return config_->noc.num_nodes(); }
 
   // Timing-only estimate for the system's current configuration.
   PerfReport estimate(const System& system, double dt_fs = 2.5,
@@ -62,7 +85,7 @@ class AntonMachine {
                  int workload_refresh = 20) const;
 
  private:
-  arch::MachineConfig config_;
+  std::shared_ptr<const arch::MachineConfig> config_;
 };
 
 }  // namespace anton::core

@@ -1,0 +1,124 @@
+#include "svc/cache_key.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace anton::svc {
+
+void KeyHasher::absorb_double(double d) {
+  absorb_u64(std::bit_cast<uint64_t>(d));
+}
+
+void KeyHasher::absorb_bytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t w = 0;
+  while (n >= 8) {
+    std::memcpy(&w, p, 8);
+    absorb_u64(w);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    w = 0;
+    std::memcpy(&w, p, n);
+    absorb_u64(w | (static_cast<uint64_t>(n) << 56));
+  }
+}
+
+uint64_t system_digest(const System& system) {
+  KeyHasher h;
+  const Topology& top = system.topology();
+  h.absorb_i64(system.num_atoms());
+  const Vec3 box = system.box().lengths();
+  h.absorb_double(box.x);
+  h.absorb_double(box.y);
+  h.absorb_double(box.z);
+  // Positions drive the pair tiles and the decomposition: absorb raw bits.
+  const auto pos = system.positions();
+  h.absorb_bytes(pos.data(), pos.size() * sizeof(Vec3));
+  // Topology terms load the geometry cores and the constraint solver; the
+  // index lists are plain trivially-copyable structs, absorbed wholesale.
+  const auto bonds = top.bonds();
+  const auto angles = top.angles();
+  const auto dihedrals = top.dihedrals();
+  const auto pairs14 = top.pairs14();
+  const auto constraints = top.constraints();
+  const auto waters = top.waters();
+  h.absorb_u64(bonds.size());
+  h.absorb_bytes(bonds.data(), bonds.size_bytes());
+  h.absorb_u64(angles.size());
+  h.absorb_bytes(angles.data(), angles.size_bytes());
+  h.absorb_u64(dihedrals.size());
+  h.absorb_bytes(dihedrals.data(), dihedrals.size_bytes());
+  h.absorb_u64(pairs14.size());
+  h.absorb_bytes(pairs14.data(), pairs14.size_bytes());
+  h.absorb_u64(constraints.size());
+  h.absorb_bytes(constraints.data(), constraints.size_bytes());
+  h.absorb_u64(waters.size());
+  h.absorb_bytes(waters.data(), waters.size_bytes());
+  return h.digest().lo ^ (h.digest().hi * 0x9e3779b97f4a7c15ull);
+}
+
+CacheKey query_key(const arch::MachineConfig& c, uint64_t system_digest,
+                   double dt_fs, int respa_k) {
+  ANTON_HOT_NOALLOC();
+  KeyHasher h;
+  h.absorb_u64(system_digest);
+  h.absorb_double(dt_fs);
+  h.absorb_i64(respa_k);
+
+  // MachineConfig, field by field in declaration order (arch/config.h).
+  // trace_path / metrics_path are deliberately skipped: telemetry sinks,
+  // not model parameters (see header comment).
+  h.absorb_string(c.name);
+  h.absorb_i64(c.ppims_per_node);
+  h.absorb_double(c.ppim_clock_ghz);
+  h.absorb_i64(c.pairs_per_ppim_cycle);
+  h.absorb_double(c.htis_task_overhead_ns);
+  h.absorb_i64(c.geometry_cores);
+  h.absorb_i64(c.gc_simd_width);
+  h.absorb_double(c.gc_clock_ghz);
+  h.absorb_double(c.gc_task_overhead_ns);
+  h.absorb_double(c.cycles_per_bond);
+  h.absorb_double(c.cycles_per_angle);
+  h.absorb_double(c.cycles_per_dihedral);
+  h.absorb_double(c.cycles_per_pair14);
+  h.absorb_double(c.cycles_per_fft_point);
+  h.absorb_double(c.cycles_per_integrate_atom);
+  h.absorb_double(c.cycles_per_constraint_iter);
+  h.absorb_i64(c.constraint_iterations);
+  h.absorb_i64(static_cast<int64_t>(c.sync));
+  h.absorb_double(c.sync_trigger_ns);
+  h.absorb_double(c.barrier_base_ns);
+
+  const noc::TorusConfig& n = c.noc;
+  h.absorb_i64(n.nx);
+  h.absorb_i64(n.ny);
+  h.absorb_i64(n.nz);
+  h.absorb_i64(static_cast<int64_t>(n.routing));
+  h.absorb_double(n.link_bandwidth_gbs);
+  h.absorb_double(n.hop_latency_ns);
+  h.absorb_double(n.injection_overhead_ns);
+  h.absorb_double(n.packet_overhead_bytes);
+  // Derated links in stored order: the list is part of the config identity.
+  h.absorb_u64(n.derated_links.size());
+  for (const auto& d : n.derated_links) {
+    h.absorb_i64(d.node);
+    h.absorb_i64(d.dir);
+    h.absorb_double(d.factor);
+  }
+
+  h.absorb_bool(c.use_multicast);
+  h.absorb_double(c.bytes_per_position);
+  h.absorb_double(c.bytes_per_force);
+  h.absorb_double(c.bytes_per_mesh_point);
+  h.absorb_double(c.bytes_per_migrating_atom);
+  h.absorb_double(c.machine_cutoff);
+  h.absorb_double(c.mesh_spacing);
+  h.absorb_i64(c.spread_support_cells);
+  return h.digest();
+}
+
+}  // namespace anton::svc

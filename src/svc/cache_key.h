@@ -1,0 +1,101 @@
+// Content-addressed cache keys for the estimator service.
+//
+// A query to the service is (MachineConfig, system, dt_fs, respa_k); the
+// model is deterministic, so the result is a pure function of that tuple.
+// The cache therefore keys on a canonical 128-bit digest of the tuple's
+// *content*, not on object identity: two queries that spell the same
+// machine and workload hash to the same key no matter where the config
+// structs live or how they were built.
+//
+// Canonicalization rules (see DESIGN.md, "Estimator service"):
+//   * every model-relevant MachineConfig field is absorbed in declaration
+//     order; doubles as their raw IEEE-754 bit patterns (so +0.0 and -0.0
+//     get distinct keys — conservative: at worst two cache entries hold the
+//     same value, never a wrong hit);
+//   * strings as (length, bytes); enums as their underlying integer;
+//   * the telemetry sink paths (trace_path, metrics_path) are EXCLUDED —
+//     they select side channels, not model behaviour, and the service
+//     evaluates with telemetry off so cached and fresh results have
+//     identical (empty) side effects;
+//   * the system is folded in as a digest computed once at registration
+//     (positions, box, and every topology term that loads the workload
+//     model), so the per-query cost is O(config), not O(atoms).
+//
+// The full 128-bit digest is stored in each cache entry and compared on
+// lookup, so an aliased hit needs a full digest collision (~2^-64 per pair
+// at any realistic cache size), not just a bucket collision.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "arch/config.h"
+#include "chem/system.h"
+
+namespace anton::svc {
+
+struct CacheKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  // Lexicographic order so CacheKey can key a std::map (the service's
+  // in-flight table iterates deterministically under this order).
+  friend bool operator<(const CacheKey& a, const CacheKey& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+// Incremental two-lane 64-bit mixer.  Not cryptographic — it only needs to
+// spread config edits across both words and keep full-digest collisions
+// astronomically unlikely for cache addressing.
+class KeyHasher {
+ public:
+  void absorb_u64(uint64_t w) {
+    ++n_;
+    a_ = mix(a_ ^ (w * 0x9e3779b97f4a7c15ull));
+    b_ = mix(b_ + (w ^ 0x6a09e667f3bcc909ull) + n_);
+  }
+  void absorb_i64(int64_t w) { absorb_u64(static_cast<uint64_t>(w)); }
+  void absorb_double(double d);
+  void absorb_bool(bool b) { absorb_u64(b ? 1 : 0); }
+  void absorb_bytes(const void* data, size_t n);
+  void absorb_string(std::string_view s) {
+    absorb_u64(s.size());
+    absorb_bytes(s.data(), s.size());
+  }
+
+  CacheKey digest() const {
+    CacheKey k;
+    k.lo = mix(a_ ^ (n_ * 0xff51afd7ed558ccdull));
+    k.hi = mix(b_ ^ (a_ + 0xc4ceb9fe1a85ec53ull));
+    return k;
+  }
+
+ private:
+  static uint64_t mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  uint64_t a_ = 0x243f6a8885a308d3ull;
+  uint64_t b_ = 0x13198a2e03707344ull;
+  uint64_t n_ = 0;
+};
+
+// One-time workload fingerprint: atom positions, box, and every topology
+// term family that feeds Workload::build.  O(atoms); compute it when a
+// system is registered with the service, never per query.
+uint64_t system_digest(const System& system);
+
+// The per-query key: canonical digest of (config, system digest, dt_fs,
+// respa_k).  Allocation-free — this runs on every request, cache hit or
+// miss, and is annotated ANTON_HOT_NOALLOC for the callgraph verifier.
+CacheKey query_key(const arch::MachineConfig& config, uint64_t system_digest,
+                   double dt_fs, int respa_k);
+
+}  // namespace anton::svc

@@ -1,0 +1,201 @@
+#include "svc/result_cache.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace anton::svc {
+namespace {
+
+// Conservative per-node overhead of a libstdc++ std::map entry (rb-tree
+// node header + alignment); the key string's heap block is added on top.
+constexpr size_t kMapNodeBytes = 64;
+
+size_t map_bytes(const std::map<std::string, double>& m) {
+  size_t b = 0;
+  for (const auto& [k, v] : m) {
+    (void)v;
+    // Short strings live in the SSO buffer already counted in the node.
+    b += kMapNodeBytes + (k.capacity() > 15 ? k.capacity() + 1 : 0);
+  }
+  return b;
+}
+
+size_t step_bytes(const core::StepTiming& t) {
+  return map_bytes(t.exec.phase_busy_ns) + map_bytes(t.exec.phase_end_ns) +
+         map_bytes(t.exec.critical_path_ns);
+}
+
+}  // namespace
+
+size_t report_bytes(const core::PerfReport& report) {
+  return sizeof(core::PerfReport) +
+         (report.machine.capacity() > 15 ? report.machine.capacity() + 1 : 0) +
+         step_bytes(report.full_step) + step_bytes(report.short_step);
+}
+
+// Probe window: `kProbe` consecutive slots (wrapping) starting at the key's
+// home index.  Bounded, so the worst-case lookup cost is a constant-length
+// linear scan; eviction holes inside a window cannot cause stale hits
+// (identical keys always carry identical deterministic values), at worst an
+// occasional recompute of a key whose duplicate was evicted.
+static constexpr size_t kProbe = 16;
+
+int ResultCache::find_slot(const Slot* slots, size_t mask,
+                           const CacheKey& key) {
+  ANTON_HOT_NOALLOC();
+  const size_t home = static_cast<size_t>(key.lo) & mask;
+  for (size_t p = 0; p < kProbe; ++p) {
+    const size_t i = (home + p) & mask;
+    if (slots[i].value != nullptr && slots[i].key == key) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+ResultCache::ResultCache(size_t max_bytes)
+    : max_bytes_(std::max<size_t>(max_bytes, size_t{64} * 1024)) {
+  // Size the fixed slot arrays from the budget assuming ~2 KiB resident per
+  // report, rounded up to a power of two, floored at one probe window.
+  const size_t want = max_bytes_ / kShards / 2048;
+  slots_per_shard_ = kProbe;
+  while (slots_per_shard_ < want) slots_per_shard_ <<= 1;
+  shards_ = std::vector<Shard>(kShards);
+  for (Shard& s : shards_) {
+    s.slots.resize(slots_per_shard_);
+    s.ref = std::make_unique<std::atomic<uint8_t>[]>(slots_per_shard_);
+    for (size_t i = 0; i < slots_per_shard_; ++i) {
+      s.ref[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+ResultCache::~ResultCache() = default;
+
+bool ResultCache::lookup(const CacheKey& key, core::PerfReport* out) {
+  ANTON_CHECK(out != nullptr);
+  Shard& s = shard_of(key);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  const int i = find_slot(s.slots.data(), slots_per_shard_ - 1, key);
+  if (i < 0) {
+    s.misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Mark recently-used for the CLOCK hand.  Relaxed: readers only ever
+  // store 1, writers read/clear it under the exclusive lock.
+  s.ref[static_cast<size_t>(i)].store(1, std::memory_order_relaxed);
+  // Deep copy under the shared lock: an eviction (exclusive) cannot run
+  // concurrently, so the copy cannot tear.
+  *out = *s.slots[static_cast<size_t>(i)].value;
+  s.hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::evict_until(Shard& s, size_t need_bytes, size_t budget) {
+  // Global CLOCK hand over the shard: clear ref bits as it passes, evict
+  // the first unreferenced occupied slot.  Two full sweeps guarantee a
+  // victim (every ref bit is cleared after one pass), so the loop is
+  // bounded even when everything was recently touched.
+  while (s.entries > 0 && s.bytes + need_bytes > budget) {
+    for (size_t step = 0; step < 2 * slots_per_shard_; ++step) {
+      const size_t i = s.hand;
+      s.hand = (s.hand + 1) & (slots_per_shard_ - 1);
+      if (s.slots[i].value == nullptr) continue;
+      if (s.ref[i].load(std::memory_order_relaxed) != 0) {
+        s.ref[i].store(0, std::memory_order_relaxed);
+        continue;
+      }
+      s.bytes -= s.slots[i].bytes;
+      s.slots[i].bytes = 0;
+      s.slots[i].value.reset();
+      --s.entries;
+      ++s.evictions;
+      break;
+    }
+  }
+}
+
+bool ResultCache::insert(const CacheKey& key, const core::PerfReport& report) {
+  const size_t bytes = report_bytes(report);
+  const size_t budget = max_bytes_ / kShards;
+  if (bytes > budget) return false;  // outlier: recompute beats caching it
+
+  Shard& s = shard_of(key);
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  const size_t mask = slots_per_shard_ - 1;
+
+  // Overwrite in place if the key is already resident (a racing worker
+  // computed the same deterministic value; keep one copy).
+  int slot = find_slot(s.slots.data(), mask, key);
+  if (slot >= 0) {
+    Slot& sl = s.slots[static_cast<size_t>(slot)];
+    s.bytes -= sl.bytes;
+    evict_until(s, bytes, budget);
+    *sl.value = report;
+    sl.bytes = bytes;
+    s.bytes += bytes;
+    s.ref[static_cast<size_t>(slot)].store(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  evict_until(s, bytes, budget);
+
+  // Place into the first empty slot of the probe window; if the window is
+  // full, CLOCK within the window: evict the first unreferenced victim
+  // (clearing ref bits as we scan), falling back to the home slot.
+  const size_t home = static_cast<size_t>(key.lo) & mask;
+  size_t target = slots_per_shard_;  // sentinel: none yet
+  for (size_t p = 0; p < kProbe; ++p) {
+    const size_t i = (home + p) & mask;
+    if (s.slots[i].value == nullptr) {
+      target = i;
+      break;
+    }
+  }
+  if (target == slots_per_shard_) {
+    for (size_t p = 0; p < kProbe; ++p) {
+      const size_t i = (home + p) & mask;
+      if (s.ref[i].load(std::memory_order_relaxed) != 0) {
+        s.ref[i].store(0, std::memory_order_relaxed);
+        continue;
+      }
+      target = i;
+      break;
+    }
+    if (target == slots_per_shard_) target = home;
+    Slot& victim = s.slots[target];
+    s.bytes -= victim.bytes;
+    victim.value.reset();
+    victim.bytes = 0;
+    --s.entries;
+    ++s.evictions;
+  }
+
+  Slot& sl = s.slots[target];
+  sl.key = key;
+  sl.value = std::make_unique<core::PerfReport>(report);
+  sl.bytes = bytes;
+  s.bytes += bytes;
+  ++s.entries;
+  ++s.insertions;
+  s.ref[target].store(1, std::memory_order_relaxed);
+  return true;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats st;
+  for (const Shard& s : shards_) {
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    st.hits += s.hits.load(std::memory_order_relaxed);
+    st.misses += s.misses.load(std::memory_order_relaxed);
+    st.insertions += s.insertions;
+    st.evictions += s.evictions;
+    st.bytes += s.bytes;
+    st.entries += s.entries;
+    st.capacity += slots_per_shard_;
+  }
+  return st;
+}
+
+}  // namespace anton::svc

@@ -1,0 +1,114 @@
+// Content-addressed result cache for the estimator service.
+//
+// Maps CacheKey -> PerfReport with three properties the service leans on:
+//
+//   * hit == recompute, bitwise.  The model is deterministic, so the cache
+//     stores the PerfReport verbatim and hands back copies; every double,
+//     including the per-phase maps, is identical to a fresh estimate()
+//     (property-tested in tests/test_svc.cc).
+//   * bounded memory.  Construction fixes a byte budget; each entry is
+//     charged its deep size (struct + string capacities + map nodes), and
+//     inserts evict via a per-shard CLOCK (second-chance) hand until the
+//     new entry fits.  The slot arrays are allocated once up front — the
+//     table never rehashes, so lookups race with no structural moves.
+//   * sharded concurrency.  Keys spread across kShards shards (top digest
+//     bits), each with its own shared_mutex: lookups take a shared lock,
+//     inserts an exclusive one, so concurrent hits on different shards
+//     never serialize and hits on one shard only serialize against that
+//     shard's inserts.
+//
+// The slot-probe inner loop is allocation- and lock-free and annotated for
+// the callgraph verifier; the shard lock wraps it from lookup()/insert(),
+// deliberately outside the verified region (see the "estimator service
+// locking boundary" note in tools/callgraph_allow.txt and DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/machine.h"
+#include "svc/cache_key.h"
+
+namespace anton::svc {
+
+// Deep byte estimate of a PerfReport: the struct plus its heap (machine
+// name, phase-map nodes).  Used for cache accounting, so it only needs to
+// be a consistent, slightly conservative estimate.
+size_t report_bytes(const core::PerfReport& report);
+
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t bytes = 0;     // resident entry bytes across all shards
+    size_t entries = 0;
+    size_t capacity = 0;  // total slots
+  };
+
+  // max_bytes bounds resident entry memory (not counting the fixed slot
+  // arrays, which are ~48 B/slot).  Slot count is derived from the budget
+  // assuming ~2 KiB per report, floored so tiny caches still function.
+  explicit ResultCache(size_t max_bytes);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+  ~ResultCache();
+
+  // On hit copies the stored report into *out and returns true.  The copy
+  // happens under the shard's shared lock, so a concurrent eviction of the
+  // same slot cannot tear it.
+  bool lookup(const CacheKey& key, core::PerfReport* out);
+
+  // Inserts (or overwrites) the report under key, evicting clock victims
+  // until it fits.  A report bigger than the whole shard budget is not
+  // cached (returns false) — the service just recomputes such outliers.
+  bool insert(const CacheKey& key, const core::PerfReport& report);
+
+  Stats stats() const;
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Slot {
+    CacheKey key;
+    std::unique_ptr<core::PerfReport> value;  // null => empty slot
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<Slot> slots;  // fixed size, power of two; never rehashed
+    // CLOCK reference bits, separate from Slot so readers can set them
+    // under the shared lock (relaxed atomic store; no writer race).
+    std::unique_ptr<std::atomic<uint8_t>[]> ref;
+    size_t bytes = 0;
+    size_t entries = 0;
+    size_t hand = 0;  // clock hand, advances over slots on eviction
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    uint64_t insertions = 0;  // guarded by mu (exclusive)
+    uint64_t evictions = 0;   // guarded by mu (exclusive)
+  };
+
+  Shard& shard_of(const CacheKey& key) {
+    return shards_[static_cast<size_t>(key.hi >> 32) & (kShards - 1)];
+  }
+
+  // Probes the shard's slot array for `key`; returns the slot index or -1.
+  // Caller holds the shard lock (shared or exclusive).  Allocation-free.
+  static int find_slot(const Slot* slots, size_t mask, const CacheKey& key);
+
+  void evict_until(Shard& s, size_t need_bytes, size_t budget);
+
+  static constexpr size_t kShards = 16;  // power of two
+
+  size_t max_bytes_;
+  size_t slots_per_shard_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace anton::svc

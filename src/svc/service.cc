@@ -1,0 +1,282 @@
+#include "svc/service.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "obs/flightrecorder.h"
+
+namespace anton::svc {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kHit:
+      return "hit";
+    case Status::kMiss:
+      return "miss";
+    case Status::kCoalesced:
+      return "coalesced";
+    case Status::kShed:
+      return "shed";
+    case Status::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+EstimatorService::EstimatorService(const Options& options)
+    : pool_(options.pool),
+      queue_depth_(options.queue_depth),
+      evaluator_(options.evaluator),
+      cache_(options.cache_bytes) {
+  ANTON_CHECK(pool_ != nullptr);
+  ANTON_CHECK(queue_depth_ > 0);
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    m_queries_ = reg.counter("svc.queries");
+    m_hits_ = reg.counter("svc.hits");
+    m_misses_ = reg.counter("svc.misses");
+    m_coalesced_ = reg.counter("svc.coalesced");
+    m_shed_ = reg.counter("svc.shed");
+    m_queue_depth_ = reg.gauge("svc.queue_depth");
+    // 0.25 ms bins out to 256 ms; estimates past that land in the
+    // overflow bin and still count toward p99.
+    m_latency_ms_ = reg.histogram("svc.latency_ms", 0.0, 256.0, 1024);
+    profiler_.enable(&reg, "svc");
+  }
+}
+
+EstimatorService::~EstimatorService() { shutdown(); }
+
+int EstimatorService::register_system(const System& system) {
+  RegisteredSystem reg;
+  reg.system = std::make_shared<const System>(system);
+  reg.digest = system_digest(*reg.system);
+  std::lock_guard<std::mutex> lock(smu_);
+  systems_.push_back(std::move(reg));
+  return static_cast<int>(systems_.size()) - 1;
+}
+
+void EstimatorService::start() {
+  std::unique_lock<std::mutex> lock(qmu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  lock.unlock();
+  obs::flight::record(obs::flight::Kind::kMark, "svc.start");
+  // The driver turns every pool thread (itself included, as pool index 0)
+  // into a service worker; for_each_thread returns only when all workers
+  // leave their loops at shutdown.
+  driver_ = std::thread([this] {
+    pool_->for_each_thread([this](unsigned) { worker_loop(); });
+  });
+}
+
+void EstimatorService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    if (stop_ && !started_) return;  // never started
+    stop_ = true;
+  }
+  qcv_.notify_all();
+  if (driver_.joinable()) driver_.join();
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    started_ = false;
+  }
+  obs::flight::record(obs::flight::Kind::kMark, "svc.shutdown");
+}
+
+bool EstimatorService::running() const {
+  std::lock_guard<std::mutex> lock(qmu_);
+  return started_ && !stop_;
+}
+
+void EstimatorService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(qmu_);
+      qcv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->set(static_cast<double>(queue_.size()));
+      }
+    }
+    evaluate(*job);
+    // Publish order matters: the report is in the cache (and in the job)
+    // before the in-flight entry disappears, so a query that misses the
+    // in-flight table under qmu_ is guaranteed to find the cached result.
+    {
+      std::lock_guard<std::mutex> lock(qmu_);
+      inflight_.erase(job->key);
+    }
+  }
+}
+
+void EstimatorService::evaluate(Job& job) {
+  obs::flight::record(obs::flight::Kind::kMark, "svc.evaluate",
+                      job.key.lo);
+  core::PerfReport report;
+  {
+    auto scope = profiler_.scope("evaluate");
+    if (evaluator_) {
+      report = evaluator_(*job.config, *job.system, job.dt_fs, job.respa_k);
+    } else {
+      const core::AntonMachine machine(job.config);
+      report = machine.estimate(*job.system, job.dt_fs, job.respa_k);
+    }
+  }
+  n_evaluated_.fetch_add(1, std::memory_order_relaxed);
+  cache_.insert(job.key, report);
+  std::lock_guard<std::mutex> lock(job.mu);
+  job.report = std::move(report);
+  job.done = true;
+  job.cv.notify_all();
+}
+
+QueryResult EstimatorService::finish(Status status, double t0,
+                                     core::PerfReport report) {
+  QueryResult r;
+  r.status = status;
+  r.report = std::move(report);
+  r.latency_ms = (obs::wall_seconds() - t0) * 1e3;
+  if (m_latency_ms_ != nullptr) m_latency_ms_->add(r.latency_ms);
+  switch (status) {
+    case Status::kHit:
+      n_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (m_hits_ != nullptr) m_hits_->add();
+      break;
+    case Status::kMiss:
+      n_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (m_misses_ != nullptr) m_misses_->add();
+      break;
+    case Status::kCoalesced:
+      // Counted at attach time (under qmu_), not here: monitoring should
+      // see the pile-up while the evaluation is still in flight.
+      break;
+    case Status::kShed:
+      n_shed_.fetch_add(1, std::memory_order_relaxed);
+      if (m_shed_ != nullptr) m_shed_->add();
+      obs::flight::record(obs::flight::Kind::kMark, "svc.shed");
+      break;
+    case Status::kShutdown:
+      break;
+  }
+  return r;
+}
+
+QueryResult EstimatorService::query(const arch::MachineConfig& config,
+                                    int system_id, double dt_fs,
+                                    int respa_k) {
+  return query(std::make_shared<const arch::MachineConfig>(config),
+               system_id, dt_fs, respa_k);
+}
+
+QueryResult EstimatorService::query(
+    std::shared_ptr<const arch::MachineConfig> config, int system_id,
+    double dt_fs, int respa_k) {
+  ANTON_CHECK(config != nullptr);
+  const double t0 = obs::wall_seconds();
+  n_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (m_queries_ != nullptr) m_queries_->add();
+
+  RegisteredSystem reg;
+  {
+    std::lock_guard<std::mutex> lock(smu_);
+    ANTON_CHECK(system_id >= 0 &&
+                system_id < static_cast<int>(systems_.size()));
+    reg = systems_[static_cast<size_t>(system_id)];
+  }
+
+  // The service evaluates with telemetry sinks off: the cache key ignores
+  // trace_path / metrics_path, so cached and fresh answers must produce
+  // identical (empty) side effects regardless of what the caller set.
+  if (!config->trace_path.empty() || !config->metrics_path.empty()) {
+    auto clean = std::make_shared<arch::MachineConfig>(*config);
+    clean->trace_path.clear();
+    clean->metrics_path.clear();
+    config = std::move(clean);
+  }
+
+  CacheKey key;
+  {
+    auto scope = profiler_.scope("key");
+    key = query_key(*config, reg.digest, dt_fs, respa_k);
+  }
+
+  core::PerfReport report;
+  {
+    auto scope = profiler_.scope("lookup");
+    if (cache_.lookup(key, &report)) {
+      return finish(Status::kHit, t0, std::move(report));
+    }
+  }
+
+  // Miss: coalesce onto an in-flight twin, or enqueue — all under qmu_.
+  std::shared_ptr<Job> job;
+  bool submitter = false;
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    if (stop_) return finish(Status::kShutdown, t0, {});
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      job = it->second;
+      n_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      if (m_coalesced_ != nullptr) m_coalesced_->add();
+    } else {
+      // Re-check the cache: a worker may have finished this key between
+      // our lookup above and this lock.  Its cache insert happened before
+      // its in-flight erase (both ends synchronize on qmu_), so an absent
+      // in-flight entry guarantees the cached result is visible here.
+      auto scope = profiler_.scope("lookup");
+      if (cache_.lookup(key, &report)) {
+        return finish(Status::kHit, t0, std::move(report));
+      }
+      if (queue_.size() >= queue_depth_) {
+        return finish(Status::kShed, t0, {});
+      }
+      job = std::make_shared<Job>();
+      job->key = key;
+      job->config = std::move(config);
+      job->system = reg.system;
+      job->dt_fs = dt_fs;
+      job->respa_k = respa_k;
+      inflight_.emplace(key, job);
+      queue_.push_back(job);
+      if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->set(static_cast<double>(queue_.size()));
+      }
+      submitter = true;
+    }
+  }
+  qcv_.notify_one();
+
+  {
+    auto scope = profiler_.scope("wait");
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&job] { return job->done; });
+    report = job->report;
+  }
+  return finish(submitter ? Status::kMiss : Status::kCoalesced, t0,
+                std::move(report));
+}
+
+EstimatorService::Stats EstimatorService::stats() const {
+  Stats s;
+  s.queries = n_queries_.load(std::memory_order_relaxed);
+  s.hits = n_hits_.load(std::memory_order_relaxed);
+  s.misses = n_misses_.load(std::memory_order_relaxed);
+  s.coalesced = n_coalesced_.load(std::memory_order_relaxed);
+  s.shed = n_shed_.load(std::memory_order_relaxed);
+  s.evaluated = n_evaluated_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(qmu_);
+    s.queued = queue_.size();
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace anton::svc

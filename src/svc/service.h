@@ -1,0 +1,210 @@
+// EstimatorService: sweep-as-a-service in front of AntonMachine::estimate().
+//
+// The sweep harness (core/sweep.h) answers "evaluate these N points once";
+// the service answers the production shape of the same question: a long-
+// running daemon absorbing estimator queries from many client threads,
+// where the stream repeats itself (parameter-sweep frontends walk
+// overlapping grids; interactive users re-ask baseline points).  Three
+// mechanisms turn that repetition into throughput:
+//
+//   * content-addressed cache (svc/result_cache.h): the model is a pure
+//     function of (config, system, dt_fs, respa_k), so results are cached
+//     under a canonical digest of that tuple (svc/cache_key.h); a hit is
+//     bitwise identical to recompute.
+//   * request coalescing: concurrent queries for the same key collapse
+//     onto one in-flight evaluation — N duplicate requests cost one
+//     estimate() plus N-1 condition-variable waits.
+//   * admission control: the job queue is bounded; when it is full new
+//     misses are shed with an explicit kShed status instead of queueing
+//     without bound, so latency stays bounded under overload and clients
+//     can back off.
+//
+// Threading: workers run on the existing ThreadPool.  start() launches one
+// driver thread that calls pool->for_each_thread(worker_loop) — the pool's
+// threads (driver included, as pool index 0) become service workers until
+// shutdown(), which drains every accepted job before releasing the pool.
+// While the service is running the pool belongs to it: do not dispatch
+// other parallel_for work on the same pool (ThreadPool's documented
+// non-reentrancy).
+//
+// Exactly-once evaluation: a worker inserts the finished report into the
+// cache *before* erasing the in-flight entry (both ends synchronize on the
+// queue mutex), and a missed lookup re-checks the cache under that mutex
+// before enqueueing.  A key therefore never evaluates twice while the
+// cache holds it — with an adequate cache budget, evaluations == distinct
+// keys exactly (property-tested in tests/test_svc.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "core/machine.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "svc/cache_key.h"
+#include "svc/result_cache.h"
+
+namespace anton::svc {
+
+// How a query was satisfied (or not).
+enum class Status {
+  kHit,        // served from the result cache
+  kMiss,       // this query triggered the evaluation
+  kCoalesced,  // attached to another query's in-flight evaluation
+  kShed,       // rejected: queue at capacity (no report)
+  kShutdown,   // rejected: service stopped (no report)
+};
+
+const char* status_name(Status s);
+
+struct QueryResult {
+  Status status = Status::kShutdown;
+  core::PerfReport report;  // valid for kHit / kMiss / kCoalesced
+  double latency_ms = 0.0;
+};
+
+class EstimatorService {
+ public:
+  struct Options {
+    ThreadPool* pool = nullptr;     // required; borrowed, not owned
+    size_t cache_bytes = 64 << 20;  // result-cache budget
+    size_t queue_depth = 256;       // max queued (not in-flight) jobs
+    // Optional telemetry: when set, the service registers svc.* metrics
+    // (hit/miss/coalesced/shed counters, queue-depth gauge, latency
+    // histogram) and phase-profiles key/lookup/evaluate/wait.
+    obs::MetricsRegistry* metrics = nullptr;
+    // Test seam: replaces AntonMachine::estimate for job evaluation.  The
+    // deterministic concurrency tests (tests/test_svc.cc) use a gated
+    // evaluator to hold a worker mid-job and observe coalescing /
+    // load-shedding without timing assumptions.  Cold path: constructed
+    // once per service, invoked per *evaluation* (not per query), so the
+    // per-query no-std::function contract holds.
+    // anton-lint: allow(des-std-function)
+    std::function<core::PerfReport(const arch::MachineConfig&, const System&,
+                                   double dt_fs, int respa_k)>
+        evaluator;
+  };
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t coalesced = 0;
+    uint64_t shed = 0;
+    uint64_t evaluated = 0;  // actual estimate() calls
+    size_t queued = 0;       // jobs waiting for a worker right now
+    ResultCache::Stats cache;
+  };
+
+  explicit EstimatorService(const Options& options);
+  EstimatorService(const EstimatorService&) = delete;
+  EstimatorService& operator=(const EstimatorService&) = delete;
+  ~EstimatorService();  // implies shutdown()
+
+  // Registers a workload; the returned id names it in queries.  The system
+  // is copied once and fingerprinted once (O(atoms)); queries then pay
+  // O(config) hashing only.  Thread-safe, allowed while running.
+  int register_system(const System& system);
+
+  // Starts the workers.  Queries before start() are answered from the
+  // cache or shed (kShutdown) — nothing can evaluate without workers.
+  void start();
+
+  // Stops accepting work, drains every accepted job, releases the pool.
+  // Idempotent.  Queries racing with shutdown either complete or return
+  // kShutdown; none hang.
+  void shutdown();
+  bool running() const;
+
+  // Blocking query: returns when the report is available (hit, computed,
+  // or coalesced) or immediately on shed/shutdown.  `config` is shared,
+  // not copied, unless it carries telemetry sink paths (those are stripped
+  // so cached and fresh evaluations have identical side effects — the key
+  // ignores them, see svc/cache_key.h).  Safe from any thread except the
+  // service's own workers.
+  QueryResult query(std::shared_ptr<const arch::MachineConfig> config,
+                    int system_id, double dt_fs = 2.5, int respa_k = 2);
+  QueryResult query(const arch::MachineConfig& config, int system_id,
+                    double dt_fs = 2.5, int respa_k = 2);
+
+  Stats stats() const;
+  const ResultCache& cache() const { return cache_; }
+  size_t queue_depth() const { return queue_depth_; }
+
+ private:
+  struct RegisteredSystem {
+    std::shared_ptr<const System> system;
+    uint64_t digest = 0;
+  };
+
+  // One in-flight evaluation; duplicate queries attach as waiters.
+  struct Job {
+    CacheKey key;
+    std::shared_ptr<const arch::MachineConfig> config;
+    std::shared_ptr<const System> system;
+    double dt_fs = 2.5;
+    int respa_k = 2;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    core::PerfReport report;  // valid once done
+  };
+
+  void worker_loop();
+  void evaluate(Job& job);
+  QueryResult finish(Status status, double t0, core::PerfReport report);
+
+  ThreadPool* pool_;
+  size_t queue_depth_;
+  // Options::evaluator test seam, copied once at construction; see the
+  // Options field for the contract.
+  // anton-lint: allow(des-std-function)
+  std::function<core::PerfReport(const arch::MachineConfig&, const System&,
+                                 double, int)>
+      evaluator_;
+  ResultCache cache_;
+
+  // Telemetry (null when Options::metrics is null).
+  obs::PhaseProfiler profiler_;
+  obs::Counter* m_queries_ = nullptr;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_coalesced_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Histo* m_latency_ms_ = nullptr;
+
+  mutable std::mutex smu_;  // guards systems_
+  std::vector<RegisteredSystem> systems_;
+
+  // Queue state.  qmu_ is the synchronization backbone: the queue, the
+  // in-flight table, and the stop flag all live under it, and the
+  // cache-insert-before-inflight-erase ordering (see file comment) rides
+  // on its acquire/release.
+  mutable std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<CacheKey, std::shared_ptr<Job>> inflight_;
+  bool stop_ = true;      // flips false in start(), true in shutdown()
+  bool started_ = false;  // driver thread launched
+
+  std::atomic<uint64_t> n_queries_{0};
+  std::atomic<uint64_t> n_hits_{0};
+  std::atomic<uint64_t> n_misses_{0};
+  std::atomic<uint64_t> n_coalesced_{0};
+  std::atomic<uint64_t> n_shed_{0};
+  std::atomic<uint64_t> n_evaluated_{0};
+
+  std::thread driver_;
+};
+
+}  // namespace anton::svc

@@ -285,6 +285,32 @@ TEST(Histogram, QuantileFinalPopulatedBinNotHi) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
 }
 
+TEST(Histogram, TailQuantileBoundaryIsExact) {
+  // 99 samples in bin 0 and one in the top bin: p99's target mass
+  // (0.99 * 100 = 99) is satisfied exactly at the end of bin 0, so p99 must
+  // be bin 0's top edge — not slide into the outlier's bin — while any
+  // q > 0.99 must land inside the outlier's bin.  This is the service's
+  // latency-tail shape: a dense fast mode plus rare slow evaluations.
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 99; ++i) h.add(0.5);
+  h.add(99.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+  EXPECT_GE(h.quantile(0.995), 99.0);
+  EXPECT_LE(h.quantile(0.995), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5 * 100.0 / 99.0);
+}
+
+TEST(Histogram, QuantilesAreMonotoneInQ) {
+  Histogram h(0.0, 50.0, 25);
+  for (int i = 0; i < 1000; ++i) h.add((i * 7 % 500) / 10.0);
+  double prev = h.quantile(0.0);
+  for (double q : {0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
 TEST(Histogram, OutOfRangeAndNonFiniteClamp) {
   Histogram h(0.0, 10.0, 4);
   h.add(-1e308);

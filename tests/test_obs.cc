@@ -427,6 +427,25 @@ TEST(MetricsRegistry, HistogramExportsP95InJsonAndCsv) {
   EXPECT_LT(snap.quantile(0.95), 100.0);
 }
 
+TEST(MetricsRegistry, HistogramExportsP99InJsonAndCsv) {
+  obs::MetricsRegistry reg;
+  obs::Histo* h = reg.histogram("svc.latency_ms", 0, 100, 100);
+  // Bimodal latency: dense fast mode, 1% slow tail — the shape p99 exists
+  // to expose (p95 sits in the fast mode, p99 at its very edge).
+  for (int i = 0; i < 990; ++i) h->add(2.5);
+  for (int i = 0; i < 10; ++i) h->add(80.5);
+  const std::string j = reg.json();
+  EXPECT_NE(j.find("\"p99\":"), std::string::npos);
+  std::ostringstream os;
+  reg.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("svc.latency_ms,p99,"), std::string::npos) << csv;
+  const Histogram snap = h->snapshot();
+  EXPECT_LT(snap.quantile(0.95), 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.99), 3.0);  // exact top of the fast bin
+  EXPECT_GT(snap.quantile(0.999), 80.0);
+}
+
 // ---------------------------------------------------------------------------
 // Hardware counters: real where permitted, graceful everywhere else.
 

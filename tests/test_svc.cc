@@ -1,0 +1,545 @@
+// EstimatorService: the contracts the daemon is built on.
+//
+//   * cache keys are content-addressed: identical config/workload content
+//     gives identical keys no matter where the objects live, telemetry
+//     sink paths are excluded, and every model parameter perturbs the key;
+//   * a cache hit is *bitwise* identical to a fresh recompute — every
+//     double, including the per-phase breakdown maps;
+//   * each distinct key evaluates exactly once no matter how many
+//     concurrent duplicate queries race (the hammer test doubles as the
+//     TSan workout: build with -DANTON_SANITIZE=thread and run
+//     `ctest -L sanitize-thread -R Svc`);
+//   * admission control sheds deterministically when the queue is full,
+//     and shutdown drains every accepted job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "arch/config.h"
+#include "chem/builder.h"
+#include "common/config.h"
+#include "common/threadpool.h"
+#include "core/machine.h"
+#include "obs/metrics.h"
+#include "svc/cache_key.h"
+#include "svc/result_cache.h"
+#include "svc/service.h"
+
+namespace anton::svc {
+namespace {
+
+const System& small_system() {
+  static const System sys = [] {
+    BuilderOptions opt;
+    opt.total_atoms = 2048;
+    opt.temperature_k = -1;
+    return build_solvated_system(opt);
+  }();
+  return sys;
+}
+
+// Every double must match to the last bit — including the map-valued phase
+// breakdowns.  (Mirrors the SweepRunner determinism contract.)
+void expect_bitwise_equal(const core::PerfReport& a,
+                          const core::PerfReport& b) {
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.atoms, b.atoms);
+  for (const core::StepTiming* s : {&a.full_step, &a.short_step}) {
+    const core::StepTiming* t =
+        s == &a.full_step ? &b.full_step : &b.short_step;
+    EXPECT_EQ(s->step_ns, t->step_ns);
+    EXPECT_EQ(s->exec.makespan_ns, t->exec.makespan_ns);
+    EXPECT_EQ(s->exec.tasks_executed, t->exec.tasks_executed);
+    EXPECT_EQ(s->exec.phase_busy_ns, t->exec.phase_busy_ns);
+    EXPECT_EQ(s->exec.phase_end_ns, t->exec.phase_end_ns);
+    EXPECT_EQ(s->exec.critical_path_ns, t->exec.critical_path_ns);
+    EXPECT_EQ(s->exec.critical_wait_ns, t->exec.critical_wait_ns);
+    EXPECT_EQ(s->exec.noc.messages, t->exec.noc.messages);
+    EXPECT_EQ(s->exec.noc.total_bytes, t->exec.noc.total_bytes);
+  }
+  EXPECT_EQ(a.avg_step_ns(), b.avg_step_ns());
+  EXPECT_EQ(a.us_per_day(), b.us_per_day());
+}
+
+// ---------------------------------------------------------------------------
+// Cache keys.
+
+TEST(CacheKey, SameContentSameKeyAcrossObjects) {
+  const uint64_t sd = system_digest(small_system());
+  const arch::MachineConfig a = arch::MachineConfig::anton2(4, 4, 4);
+  const arch::MachineConfig b = arch::MachineConfig::anton2(4, 4, 4);
+  EXPECT_EQ(query_key(a, sd, 2.5, 2), query_key(b, sd, 2.5, 2));
+}
+
+TEST(CacheKey, EveryModelParameterPerturbsTheKey) {
+  const uint64_t sd = system_digest(small_system());
+  const arch::MachineConfig base = arch::MachineConfig::anton2(4, 4, 4);
+  const CacheKey k0 = query_key(base, sd, 2.5, 2);
+
+  arch::MachineConfig m = base;
+  m.gc_clock_ghz += 0.1;
+  EXPECT_NE(query_key(m, sd, 2.5, 2), k0);
+
+  m = base;
+  m.noc.link_bandwidth_gbs *= 2;
+  EXPECT_NE(query_key(m, sd, 2.5, 2), k0);
+
+  m = base;
+  m.use_multicast = !m.use_multicast;
+  EXPECT_NE(query_key(m, sd, 2.5, 2), k0);
+
+  m = base;
+  m.noc.derated_links.push_back({0, 0, 0.5});
+  EXPECT_NE(query_key(m, sd, 2.5, 2), k0);
+
+  m = base;
+  m.name += "x";
+  EXPECT_NE(query_key(m, sd, 2.5, 2), k0);
+
+  // Workload parameters and the system fingerprint are part of the key.
+  EXPECT_NE(query_key(base, sd, 2.0, 2), k0);
+  EXPECT_NE(query_key(base, sd, 2.5, 3), k0);
+  EXPECT_NE(query_key(base, sd + 1, 2.5, 2), k0);
+}
+
+TEST(CacheKey, TelemetrySinkPathsAreExcluded) {
+  const uint64_t sd = system_digest(small_system());
+  const arch::MachineConfig base = arch::MachineConfig::anton2(4, 4, 4);
+  arch::MachineConfig traced = base;
+  traced.trace_path = "/tmp/trace.json";
+  traced.metrics_path = "/tmp/metrics.json";
+  EXPECT_EQ(query_key(traced, sd, 2.5, 2), query_key(base, sd, 2.5, 2));
+}
+
+TEST(CacheKey, SignedZeroIsConservativelyDistinct) {
+  // Doubles are keyed by bit pattern: +0.0 and -0.0 compare equal but hash
+  // apart.  That costs at most a duplicate cache entry, never a wrong hit.
+  const uint64_t sd = system_digest(small_system());
+  arch::MachineConfig pos = arch::MachineConfig::anton2(4, 4, 4);
+  arch::MachineConfig neg = pos;
+  pos.barrier_base_ns = 0.0;
+  neg.barrier_base_ns = -0.0;
+  EXPECT_NE(query_key(pos, sd, 2.5, 2), query_key(neg, sd, 2.5, 2));
+}
+
+TEST(CacheKey, SystemDigestTracksContent) {
+  BuilderOptions opt;
+  opt.total_atoms = 2048;
+  opt.temperature_k = -1;
+  const System a = build_solvated_system(opt);
+  const System a2 = build_solvated_system(opt);
+  opt.seed += 1;
+  const System b = build_solvated_system(opt);
+  EXPECT_EQ(system_digest(a), system_digest(a2));
+  EXPECT_NE(system_digest(a), system_digest(b));
+}
+
+// ---------------------------------------------------------------------------
+// Result cache.
+
+core::PerfReport synthetic_report(int seed) {
+  core::PerfReport r;
+  r.machine = "synthetic-" + std::to_string(seed);
+  r.nodes = seed;
+  r.atoms = 100 * seed;
+  r.full_step.step_ns = 1000.0 + seed;
+  r.short_step.step_ns = 500.0 + seed;
+  r.full_step.exec.phase_busy_ns["pair"] = 17.0 * seed;
+  r.full_step.exec.phase_end_ns["fft"] = 23.0 * seed;
+  return r;
+}
+
+CacheKey synthetic_key(uint64_t i) {
+  KeyHasher h;
+  h.absorb_u64(i);
+  return h.digest();
+}
+
+TEST(ResultCache, InsertLookupRoundTrip) {
+  ResultCache cache(1 << 20);
+  const CacheKey k = synthetic_key(7);
+  core::PerfReport out;
+  EXPECT_FALSE(cache.lookup(k, &out));
+  ASSERT_TRUE(cache.insert(k, synthetic_report(7)));
+  ASSERT_TRUE(cache.lookup(k, &out));
+  expect_bitwise_equal(out, synthetic_report(7));
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.entries, 1u);
+}
+
+TEST(ResultCache, EvictionKeepsMemoryBounded) {
+  ResultCache cache(64 * 1024);  // floor budget: 4 KiB per shard
+  for (uint64_t i = 0; i < 4096; ++i) {
+    cache.insert(synthetic_key(i), synthetic_report(static_cast<int>(i)));
+  }
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_LE(st.bytes, cache.max_bytes());
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_GT(st.entries, 0u);
+  // Entries that survived must still read back exactly.
+  uint64_t verified = 0;
+  for (uint64_t i = 0; i < 4096; ++i) {
+    core::PerfReport out;
+    if (cache.lookup(synthetic_key(i), &out)) {
+      expect_bitwise_equal(out, synthetic_report(static_cast<int>(i)));
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+TEST(ResultCache, OversizeReportIsNotCached) {
+  ResultCache cache(64 * 1024);  // shard budget 4 KiB
+  core::PerfReport big = synthetic_report(1);
+  big.machine.reserve(64 * 1024);
+  EXPECT_GT(report_bytes(big), size_t{4} * 1024);
+  EXPECT_FALSE(cache.insert(synthetic_key(1), big));
+  core::PerfReport out;
+  EXPECT_FALSE(cache.lookup(synthetic_key(1), &out));
+}
+
+TEST(ResultCache, ReportBytesCountsHeapState) {
+  const core::PerfReport empty;
+  core::PerfReport mapped = empty;
+  for (int i = 0; i < 32; ++i) {
+    mapped.full_step.exec.phase_busy_ns["phase" + std::to_string(i)] = i;
+  }
+  EXPECT_GT(report_bytes(mapped), report_bytes(empty));
+}
+
+// ---------------------------------------------------------------------------
+// Service: bitwise hits, exactly-once evaluation, concurrency.
+
+std::shared_ptr<const arch::MachineConfig> shared_anton2(int nx, int ny,
+                                                         int nz) {
+  return std::make_shared<const arch::MachineConfig>(
+      arch::MachineConfig::anton2(nx, ny, nz));
+}
+
+TEST(EstimatorService, CacheHitIsBitwiseIdenticalToRecompute) {
+  ThreadPool pool(2);
+  EstimatorService::Options opt;
+  opt.pool = &pool;
+  EstimatorService service(opt);
+  const int sys_id = service.register_system(small_system());
+  service.start();
+
+  const auto points = {shared_anton2(2, 2, 2), shared_anton2(2, 2, 4)};
+  for (const auto& mc : points) {
+    for (const double dt : {2.0, 2.5}) {
+      const QueryResult first = service.query(mc, sys_id, dt);
+      ASSERT_EQ(first.status, Status::kMiss);
+      const QueryResult again = service.query(mc, sys_id, dt);
+      ASSERT_EQ(again.status, Status::kHit);
+      expect_bitwise_equal(again.report, first.report);
+      // The gold answer: a fresh single-threaded estimate, no service.
+      const core::AntonMachine machine(mc);
+      expect_bitwise_equal(again.report,
+                           machine.estimate(small_system(), dt));
+    }
+  }
+  service.shutdown();
+}
+
+TEST(EstimatorService, HammerEvaluatesEachDistinctKeyExactlyOnce) {
+  ThreadPool pool(4);
+  EstimatorService::Options opt;
+  opt.pool = &pool;
+  opt.queue_depth = 1024;  // never shed in this test
+  EstimatorService service(opt);
+  const int sys_id = service.register_system(small_system());
+  service.start();
+
+  const std::vector<std::shared_ptr<const arch::MachineConfig>> grid = {
+      shared_anton2(2, 2, 2), shared_anton2(2, 2, 4), shared_anton2(2, 4, 4),
+      shared_anton2(4, 4, 4)};
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 32;
+
+  std::vector<core::PerfReport> first_seen(grid.size());
+  std::vector<std::once_flag> once(grid.size());
+  std::vector<std::thread> clients;
+  std::atomic<int> rejected{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const size_t i = static_cast<size_t>(c + q) % grid.size();
+        const QueryResult r = service.query(grid[i], sys_id);
+        if (r.status == Status::kShed || r.status == Status::kShutdown) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        std::call_once(once[i], [&] { first_seen[i] = r.report; });
+        expect_bitwise_equal(r.report, first_seen[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.shutdown();
+
+  const EstimatorService::Stats st = service.stats();
+  EXPECT_EQ(rejected.load(), 0);
+  EXPECT_EQ(st.evaluated, grid.size());
+  EXPECT_EQ(st.queries, uint64_t{kClients} * kQueriesPerClient);
+  EXPECT_EQ(st.hits + st.misses + st.coalesced, st.queries);
+  EXPECT_EQ(st.misses, grid.size());
+}
+
+// A gate the tests use to hold workers mid-evaluation, making coalescing,
+// queue buildup, and load-shedding observable without timing assumptions.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+
+  void enter_and_wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [this] { return open; });
+  }
+  void wait_entered(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered >= n; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+EstimatorService::Options gated_options(ThreadPool* pool, Gate* gate,
+                                        size_t queue_depth) {
+  EstimatorService::Options opt;
+  opt.pool = pool;
+  opt.queue_depth = queue_depth;
+  opt.evaluator = [gate](const arch::MachineConfig& mc, const System&,
+                         double dt_fs, int respa_k) {
+    gate->enter_and_wait();
+    core::PerfReport r;
+    r.machine = mc.name;
+    r.nodes = mc.noc.num_nodes();
+    r.dt_fs = dt_fs;
+    r.respa_k = respa_k;
+    r.full_step.step_ns = 1000.0 * dt_fs;
+    r.short_step.step_ns = 400.0 * dt_fs;
+    return r;
+  };
+  return opt;
+}
+
+TEST(EstimatorService, DuplicateInFlightQueriesCoalesce) {
+  ThreadPool pool(1);  // exactly one worker
+  Gate gate;
+  EstimatorService service(gated_options(&pool, &gate, 8));
+  const int sys_id = service.register_system(small_system());
+  service.start();
+
+  const auto mc = shared_anton2(2, 2, 2);
+  std::thread submitter([&] {
+    const QueryResult r = service.query(mc, sys_id);
+    EXPECT_EQ(r.status, Status::kMiss);
+  });
+  gate.wait_entered(1);  // worker is now inside the evaluation
+
+  // While the evaluation is pinned, a duplicate query must attach to it —
+  // with one worker and the job already in flight, nothing else can run it.
+  std::thread twin([&] {
+    const QueryResult r = service.query(mc, sys_id);
+    EXPECT_EQ(r.status, Status::kCoalesced);
+    EXPECT_EQ(r.report.nodes, 8);
+  });
+  // The twin is coalesced as soon as its query() returns; it cannot finish
+  // before the gate opens, so joining after release() observes the status.
+  while (service.stats().coalesced == 0) {
+    std::this_thread::yield();
+  }
+  gate.release();
+  submitter.join();
+  twin.join();
+  service.shutdown();
+
+  const EstimatorService::Stats st = service.stats();
+  EXPECT_EQ(st.evaluated, 1u);
+  EXPECT_EQ(st.coalesced, 1u);
+}
+
+TEST(EstimatorService, FullQueueShedsWithExplicitStatus) {
+  ThreadPool pool(1);
+  Gate gate;
+  EstimatorService service(gated_options(&pool, &gate, /*queue_depth=*/1));
+  const int sys_id = service.register_system(small_system());
+  service.start();
+
+  // Job A occupies the only worker; job B fills the queue (depth 1).
+  std::thread a([&] {
+    EXPECT_EQ(service.query(shared_anton2(2, 2, 2), sys_id).status,
+              Status::kMiss);
+  });
+  gate.wait_entered(1);
+  std::thread b([&] {
+    EXPECT_EQ(service.query(shared_anton2(2, 2, 4), sys_id).status,
+              Status::kMiss);
+  });
+  while (service.stats().queued < 1) {
+    std::this_thread::yield();
+  }
+
+  // Queue full: a third distinct query is rejected immediately, no block.
+  const QueryResult c = service.query(shared_anton2(2, 4, 4), sys_id);
+  EXPECT_EQ(c.status, Status::kShed);
+
+  gate.release();
+  a.join();
+  b.join();
+  service.shutdown();
+  const EstimatorService::Stats st = service.stats();
+  EXPECT_EQ(st.shed, 1u);
+  EXPECT_EQ(st.evaluated, 2u);
+}
+
+TEST(EstimatorService, ShutdownDrainsEveryAcceptedJob) {
+  ThreadPool pool(1);
+  Gate gate;
+  EstimatorService service(gated_options(&pool, &gate, 8));
+  const int sys_id = service.register_system(small_system());
+  service.start();
+
+  constexpr int kJobs = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> completed{0};
+  for (int j = 0; j < kJobs; ++j) {
+    clients.emplace_back([&, j] {
+      const QueryResult r = service.query(shared_anton2(2, 2, 2 + j), sys_id);
+      EXPECT_EQ(r.status, Status::kMiss);
+      completed.fetch_add(1);
+    });
+  }
+  gate.wait_entered(1);  // one in flight; the rest pile into the queue
+  while (service.stats().queued < kJobs - 1) {
+    std::this_thread::yield();
+  }
+
+  // Shutdown must drain: every accepted job completes, no waiter hangs.
+  std::thread stopper([&] { service.shutdown(); });
+  gate.release();
+  stopper.join();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(completed.load(), kJobs);
+  EXPECT_EQ(service.stats().evaluated, uint64_t{kJobs});
+  EXPECT_FALSE(service.running());
+}
+
+TEST(EstimatorService, QueriesOutsideRunningWindowReturnShutdown) {
+  ThreadPool pool(1);
+  EstimatorService::Options opt;
+  opt.pool = &pool;
+  EstimatorService service(opt);
+  const int sys_id = service.register_system(small_system());
+
+  // No workers yet: a miss cannot evaluate, so it reports kShutdown.
+  EXPECT_EQ(service.query(shared_anton2(2, 2, 2), sys_id).status,
+            Status::kShutdown);
+
+  service.start();
+  EXPECT_EQ(service.query(shared_anton2(2, 2, 2), sys_id).status,
+            Status::kMiss);
+  service.shutdown();
+
+  // After shutdown the cache still answers; misses are rejected.
+  EXPECT_EQ(service.query(shared_anton2(2, 2, 2), sys_id).status,
+            Status::kHit);
+  EXPECT_EQ(service.query(shared_anton2(2, 2, 4), sys_id).status,
+            Status::kShutdown);
+}
+
+TEST(EstimatorService, TelemetryPathsAreStrippedBeforeEvaluation) {
+  ThreadPool pool(1);
+  EstimatorService::Options opt;
+  opt.pool = &pool;
+  EstimatorService service(opt);
+  const int sys_id = service.register_system(small_system());
+  service.start();
+
+  arch::MachineConfig traced = arch::MachineConfig::anton2(2, 2, 2);
+  traced.trace_path = "should_not_be_written.json";
+  traced.metrics_path = "should_not_be_written_either.json";
+  EXPECT_EQ(service.query(traced, sys_id).status, Status::kMiss);
+  // Same model content without the sink paths: same key, so a hit.
+  EXPECT_EQ(service.query(arch::MachineConfig::anton2(2, 2, 2), sys_id).status,
+            Status::kHit);
+  service.shutdown();
+  EXPECT_FALSE(std::ifstream("should_not_be_written.json").good());
+  EXPECT_FALSE(std::ifstream("should_not_be_written_either.json").good());
+}
+
+TEST(EstimatorService, RegistersSvcMetrics) {
+  ThreadPool pool(2);
+  obs::MetricsRegistry metrics;
+  EstimatorService::Options opt;
+  opt.pool = &pool;
+  opt.metrics = &metrics;
+  EstimatorService service(opt);
+  const int sys_id = service.register_system(small_system());
+  service.start();
+  service.query(shared_anton2(2, 2, 2), sys_id);
+  service.query(shared_anton2(2, 2, 2), sys_id);
+  service.shutdown();
+
+  EXPECT_EQ(metrics.counter("svc.queries")->value(), 2u);
+  EXPECT_EQ(metrics.counter("svc.hits")->value(), 1u);
+  EXPECT_EQ(metrics.counter("svc.misses")->value(), 1u);
+  EXPECT_EQ(metrics.counter("svc.shed")->value(), 0u);
+  EXPECT_EQ(metrics.histogram("svc.latency_ms", 0, 256, 1024)
+                ->snapshot()
+                .total(),
+            2u);
+  // The latency histogram exports p50/p95/p99 like every Histo.
+  const std::string j = metrics.json();
+  EXPECT_NE(j.find("svc.latency_ms"), std::string::npos);
+  EXPECT_NE(j.find("\"p99\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Service flags.
+
+TEST(SvcFlags, ParsesGnuStyleForms) {
+  const Config cfg = Config::from_tokens(
+      {"--svc-threads", "4", "--svc-cache-mb=16", "--svc-queue-depth", "8"});
+  const SvcFlags f = SvcFlags::from_config(cfg);
+  EXPECT_EQ(f.threads, 4);
+  EXPECT_EQ(f.cache_mb, 16);
+  EXPECT_EQ(f.queue_depth, 8);
+  EXPECT_EQ(f.cache_bytes(), size_t{16} * 1024 * 1024);
+}
+
+TEST(SvcFlags, DefaultsAreDocumentedValues) {
+  const SvcFlags f = SvcFlags::from_config(Config::from_tokens({}));
+  EXPECT_EQ(f.threads, 0);
+  EXPECT_EQ(f.cache_mb, 64);
+  EXPECT_EQ(f.queue_depth, 256);
+}
+
+TEST(SvcFlags, RejectsNonPositiveKnobs) {
+  Config cfg;
+  cfg.set("svc-cache-mb", "0");
+  EXPECT_THROW(SvcFlags::from_config(cfg), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace anton::svc
