@@ -104,9 +104,9 @@ step "threaded parity (serial vs threaded kernels, bitwise where promised)"
 ctest --test-dir build --output-on-failure -j"$JOBS" \
   -R 'test_md_threaded|test_determinism|test_fft'
 
-step "DES core (zero-allocation steady state + sweep parity)"
+step "DES core (zero-allocation steady state + sweep parity + shard determinism)"
 ctest --test-dir build --output-on-failure -j"$JOBS" \
-  -R 'DesNoAlloc|SweepRunner|EventQueue'
+  -R 'DesNoAlloc|SweepRunner|EventQueue|Pdes|ParallelEngine'
 
 # The estimator service's concurrency claims (exactly-once evaluation,
 # coalescing, bounded queue, drain-on-shutdown) are only as good as their
@@ -118,6 +118,14 @@ cmake -B build-thread -S . -DANTON_SANITIZE=thread -DANTON_SIMD=scalar \
 cmake --build build-thread --target test_svc -j"$JOBS"
 ctest --test-dir build-thread --output-on-failure -j"$JOBS" \
   -L sanitize-thread -R 'EstimatorService|ResultCache|CacheKey'
+
+# The parallel DES engine's plain (non-atomic) mailbox indices and stat
+# lanes rely on the ThreadPool dispatch rendezvous for ordering; TSan on the
+# determinism suite is what shows that reliance is sound, not luck.
+step "parallel-DES TSan pass (build-thread/, pdes tests only)"
+cmake --build build-thread --target test_pdes -j"$JOBS"
+ctest --test-dir build-thread --output-on-failure -j"$JOBS" \
+  -L sanitize-thread -R 'Pdes|ParallelEngine'
 
 step "service load smoke (estimator daemon end-to-end)"
 ./build/examples/sweep_service atoms=3000 queries=160 clients=8 \
@@ -136,7 +144,7 @@ print(f\"service smoke OK: {int(hits)}/160 hits, \"
       f\"p99 {m['svc.latency_ms']['p99']:.2f} ms\")
 "
 
-step "bench smoke (BENCH_f6.json + BENCH_f7.json + BENCH_f8.json + BENCH_f9.json)"
+step "bench smoke (BENCH_f6.json ... BENCH_f10.json)"
 cmake --build build --target bench-smoke -j"$JOBS"
 python3 - <<'EOF'
 import json
@@ -186,12 +194,25 @@ assert speedup >= 5.0, f'service throughput regressed: {speedup:.2f}x < 5x'
 assert m['f9.verify.match']['value'] == 1, 'cache hit diverged from recompute'
 assert m['f9.shed']['value'] == 0, 'service shed during the throughput run'
 "
+python3 -c "
+import json
+doc = json.load(open('build/BENCH_f10.json'))
+assert doc.get('schema') == 'anton.metrics.v1', doc.get('schema')
+m = doc['metrics']
+speedup = m['f10.storm.speedup']['value']
+print(f'parallel DES at 8 shards over legacy serial kernel: {speedup:.2f}x')
+assert speedup >= 3.0, f'parallel-DES speedup regressed: {speedup:.2f}x < 3x'
+assert m['f10.storm.clock_match']['value'] == 1, \
+    'sharded storm clock diverged from the serial kernel'
+assert m['f10.runner.match']['value'] == 1, \
+    'sharded timestep makespan diverged from the serial engine'
+"
 
 step "bench regression gate (tools/bench_compare.py)"
 # Fresh results vs committed baselines: advisory here because absolute times
 # vary host-to-host (the hard floors above are the portable gates), but the
 # full report lands in the log and one summary line per file in the history.
-for f in f6 f7 f8 f9; do
+for f in f6 f7 f8 f9 f10; do
   python3 tools/bench_compare.py "bench/BENCH_$f.json" "build/BENCH_$f.json" \
     --advisory --append-history "build/bench_history.jsonl"
 done

@@ -110,12 +110,12 @@ int Torus::hop_count(int src, int dst) const {
   return hops;
 }
 
-sim::SimTime Torus::traverse(std::span<const LinkId> links,
+sim::SimTime Torus::traverse(sim::SimTime now, std::span<const LinkId> links,
                              double wire_bytes) {
   ANTON_HOT_NOALLOC();
   const double base_ser_ns =
       wire_bytes / config_.link_bandwidth_gbs;  // B / (GB/s) = ns
-  sim::SimTime head = queue_->now() + config_.injection_overhead_ns;
+  sim::SimTime head = now + config_.injection_overhead_ns;
   double last_ser_ns = base_ser_ns;
   for (const auto& l : links) {
     const size_t idx = static_cast<size_t>(link_index(l));
@@ -137,7 +137,8 @@ sim::SimTime Torus::traverse(std::span<const LinkId> links,
   return head + last_ser_ns;
 }
 
-sim::SimTime Torus::plan_unicast(int src, int dst, double bytes) {
+sim::SimTime Torus::plan_unicast_at(sim::SimTime now, int src, int dst,
+                                    double bytes) {
   ANTON_HOT_NOALLOC();
   ANTON_CHECK(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes());
   ANTON_CHECK(bytes >= 0);
@@ -145,24 +146,25 @@ sim::SimTime Torus::plan_unicast(int src, int dst, double bytes) {
   sim::SimTime deliver;
   int hops = 0;
   if (src == dst) {
-    deliver = queue_->now() + config_.injection_overhead_ns;
+    deliver = now + config_.injection_overhead_ns;
   } else {
     route_scratch_.clear();
     route_into(src, dst, route_scratch_);
     hops = static_cast<int>(route_scratch_.size());
-    deliver = traverse(route_scratch_, wire_bytes);
+    deliver = traverse(now, route_scratch_, wire_bytes);
   }
   stats_.messages++;
   // total_bytes counts link-bytes (payload × links traversed) so unicast and
   // multicast accounting are comparable.
   stats_.total_bytes += wire_bytes * std::max(1, hops);
-  stats_.latency_ns.add(deliver - queue_->now());
+  stats_.latency_ns.add(deliver - now);
   stats_.hops.add(hops);
-  observe_delivery(src, dst, wire_bytes, hops, deliver);
+  observe_delivery(now, src, dst, wire_bytes, hops, deliver);
   return deliver;
 }
 
-void Torus::plan_multicast(int src, std::span<const int> dsts, double bytes) {
+void Torus::plan_multicast_at(sim::SimTime now, int src,
+                              std::span<const int> dsts, double bytes) {
   ANTON_HOT_NOALLOC();
   ANTON_CHECK(bytes >= 0);
   const double wire_bytes = bytes + config_.packet_overhead_bytes;
@@ -177,7 +179,7 @@ void Torus::plan_multicast(int src, std::span<const int> dsts, double bytes) {
   mcast_deliver_.resize(  // anton-lint: allow(hot-alloc) amortized scratch
       dsts.size());
   uint64_t tree_links = 0;
-  const sim::SimTime inject = queue_->now() + config_.injection_overhead_ns;
+  const sim::SimTime inject = now + config_.injection_overhead_ns;
 
   for (size_t di = 0; di < dsts.size(); ++di) {
     const int dst = dsts[di];
@@ -216,9 +218,9 @@ void Torus::plan_multicast(int src, std::span<const int> dsts, double bytes) {
     const sim::SimTime deliver = head + (dst == src ? 0.0 : last_ser_ns);
     mcast_deliver_[di] = deliver;
     stats_.messages++;
-    stats_.latency_ns.add(deliver - queue_->now());
+    stats_.latency_ns.add(deliver - now);
     stats_.hops.add(hops);
-    observe_delivery(src, dst, wire_bytes, hops, deliver);
+    observe_delivery(now, src, dst, wire_bytes, hops, deliver);
   }
   // Actual tree traffic: one payload per tree link.
   stats_.total_bytes += wire_bytes * static_cast<double>(tree_links);
@@ -246,18 +248,18 @@ void Torus::set_telemetry(obs::MetricsRegistry* registry,
                                   std::max(1, diameter + 1));
 }
 
-void Torus::observe_delivery(int src, int dst, double bytes, int hops,
-                             sim::SimTime deliver) {
+void Torus::observe_delivery(sim::SimTime now, int src, int dst, double bytes,
+                             int hops, sim::SimTime deliver) {
   obs::flight::record_sim(
-      obs::flight::Kind::kNocSend, "noc.send", queue_->now(),
+      obs::flight::Kind::kNocSend, "noc.send", now,
       (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
           static_cast<uint32_t>(dst));
   if (tel_messages_ != nullptr) tel_messages_->add();
-  if (tel_latency_ != nullptr) tel_latency_->add(deliver - queue_->now());
+  if (tel_latency_ != nullptr) tel_latency_->add(deliver - now);
   if (tel_hops_ != nullptr) tel_hops_->add(double(hops));
   if (trace_ != nullptr) {
-    trace_->complete("packet", "noc", queue_->now() * 1e-3,
-                     (deliver - queue_->now()) * 1e-3, obs::kPidNoc,
+    trace_->complete("packet", "noc", now * 1e-3,
+                     (deliver - now) * 1e-3, obs::kPidNoc,
                      src,
                      {{"dst", double(dst)},
                       {"bytes", bytes},
@@ -295,25 +297,56 @@ void Torus::export_link_occupancy(obs::MetricsRegistry* registry,
 }
 
 void Torus::check_quiescent() const {
-  ANTON_CHECK_MSG(delivered_ == injected_,
-                  "packet conservation violated: injected "
-                      << injected_ << " delivered " << delivered_ << " ("
-                      << injected_ - delivered_ << " in flight)");
+  check_conservation();
   // Pool recycle half of the invariant: every delivered packet's callable
   // slot must have been returned to the queue's free list — the arena
   // balances (slots == free + pending) or a slot leaked / double-freed.
   queue_->check_arena();
 }
 
+void Torus::set_shard_lanes(int lanes) {
+  ANTON_CHECK_MSG(lanes >= 0, "shard lane count must be non-negative");
+  for (const auto& lane : delivered_lanes_) {
+    ANTON_CHECK_MSG(lane.v == 0, "resizing shard lanes with unfolded counts");
+  }
+  delivered_lanes_.assign(static_cast<size_t>(lanes), PadCount{});
+}
+
+void Torus::fold_shard_lanes() {
+  for (auto& lane : delivered_lanes_) {
+    delivered_ += lane.v;
+    lane.v = 0;
+  }
+}
+
+void Torus::check_conservation() const {
+  // In sharded runs the caller must fold_shard_lanes() first so delivered_
+  // holds the torus-wide total; an unfolded lane here is itself a bug.
+  for (const auto& lane : delivered_lanes_) {
+    ANTON_CHECK_MSG(lane.v == 0,
+                    "conservation check with unfolded shard lanes");
+  }
+  ANTON_CHECK_MSG(delivered_ == injected_,
+                  "packet conservation violated: injected "
+                      << injected_ << " delivered " << delivered_ << " ("
+                      << injected_ - delivered_ << " in flight)");
+}
+
 const NocStats& Torus::stats() {
   // Conservation: the model must never deliver a packet it did not inject,
   // and every packet still in flight holds exactly one pending event (its
   // pooled delivery callable) — fewer pending events than in-flight packets
-  // means a delivery event was lost or its slot recycled early.
-  ANTON_CHECK_INVARIANT(delivered_ <= injected_,
+  // means a delivery event was lost or its slot recycled early.  The
+  // delivered side is only current between barriers when running sharded
+  // (per-shard lanes fold in lazily), so both checks are skipped until the
+  // lanes are detached or folded to zero in-flight.
+  const bool lanes_armed = !delivered_lanes_.empty();
+  (void)lanes_armed;  // invariants compile out in release
+  ANTON_CHECK_INVARIANT(lanes_armed || delivered_ <= injected_,
                         "packet over-delivery: injected "
                             << injected_ << " delivered " << delivered_);
-  ANTON_CHECK_INVARIANT(injected_ - delivered_ <= queue_->pending(),
+  ANTON_CHECK_INVARIANT(lanes_armed ||
+                            injected_ - delivered_ <= queue_->pending(),
                         "in-flight packets ("
                             << injected_ - delivered_
                             << ") exceed pending events ("

@@ -130,6 +130,7 @@ const char* kind_name(Kind k) {
     case Kind::kDesEvent: return "des.event";
     case Kind::kNocSend: return "noc.send";
     case Kind::kInvariant: return "invariant";
+    case Kind::kPdesWindow: return "pdes.window";
   }
   return "unknown";
 }

@@ -1,0 +1,107 @@
+// Cross-shard mailboxes for the parallel discrete-event engine.
+//
+// A ShardRing<T> is a pre-sized single-producer/single-consumer ring.  The
+// producer is the one worker thread executing the source shard's window; the
+// consumer is the coordinating thread draining at the window barrier.  The
+// two phases never overlap — the thread pool's fork/join rendezvous
+// publishes all producer writes before the barrier code runs, and the next
+// window's dispatch publishes the consumer's index updates back — so the
+// indices are deliberately *plain* integers: any unsynchronized access is a
+// real bug TSan should report, not one atomics would paper over.
+//
+// Capacity is fixed at init() time (sized from the topology or workload);
+// overflow is a hard check, never a reallocation, so the steady-state send
+// path touches no allocator.
+//
+// Parcel is the payload the engine's post() path carries: an event time, a
+// 64-bit canonical ordering key, and the pooled inline callable.  The key
+// must embed the *logical* producer identity (node id, chain id — anything
+// independent of the shard count), because the barrier sorts parcels by
+// (time, key, seq) before insertion and that order is what makes execution
+// reproducible at every shard count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/event_queue.h"  // SimTime + InlineFn
+
+namespace anton::sim {
+
+template <class T>
+class ShardRing {
+ public:
+  ShardRing() = default;
+
+  // Sizes the ring for `capacity` undrained entries.  Allowed only while the
+  // ring is empty (construction or between runs).
+  void init(size_t capacity) {
+    ANTON_CHECK_MSG(head_ == tail_, "resizing a non-empty mailbox ring");
+    if (capacity > buf_.size()) buf_.resize(capacity);
+    head_ = tail_ = 0;
+  }
+
+  size_t capacity() const { return buf_.size(); }
+  size_t size() const { return static_cast<size_t>(head_ - tail_); }
+  bool empty() const { return head_ == tail_; }
+
+  // Producer side (source shard's worker, during a window).
+  void push(T&& v) {
+    ANTON_HOT_NOALLOC();
+    ANTON_CHECK_MSG(size() < buf_.size(),
+                    "mailbox ring overflow at " << buf_.size()
+                        << " entries; pre-size the ring for this workload");
+    buf_[static_cast<size_t>(head_ % buf_.size())] = std::move(v);
+    ++head_;
+    ++enqueued_;
+  }
+
+  // Consumer side (coordinator, at the window barrier).
+  T& front() {
+    ANTON_CHECK(!empty());
+    return buf_[static_cast<size_t>(tail_ % buf_.size())];
+  }
+  void pop() {
+    ANTON_HOT_NOALLOC();
+    ANTON_CHECK(!empty());
+    ++tail_;
+    ++drained_;
+  }
+
+  // Lifetime traffic counters for the per-barrier balance invariant
+  // (enqueued == drained whenever the ring is empty).
+  uint64_t enqueued() const { return enqueued_; }
+  uint64_t drained() const { return drained_; }
+
+  void reset_counters() {
+    ANTON_CHECK_MSG(empty(), "reset with undrained mailbox entries");
+    enqueued_ = 0;
+    drained_ = 0;
+    head_ = tail_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  // Plain (non-atomic) by design: producer and consumer phases are separated
+  // by the window-barrier rendezvous (see file comment).
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+  uint64_t enqueued_ = 0;
+  uint64_t drained_ = 0;
+};
+
+// A cross-shard event in flight: fires `fn` at `time` on the destination
+// shard.  `key` is the canonical shard-count-independent ordering key; `seq`
+// is the producer-local enqueue sequence (assigned by the engine) breaking
+// (time, key) ties from one producer in FIFO order.
+struct Parcel {
+  SimTime time = 0;
+  uint64_t key = 0;
+  uint64_t seq = 0;
+  InlineFn<kEventInlineBytes> fn;
+};
+
+}  // namespace anton::sim

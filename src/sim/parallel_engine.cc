@@ -1,0 +1,172 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/flightrecorder.h"
+#include "obs/profiler.h"
+
+namespace anton::sim {
+
+ParallelEngine::ParallelEngine(int shards, double lookahead_ns,
+                               ThreadPool* pool)
+    : queues_(static_cast<size_t>(shards)),
+      rings_(static_cast<size_t>(shards) * static_cast<size_t>(shards)),
+      post_seq_(static_cast<size_t>(shards)),
+      win_events_(static_cast<size_t>(shards)),
+      pool_(pool),
+      lookahead_(lookahead_ns) {
+  ANTON_CHECK_MSG(shards >= 1, "engine needs at least one shard");
+  ANTON_CHECK_MSG(lookahead_ns > 0,
+                  "conservative windows need a positive lookahead");
+}
+
+void ParallelEngine::reserve(size_t events_per_shard, size_t ring_capacity) {
+  for (auto& q : queues_) q.reserve(events_per_shard);
+  for (auto& r : rings_) r.init(ring_capacity);
+  gather_.reserve(ring_capacity * queues_.size());
+}
+
+// Collects each destination shard's incoming parcels, sorts them into the
+// canonical (time, key, producer-seq) order, and moves the payloads into the
+// destination queue.  Insertion order is what breaks equal-timestamp ties in
+// EventQueue, so this sort is the determinism boundary: it depends only on
+// shard-count-independent values.
+void ParallelEngine::drain_mailboxes() {
+  const int p = shards();
+  for (int dst = 0; dst < p; ++dst) {
+    gather_.clear();
+    for (int src = 0; src < p; ++src) {
+      ShardRing<Parcel>& r = ring(src, dst);
+      while (!r.empty()) {
+        gather_.push_back(  // anton-lint: allow(hot-alloc) amortized scratch
+            std::move(r.front()));
+        r.pop();
+      }
+      // Per-shard mailbox balance at every window barrier: everything ever
+      // enqueued into this ring has now been drained.
+      ANTON_CHECK_MSG(r.enqueued() == r.drained(),
+                      "mailbox imbalance on ring (" << src << "->" << dst
+                          << "): enqueued " << r.enqueued() << " drained "
+                          << r.drained());
+    }
+    if (gather_.empty()) continue;
+    std::sort(gather_.begin(), gather_.end(),
+              [](const Parcel& a, const Parcel& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.key != b.key) return a.key < b.key;
+                return a.seq < b.seq;
+              });
+    stats_.parcels += gather_.size();
+    EventQueue& q = queues_[static_cast<size_t>(dst)];
+    for (Parcel& parcel : gather_) {
+      q.schedule_move(parcel.time, std::move(parcel.fn));
+    }
+  }
+}
+
+uint64_t ParallelEngine::execute_window() {
+  const SimTime horizon = window_end_;
+  const int p = shards();
+  if (pool_ == nullptr || pool_->size() <= 1 || p == 1) {
+    for (int s = 0; s < p; ++s) {
+      win_events_[static_cast<size_t>(s)].v =
+          queues_[static_cast<size_t>(s)].run_until(horizon);
+    }
+  } else {
+    const unsigned stride = pool_->size();
+    pool_->for_each_thread([this, horizon, stride, p](unsigned t) {
+      for (int s = static_cast<int>(t); s < p; s += static_cast<int>(stride)) {
+        win_events_[static_cast<size_t>(s)].v =
+            queues_[static_cast<size_t>(s)].run_until(horizon);
+      }
+    });
+  }
+  uint64_t n = 0;
+  for (int s = 0; s < p; ++s) n += win_events_[static_cast<size_t>(s)].v;
+  return n;
+}
+
+SimTime ParallelEngine::run() {
+  ANTON_HOT_NOALLOC();
+  running_ = true;
+  for (;;) {
+    const double b0 = obs::wall_seconds();
+    // Barrier: serialized cross-shard planning first (it may insert events
+    // and parcels), then the mailbox drain — both can schedule events
+    // earlier than anything currently pending, so the window start is
+    // computed only after both have run.
+    if (hook_fn_ != nullptr) hook_fn_(hook_ctx_);
+    drain_mailboxes();
+    SimTime t_min = std::numeric_limits<SimTime>::infinity();
+    for (const auto& q : queues_) t_min = std::min(t_min, q.next_time());
+    stats_.barrier_s += obs::wall_seconds() - b0;
+    if (!std::isfinite(t_min)) break;  // quiescent: no work anywhere
+    window_end_ = t_min + lookahead_;
+    const double w0 = obs::wall_seconds();
+    const uint64_t n = execute_window();
+    stats_.window_s += obs::wall_seconds() - w0;
+    stats_.events += n;
+    stats_.max_window_events = std::max(stats_.max_window_events, n);
+    ++stats_.windows;
+    obs::flight::record_sim(obs::flight::Kind::kPdesWindow, "pdes.window",
+                            window_end_, n);
+  }
+  running_ = false;
+  window_end_ = 0;
+  SimTime end = 0;
+  for (const auto& q : queues_) end = std::max(end, q.now());
+  return end;
+}
+
+void ParallelEngine::reset() {
+  for (auto& q : queues_) q.reset();
+  for (auto& r : rings_) r.reset_counters();
+  for (auto& s : post_seq_) s.v = 0;
+  stats_ = ParallelEngineStats{};
+  window_end_ = 0;
+}
+
+uint64_t ParallelEngine::mailbox_enqueued() const {
+  uint64_t n = 0;
+  for (const auto& r : rings_) n += r.enqueued();
+  return n;
+}
+
+uint64_t ParallelEngine::mailbox_drained() const {
+  uint64_t n = 0;
+  for (const auto& r : rings_) n += r.drained();
+  return n;
+}
+
+void ParallelEngine::check_mailbox_balance() const {
+  for (const auto& r : rings_) {
+    ANTON_CHECK_MSG(r.empty() && r.enqueued() == r.drained(),
+                    "mailbox imbalance: " << r.size() << " undrained, "
+                        << r.enqueued() << " enqueued, " << r.drained()
+                        << " drained");
+  }
+}
+
+void ParallelEngine::check_arenas() const {
+  for (const auto& q : queues_) q.check_arena();
+}
+
+void ParallelEngine::export_metrics(obs::MetricsRegistry* reg,
+                                    const std::string& prefix) const {
+  ANTON_CHECK(reg != nullptr);
+  reg->counter(prefix + ".windows")->add(stats_.windows);
+  reg->counter(prefix + ".events")->add(stats_.events);
+  reg->counter(prefix + ".parcels")->add(stats_.parcels);
+  if (stats_.windows > 0) {
+    reg->stat(prefix + ".window_events")
+        ->add(static_cast<double>(stats_.events) /
+              static_cast<double>(stats_.windows));
+  }
+  reg->stat(prefix + ".barrier_ms")->add(stats_.barrier_s * 1e3);
+  reg->stat(prefix + ".window_ms")->add(stats_.window_s * 1e3);
+  reg->gauge(prefix + ".shards")->set(static_cast<double>(shards()));
+}
+
+}  // namespace anton::sim

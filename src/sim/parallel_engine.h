@@ -1,0 +1,185 @@
+// Deterministic parallel discrete-event engine: sharded conservative-window
+// execution.
+//
+// The node grid of the simulated machine is partitioned into P spatial
+// shards, each owning a private EventQueue (the existing pooled-arena 4-ary
+// heap, unchanged).  Execution proceeds in conservative time windows
+//
+//   [w_start, w_start + lookahead)
+//
+// where w_start is the globally earliest pending event after the barrier and
+// `lookahead` is a lower bound on every cross-shard event delay (the torus
+// hop model's minimum send latency).  Within a window the shards run in
+// parallel on the ThreadPool and may interact only through pre-sized SPSC
+// mailboxes (sim/mailbox.h), drained by the coordinating thread at the next
+// window barrier — a parcel posted at time t inside window k carries
+// t >= w_start + lookahead = w_end, so no shard can ever need an event
+// another shard is still producing.  That is the whole correctness argument,
+// and post() checks it on every send.
+//
+// Determinism at every shard count (the SweepRunner bar, now inside a single
+// estimate) follows from three facts, each independent of P:
+//   1. The window sequence is P-independent: w_start is the global minimum
+//      next-event time, the same value a serial engine would see.
+//   2. A parcel's insertion barrier is P-independent: it is determined by
+//      the window its producing event executed in.
+//   3. At each barrier, parcels are sorted by (time, key, seq) — key embeds
+//      the logical producer (node/chain id), seq the producer-local FIFO
+//      order — before insertion, so equal-timestamp ties resolve identically
+//      at every P.
+// By induction, the per-node event order (the only order simulation results
+// can depend on) is identical at every shard count, so simulated clocks and
+// conservation counters are bitwise reproducible from 1 shard to P shards.
+//
+// The barrier hook lets a higher layer (core::Executor) run serialized
+// cross-shard planning — torus link reservation in canonical order — between
+// windows; it is a plain function pointer because std::function is banned in
+// src/sim (des-std-function lint rule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/threadpool.h"
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "sim/mailbox.h"
+
+namespace anton::sim {
+
+struct ParallelEngineStats {
+  uint64_t windows = 0;    // conservative windows executed
+  uint64_t events = 0;     // events executed across all shards
+  uint64_t parcels = 0;    // mailbox parcels drained at barriers
+  double barrier_s = 0;    // wall time in barriers (hook + drain + window calc)
+  double window_s = 0;     // wall time executing windows
+  uint64_t max_window_events = 0;  // largest single-window event count
+};
+
+class ParallelEngine {
+ public:
+  // `lookahead_ns` must lower-bound every cross-shard delay posted through
+  // the mailboxes.  `pool` may be null — windows then execute serially over
+  // the shards with bitwise-identical results (threading buys wall time,
+  // never different answers).
+  ParallelEngine(int shards, double lookahead_ns, ThreadPool* pool = nullptr);
+
+  int shards() const { return static_cast<int>(queues_.size()); }
+  double lookahead_ns() const { return lookahead_; }
+
+  EventQueue& queue(int shard) {
+    return queues_[static_cast<size_t>(shard)];
+  }
+  const EventQueue& queue(int shard) const {
+    return queues_[static_cast<size_t>(shard)];
+  }
+
+  // Spatial shard of `node` in a `num_nodes` grid: contiguous blocks.  Pure
+  // in (node, num_nodes, shards) — the mapping is what callers key their
+  // canonical ordering on, so it must not depend on any engine state.
+  static int shard_of(int node, int num_nodes, int shards) {
+    return static_cast<int>(static_cast<int64_t>(node) * shards / num_nodes);
+  }
+
+  // Pre-sizes every shard queue for `events_per_shard` pending events and
+  // every mailbox ring for `ring_capacity` undrained parcels, so a steady
+  // state run never grows storage on the hot path.
+  void reserve(size_t events_per_shard, size_t ring_capacity);
+
+  // Cross-shard send: fires `fn` at absolute time `t` on `dst_shard`.  Must
+  // be called from the worker currently executing `src_shard`'s window (or
+  // from the coordinator between runs).  `key` is the canonical ordering key
+  // and must embed the logical producer identity (node id, chain id —
+  // anything independent of the shard count); see sim/mailbox.h.
+  template <class F>
+  void post(int src_shard, int dst_shard, SimTime t, uint64_t key, F&& fn) {
+    ANTON_HOT_NOALLOC();
+    // The conservative-window contract: a parcel produced inside the current
+    // window may not be due before the window's end, or the receiving shard
+    // could already have simulated past it.
+    ANTON_CHECK_MSG(!running_ || t >= window_end_ - 1e-9,
+                    "cross-shard post inside the lookahead horizon: t="
+                        << t << " window_end=" << window_end_
+                        << " (raise the delay or shrink lookahead_ns)");
+    Parcel p;
+    p.time = t;
+    p.key = key;
+    p.seq = post_seq_[static_cast<size_t>(src_shard)].v++;
+    p.fn.emplace(std::forward<F>(fn));
+    ring(src_shard, dst_shard).push(std::move(p));
+  }
+
+  // Installs a callback invoked at every window barrier (and once before the
+  // first window), on the coordinating thread, before mailboxes drain.  The
+  // executor uses this to plan cross-shard NoC sends in canonical order
+  // against the shared link state.
+  void set_barrier_hook(void (*fn)(void*), void* ctx) {
+    hook_fn_ = fn;
+    hook_ctx_ = ctx;
+  }
+
+  // Runs windows until every shard queue and every mailbox is empty and the
+  // barrier hook produces no further work.  Returns the final simulated time
+  // (max over shard clocks — the same value a serial engine's drained clock
+  // would hold).
+  SimTime run();
+
+  // Resets every shard clock and all engine statistics for a fresh run.
+  // Queues must be empty (quiescent) — capacities are retained.
+  void reset();
+
+  const ParallelEngineStats& stats() const { return stats_; }
+
+  // Lifetime mailbox traffic (sum over rings).  enqueued == drained whenever
+  // the engine is quiescent; the per-ring form of this invariant is asserted
+  // at every window barrier.
+  uint64_t mailbox_enqueued() const;
+  uint64_t mailbox_drained() const;
+  void check_mailbox_balance() const;
+
+  // Arena accounting across every shard queue (the sharded half of the
+  // torus conservation invariant).
+  void check_arenas() const;
+
+  // Exports des.pdes.* metrics for the stats accumulated since reset():
+  //   <prefix>.windows / .events / .parcels  counters
+  //   <prefix>.window_events                 stat (events per window)
+  //   <prefix>.barrier_ms / .window_ms       stats (wall time split)
+  //   <prefix>.shards                        gauge
+  void export_metrics(obs::MetricsRegistry* reg,
+                      const std::string& prefix) const;
+
+ private:
+  struct alignas(64) PadCount {
+    uint64_t v = 0;
+  };
+
+  ShardRing<Parcel>& ring(int src, int dst) {
+    return rings_[static_cast<size_t>(src) * queues_.size() +
+                  static_cast<size_t>(dst)];
+  }
+  const ShardRing<Parcel>& ring(int src, int dst) const {
+    return rings_[static_cast<size_t>(src) * queues_.size() +
+                  static_cast<size_t>(dst)];
+  }
+
+  void drain_mailboxes();
+  uint64_t execute_window();
+
+  std::vector<EventQueue> queues_;
+  std::vector<ShardRing<Parcel>> rings_;  // [src * P + dst]
+  std::vector<PadCount> post_seq_;     // per source shard (single writer)
+  std::vector<PadCount> win_events_;   // per shard, per window (single writer)
+  std::vector<Parcel> gather_;         // barrier drain scratch (retained)
+  ThreadPool* pool_;
+  double lookahead_;
+  void (*hook_fn_)(void*) = nullptr;
+  void* hook_ctx_ = nullptr;
+  bool running_ = false;
+  SimTime window_end_ = 0;
+  ParallelEngineStats stats_;
+};
+
+}  // namespace anton::sim

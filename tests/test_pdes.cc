@@ -1,0 +1,428 @@
+// Determinism and invariants of the sharded parallel DES engine.
+//
+// The engine's contract is that shard count is invisible in every simulated
+// quantity: clocks, per-chain completion times, per-phase Executor stats,
+// and NoC conservation counters are bitwise identical at 1, 2, 4 and 8
+// shards, and FIFO order among equal timestamps survives shard boundaries
+// (the mailbox drain re-sorts parcels into the canonical
+// (time, producer-key, producer-seq) order before insertion).  These tests
+// run both serially and under TSan (see the tsan-pdes CI job): the engine's
+// mailbox rings and counters are plain non-atomic words ordered only by the
+// ThreadPool dispatch rendezvous, and TSan is the proof that this is
+// synchronization, not luck.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "chem/builder.h"
+#include "common/error.h"
+#include "common/threadpool.h"
+#include "core/timestep.h"
+#include "core/workload.h"
+#include "obs/trace.h"
+#include "sim/event_queue.h"
+#include "sim/mailbox.h"
+#include "sim/parallel_engine.h"
+
+namespace anton {
+namespace {
+
+// ---- Miniature event storm over the engine: self-scheduling chains with
+// content-derived jitter that migrate between shards every third hop, so a
+// third of all hops cross a shard boundary through the mailboxes.  Delays
+// are >= the 1.0 lookahead, so every cross-shard post lands at or beyond
+// the window end.
+struct MiniStorm {
+  static constexpr int kMigrateEvery = 3;
+
+  sim::ParallelEngine& eng;
+  int chains;
+  int depth;
+  std::vector<double> done_at;  // per chain, written only by that chain
+
+  MiniStorm(sim::ParallelEngine& e, int n_chains, int n_depth)
+      : eng(e), chains(n_chains), depth(n_depth),
+        done_at(static_cast<size_t>(n_chains)) {}
+
+  static double delay(uint32_t chain, int d) {
+    return 1.0 + 0.125 * ((chain * 2654435761u +
+                           static_cast<uint32_t>(d)) % 9);
+  }
+
+  int shard_at(uint32_t chain, int d) const {
+    const int home = sim::ParallelEngine::shard_of(static_cast<int>(chain),
+                                                   chains, eng.shards());
+    return (home + d / kMigrateEvery) % eng.shards();
+  }
+
+  void seed(uint32_t chain) {
+    const int s0 = shard_at(chain, 0);
+    eng.queue(s0).schedule_after(delay(chain, 0), [this, chain, s0] {
+      hop(chain, 0, s0);
+    });
+  }
+
+  void hop(uint32_t chain, int d, int shard) {
+    sim::EventQueue& q = eng.queue(shard);
+    if (d + 1 >= depth) {
+      done_at[chain] = q.now();
+      return;
+    }
+    const int next = shard_at(chain, d + 1);
+    if (next == shard) {
+      q.schedule_after(delay(chain, d + 1), [this, chain, d, shard] {
+        hop(chain, d + 1, shard);
+      });
+    } else {
+      eng.post(shard, next, q.now() + delay(chain, d + 1), chain,
+               [this, chain, d, next] { hop(chain, d + 1, next); });
+    }
+  }
+};
+
+struct StormRun {
+  double clock = 0;
+  uint64_t events = 0;
+  uint64_t parcels = 0;
+  std::vector<double> done_at;
+};
+
+StormRun run_mini_storm(int shards, int chains, int depth, ThreadPool* pool) {
+  sim::ParallelEngine eng(shards, 1.0, pool);
+  eng.reserve(static_cast<size_t>(chains), static_cast<size_t>(chains));
+  MiniStorm storm(eng, chains, depth);
+  for (int c = 0; c < chains; ++c) storm.seed(static_cast<uint32_t>(c));
+  StormRun r;
+  r.clock = eng.run();
+  r.events = eng.stats().events;
+  r.parcels = eng.stats().parcels;
+  r.done_at = std::move(storm.done_at);
+  eng.check_mailbox_balance();
+  eng.check_arenas();
+  return r;
+}
+
+TEST(Pdes, StormBitwiseAcrossShardCounts) {
+  // A real pool even on 1-core hosts: ThreadPool(3) always spawns workers,
+  // so the cross-thread window handoff is exercised everywhere.
+  ThreadPool pool(3);
+  const int chains = 96, depth = 40;
+  const StormRun ref = run_mini_storm(1, chains, depth, nullptr);
+  EXPECT_EQ(ref.events, static_cast<uint64_t>(chains) * depth);
+  for (int shards : {2, 4, 8}) {
+    const StormRun r = run_mini_storm(shards, chains, depth, &pool);
+    EXPECT_EQ(r.clock, ref.clock) << "clock diverged at " << shards;
+    EXPECT_EQ(r.events, ref.events) << "event count diverged at " << shards;
+    EXPECT_GT(r.parcels, 0u) << "no cross-shard traffic at " << shards;
+    for (int c = 0; c < chains; ++c) {
+      ASSERT_EQ(r.done_at[static_cast<size_t>(c)],
+                ref.done_at[static_cast<size_t>(c)])
+          << "chain " << c << " completion diverged at " << shards
+          << " shards";
+    }
+  }
+}
+
+TEST(Pdes, StormReplayIsStable) {
+  const StormRun a = run_mini_storm(4, 64, 30, nullptr);
+  const StormRun b = run_mini_storm(4, 64, 30, nullptr);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.done_at, b.done_at);
+}
+
+// ---- FIFO-tie property across shard boundaries.  Producers all fire at
+// identical integer timestamps and post two parcels each (same time, same
+// key, consecutive seq) to one aggregator shard.  The aggregator folds a
+// non-commutative hash, so any deviation from the canonical
+// (time, key, seq) order — producer id ascending, then posting order —
+// changes the result.  Producers are seeded in *descending* id order and
+// live on different shards per P, so arrival order genuinely varies; the
+// folded hash must not.
+struct TieHarness {
+  sim::ParallelEngine& eng;
+  int producers;
+  int ticks;
+  uint64_t acc = 0;  // written only by shard 0 events
+
+  void seed() {
+    for (int p = producers - 1; p >= 0; --p) fire(static_cast<uint32_t>(p), 0);
+  }
+
+  void fire(uint32_t p, int tick) {
+    const int shard =
+        sim::ParallelEngine::shard_of(static_cast<int>(p), producers,
+                                      eng.shards());
+    // Two parcels at the same (time, key): seq must keep posting order.
+    const double t = static_cast<double>(tick + 1);
+    eng.post(shard, 0, t, p, [this, p] { acc = acc * 31 + 2 * p; });
+    eng.post(shard, 0, t, p, [this, p] { acc = acc * 31 + 2 * p + 1; });
+    if (tick + 1 < ticks) {
+      eng.queue(shard).schedule_at(t, [this, p, tick] { fire(p, tick + 1); });
+    }
+  }
+};
+
+uint64_t run_tie_harness(int shards, int producers, int ticks,
+                         ThreadPool* pool) {
+  sim::ParallelEngine eng(shards, 1.0, pool);
+  eng.reserve(static_cast<size_t>(producers) * 3,
+              static_cast<size_t>(producers) * 2);
+  TieHarness h{eng, producers, ticks};
+  h.seed();
+  eng.run();
+  eng.check_mailbox_balance();
+  return h.acc;
+}
+
+TEST(Pdes, FifoTiesCanonicalAcrossShardBoundaries) {
+  const int producers = 16, ticks = 12;
+  // The canonical order the engine must reconstruct at every shard count:
+  // per tick, producers ascending, and each producer's two posts in FIFO.
+  uint64_t want = 0;
+  for (int tick = 0; tick < ticks; ++tick) {
+    for (uint32_t p = 0; p < static_cast<uint32_t>(producers); ++p) {
+      want = want * 31 + 2 * p;
+      want = want * 31 + 2 * p + 1;
+    }
+  }
+  ThreadPool pool(3);
+  for (int shards : {1, 2, 4, 8}) {
+    EXPECT_EQ(run_tie_harness(shards, producers, ticks,
+                              shards > 1 ? &pool : nullptr),
+              want)
+        << "tie order diverged at " << shards << " shards";
+  }
+}
+
+TEST(ParallelEngine, PostInsideWindowThrows) {
+  // The conservative contract: during a window, a cross-shard post must land
+  // at or beyond the window end.  Lookahead 5.0, first event at t=1 →
+  // window end 6.0; a post at t=2 violates the contract.
+  sim::ParallelEngine eng(2, 5.0, nullptr);
+  eng.reserve(4, 4);
+  eng.queue(0).schedule_at(1.0, [&eng] {
+    eng.post(0, 1, 2.0, 7, [] {});
+  });
+  EXPECT_THROW(eng.run(), Error);
+}
+
+TEST(ParallelEngine, PostAtWindowEndIsAccepted) {
+  sim::ParallelEngine eng(2, 5.0, nullptr);
+  eng.reserve(4, 4);
+  bool ran = false;
+  eng.queue(0).schedule_at(1.0, [&eng, &ran] {
+    eng.post(0, 1, 6.0, 7, [&ran] { ran = true; });
+  });
+  EXPECT_EQ(eng.run(), 6.0);
+  EXPECT_TRUE(ran);
+  eng.check_mailbox_balance();
+}
+
+TEST(ParallelEngine, MailboxRingBalanceAndOverflow) {
+  sim::ShardRing<int> ring;
+  ring.init(2);
+  EXPECT_TRUE(ring.empty());
+  ring.push(10);
+  ring.push(11);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.enqueued(), 2u);
+  EXPECT_EQ(ring.drained(), 0u);
+  // Overflow must fail loudly — rings are pre-sized, never grown.
+  EXPECT_THROW(ring.push(12), Error);
+  EXPECT_EQ(ring.front(), 10);
+  ring.pop();
+  EXPECT_EQ(ring.front(), 11);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.enqueued(), ring.drained());
+}
+
+TEST(ParallelEngine, ShardOfPartitionsEvenly) {
+  // Contiguous, monotone, every shard non-empty when nodes >= shards.
+  for (int nodes : {8, 64, 512, 513}) {
+    for (int shards : {1, 2, 4, 8}) {
+      int prev = 0;
+      std::vector<int> count(static_cast<size_t>(shards));
+      for (int n = 0; n < nodes; ++n) {
+        const int s = sim::ParallelEngine::shard_of(n, nodes, shards);
+        ASSERT_GE(s, prev);
+        ASSERT_LT(s, shards);
+        prev = s;
+        ++count[static_cast<size_t>(s)];
+      }
+      for (int s = 0; s < shards; ++s) {
+        EXPECT_GE(count[static_cast<size_t>(s)], nodes / shards / 2);
+      }
+    }
+  }
+}
+
+// ---- Full timestep replay: the machine model itself, at every shard
+// count, against the serial legacy engine.
+struct RunnerResult {
+  double makespan = 0;
+  core::ExecStats exec;
+  int des_shards = 0;
+};
+
+const core::Workload& test_workload() {
+  static const core::Workload* w = [] {
+    BuilderOptions opt;
+    opt.total_atoms = 4096;
+    opt.temperature_k = -1;
+    const System sys = build_solvated_system(opt);
+    const arch::MachineConfig cfg = arch::MachineConfig::anton2(4, 4, 4);
+    return new core::Workload(core::Workload::build(sys, cfg));
+  }();
+  return *w;
+}
+
+RunnerResult run_step(int des_shards, const core::StepOptions& options = {}) {
+  arch::MachineConfig cfg = arch::MachineConfig::anton2(4, 4, 4);
+  cfg.des_shards = des_shards;
+  core::TimestepRunner runner(test_workload(), cfg, options);
+  RunnerResult r;
+  r.makespan = runner.run_timestep();
+  r.exec = runner.exec();
+  r.des_shards = runner.des_shards();
+  return r;
+}
+
+TEST(Pdes, RunnerBitwiseAcrossShardCounts) {
+  const RunnerResult ref = run_step(1);
+  ASSERT_EQ(ref.des_shards, 1);
+  EXPECT_GT(ref.makespan, 0.0);
+  for (int shards : {2, 4, 8}) {
+    const RunnerResult r = run_step(shards);
+    ASSERT_EQ(r.des_shards, shards);
+    EXPECT_EQ(r.makespan, ref.makespan) << "makespan diverged at " << shards;
+    EXPECT_EQ(r.exec.tasks_executed, ref.exec.tasks_executed);
+    EXPECT_EQ(r.exec.noc.messages, ref.exec.noc.messages);
+    EXPECT_EQ(r.exec.noc.total_bytes, ref.exec.noc.total_bytes);
+    EXPECT_EQ(r.exec.noc.latency_ns.count(), ref.exec.noc.latency_ns.count());
+    EXPECT_EQ(r.exec.noc.latency_ns.mean(), ref.exec.noc.latency_ns.mean());
+    EXPECT_EQ(r.exec.noc.hops.mean(), ref.exec.noc.hops.mean());
+    EXPECT_EQ(r.exec.max_node_busy_ns, ref.exec.max_node_busy_ns);
+    // Per-phase stat maps, bitwise: same keys, same values.
+    ASSERT_EQ(r.exec.phase_busy_ns.size(), ref.exec.phase_busy_ns.size());
+    for (const auto& [phase, busy] : ref.exec.phase_busy_ns) {
+      const auto it = r.exec.phase_busy_ns.find(phase);
+      ASSERT_NE(it, r.exec.phase_busy_ns.end()) << phase;
+      EXPECT_EQ(it->second, busy) << "phase_busy[" << phase << "] at "
+                                  << shards << " shards";
+    }
+    ASSERT_EQ(r.exec.phase_end_ns.size(), ref.exec.phase_end_ns.size());
+    for (const auto& [phase, end] : ref.exec.phase_end_ns) {
+      const auto it = r.exec.phase_end_ns.find(phase);
+      ASSERT_NE(it, r.exec.phase_end_ns.end()) << phase;
+      EXPECT_EQ(it->second, end) << "phase_end[" << phase << "] at "
+                                 << shards << " shards";
+    }
+  }
+}
+
+TEST(Pdes, RunnerMatchesSerialEngine) {
+  const RunnerResult serial = run_step(0);
+  ASSERT_EQ(serial.des_shards, 0);
+  const RunnerResult sharded = run_step(8);
+  ASSERT_EQ(sharded.des_shards, 8);
+  // The simulated clock and every conservation counter are identical; the
+  // Welford-folded latency stats may differ in the last ulp because the
+  // serial engine records deliveries in heap order while the coordinator
+  // plans in canonical (time, node, seq) order.
+  EXPECT_EQ(sharded.makespan, serial.makespan);
+  EXPECT_EQ(sharded.exec.tasks_executed, serial.exec.tasks_executed);
+  EXPECT_EQ(sharded.exec.noc.messages, serial.exec.noc.messages);
+  EXPECT_EQ(sharded.exec.noc.total_bytes, serial.exec.noc.total_bytes);
+  EXPECT_EQ(sharded.exec.noc.latency_ns.count(),
+            serial.exec.noc.latency_ns.count());
+  for (const auto& [phase, busy] : serial.exec.phase_busy_ns) {
+    const auto it = sharded.exec.phase_busy_ns.find(phase);
+    ASSERT_NE(it, sharded.exec.phase_busy_ns.end()) << phase;
+    EXPECT_NEAR(it->second, busy, 1e-6 * (1.0 + busy)) << phase;
+  }
+}
+
+TEST(Pdes, RunnerReplayIsExactAtEveryShardCount) {
+  for (int shards : {0, 2, 8}) {
+    arch::MachineConfig cfg = arch::MachineConfig::anton2(4, 4, 4);
+    cfg.des_shards = shards;
+    core::TimestepRunner runner(test_workload(), cfg);
+    const double first = runner.run_timestep();
+    const double second = runner.run_timestep();
+    EXPECT_EQ(first, second) << "replay diverged at " << shards << " shards";
+  }
+}
+
+TEST(Pdes, ShortStepMatchesAcrossShardCounts) {
+  core::StepOptions opt;
+  opt.include_long_range = false;
+  const RunnerResult serial = run_step(0, opt);
+  const RunnerResult sharded = run_step(8, opt);
+  EXPECT_EQ(sharded.makespan, serial.makespan);
+}
+
+TEST(Pdes, EnvOverrideSelectsShardCount) {
+  ::setenv("ANTON_DES_SHARDS", "4", 1);
+  const RunnerResult r = run_step(0);
+  ::unsetenv("ANTON_DES_SHARDS");
+  EXPECT_EQ(r.des_shards, 4);
+  EXPECT_EQ(r.makespan, run_step(0).makespan);
+}
+
+TEST(Pdes, EnvOverrideClampsToNodeCount) {
+  ::setenv("ANTON_DES_SHARDS", "1000", 1);
+  const RunnerResult r = run_step(0);
+  ::unsetenv("ANTON_DES_SHARDS");
+  EXPECT_EQ(r.des_shards, 64);  // 4x4x4 nodes
+}
+
+TEST(Pdes, MalformedEnvFallsBackToConfig) {
+  ::setenv("ANTON_DES_SHARDS", "not-a-number", 1);
+  const RunnerResult r = run_step(2);
+  ::unsetenv("ANTON_DES_SHARDS");
+  EXPECT_EQ(r.des_shards, 2);
+}
+
+TEST(Pdes, TraceWriterForcesSerialEngine) {
+  // Tracing hooks the queue and torus per event, which the parallel engine
+  // does not support; a trace request silently falls back to serial.
+  const std::string path = ::testing::TempDir() + "/pdes_trace.json";
+  {
+    obs::TraceWriter trace(path);
+    core::StepOptions opt;
+    opt.trace = &trace;
+    const RunnerResult r = run_step(8, opt);
+    EXPECT_EQ(r.des_shards, 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pdes, BulkSynchronousForcesSerialEngine) {
+  // BSP barriers are cross-node local dependencies, which break the
+  // node-to-shard ownership argument; the runner falls back to serial.
+  arch::MachineConfig cfg = arch::MachineConfig::anton2(4, 4, 4);
+  cfg.sync = arch::SyncModel::kBulkSynchronous;
+  cfg.des_shards = 8;
+  core::TimestepRunner runner(test_workload(), cfg);
+  EXPECT_EQ(runner.des_shards(), 0);
+  EXPECT_GT(runner.run_timestep(), 0.0);
+}
+
+TEST(Pdes, LookaheadReflectsTorusLatencyFloor) {
+  arch::MachineConfig cfg = arch::MachineConfig::anton2(4, 4, 4);
+  cfg.des_shards = 8;
+  core::TimestepRunner runner(test_workload(), cfg);
+  ASSERT_EQ(runner.des_shards(), 8);
+  // The step graph has no same-node sends, so the window width is the
+  // remote latency floor: injection overhead + one hop.
+  EXPECT_EQ(runner.lookahead_ns(),
+            cfg.noc.injection_overhead_ns + cfg.noc.hop_latency_ns);
+}
+
+}  // namespace
+}  // namespace anton

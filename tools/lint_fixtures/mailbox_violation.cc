@@ -1,0 +1,29 @@
+// Fixture: the two tempting shortcuts in a cross-shard mailbox, seeded so
+// anton_lint keeps rejecting them.  A real ShardRing (src/sim/mailbox.h)
+// carries trivially-movable Parcels whose callables live in InlineFn
+// buffers, and orders drains by *simulated* time — never the host clock.
+#include <chrono>
+#include <functional>
+#include <vector>
+
+namespace anton::sim_fixture {
+
+struct Parcel {
+  double time;
+  std::function<void()> fn;  // violation: heap-owning callable per parcel
+};
+
+struct Mailbox {
+  std::vector<Parcel> ring;
+
+  // violation: std::function parameter on the cross-shard post path
+  void post(double t, std::function<void()> fn);
+
+  double drain_deadline() const {
+    // violation: host wall-clock consulted inside the DES core
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<double>(now.time_since_epoch().count());
+  }
+};
+
+}  // namespace anton::sim_fixture
